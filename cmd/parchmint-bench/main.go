@@ -1,0 +1,66 @@
+// Command parchmint-bench regenerates the paper's evaluation artifacts:
+// every table and figure in DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	parchmint-bench -list
+//	parchmint-bench -exp table1
+//	parchmint-bench -exp all -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs")
+	exp := flag.String("exp", "", `experiment ID, or "all"`)
+	outdir := flag.String("outdir", "", "write artifacts to files in this directory instead of stdout")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case *exp == "all":
+		arts := experiments.All()
+		for _, a := range arts {
+			if err := emit(a, *outdir); err != nil {
+				cli.Fatalf("%s: %v", a.ID, err)
+			}
+		}
+	case *exp != "":
+		text, err := experiments.Run(*exp)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		if err := emit(experiments.Artifact{ID: *exp, Text: text}, *outdir); err != nil {
+			cli.Fatalf("%s: %v", *exp, err)
+		}
+	default:
+		cli.Fatalf("usage: parchmint-bench -list | -exp <id|all> [-outdir DIR]")
+	}
+}
+
+func emit(a experiments.Artifact, outdir string) error {
+	if outdir == "" {
+		fmt.Println(a.Text)
+		return nil
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outdir, a.ID+".txt")
+	if err := os.WriteFile(path, []byte(a.Text), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

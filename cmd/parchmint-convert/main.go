@@ -1,0 +1,60 @@
+// Command parchmint-convert translates between the MINT hardware
+// description language and ParchMint JSON, reporting any fidelity notes
+// (constructs outside the common subset) on stderr.
+//
+// Usage:
+//
+//	parchmint-convert -to json device.mint -o device.json
+//	parchmint-convert -to mint device.json -o device.mint
+//	parchmint-convert -to mint bench:planar_synthetic_1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/mint"
+)
+
+func main() {
+	to := flag.String("to", "", `target format: "json" or "mint"`)
+	out := flag.String("o", "", "output file (default stdout)")
+	strict := flag.Bool("strict", false, "fail when the conversion is lossy")
+	flag.Parse()
+	if flag.NArg() != 1 || (*to != "json" && *to != "mint") {
+		cli.Fatalf("usage: parchmint-convert -to json|mint [-strict] [-o FILE] <input>")
+	}
+	src := flag.Arg(0)
+
+	d, err := cli.LoadDevice(src)
+	if err != nil {
+		cli.Fatalf("%s: %v", src, err)
+	}
+
+	var data []byte
+	switch *to {
+	case "json":
+		data, err = core.Marshal(d)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+	case "mint":
+		f, fid, err := mint.FromDevice(d)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		for _, n := range fid.Notes {
+			fmt.Fprintf(os.Stderr, "note: %s\n", n)
+		}
+		if *strict && !fid.Lossless() {
+			cli.Fatalf("conversion is lossy (%d notes) and -strict is set", len(fid.Notes))
+		}
+		data = []byte(mint.Print(f))
+	}
+	if err := cli.WriteOutput(*out, data); err != nil {
+		cli.Fatalf("%v", err)
+	}
+}

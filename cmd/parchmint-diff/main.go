@@ -1,0 +1,41 @@
+// Command parchmint-diff compares two ParchMint devices structurally by
+// element ID, independent of ordering and formatting — the review tool
+// for exchanged benchmark revisions. Exits 1 when the devices differ.
+//
+// Usage:
+//
+//	parchmint-diff old.json new.json
+//	parchmint-diff bench:aquaflex_3b modified.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/diff"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print nothing; exit status only")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		cli.Fatalf("usage: parchmint-diff [-q] <deviceA> <deviceB>")
+	}
+	a, err := cli.LoadDevice(flag.Arg(0))
+	if err != nil {
+		cli.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+	b, err := cli.LoadDevice(flag.Arg(1))
+	if err != nil {
+		cli.Fatalf("%s: %v", flag.Arg(1), err)
+	}
+	report := diff.Devices(a, b)
+	if !*quiet {
+		fmt.Print(report)
+	}
+	if !report.Same() {
+		os.Exit(1)
+	}
+}

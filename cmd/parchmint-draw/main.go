@@ -1,0 +1,56 @@
+// Command parchmint-draw renders a feature-annotated ParchMint device as
+// SVG. Devices without features are placed and routed first with the
+// default flow (annealer + A*) unless -no-pnr is set.
+//
+// Usage:
+//
+//	parchmint-draw bench:rotary_pcr -o rotary.svg
+//	parchmint-draw -labels -layer flow placed.json -o flow.svg
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/pnr"
+	"repro/internal/render"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	labels := flag.Bool("labels", false, "draw component IDs")
+	scale := flag.Float64("scale", 0, "micrometers-to-pixels scale (0 = default)")
+	layer := flag.String("layer", "", "render only this layer ID")
+	noPnr := flag.Bool("no-pnr", false, "fail instead of auto-running place-and-route")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Fatalf("usage: parchmint-draw [flags] <file.json|bench:NAME|->")
+	}
+	d, err := cli.LoadDevice(flag.Arg(0))
+	if err != nil {
+		cli.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+	if !d.HasFeatures() {
+		if *noPnr {
+			cli.Fatalf("device %q has no features (and -no-pnr is set)", d.Name)
+		}
+		res, err := pnr.Run(d, pnr.Options{})
+		if err != nil {
+			cli.Fatalf("auto place-and-route: %v", err)
+		}
+		d = res.Device
+		os.Stderr.WriteString("note: device had no features; ran default place-and-route\n")
+	}
+	opts := render.Options{Scale: *scale, ShowLabels: *labels}
+	if *layer != "" {
+		opts.Layers = []string{*layer}
+	}
+	svg, err := render.SVG(d, opts)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	if err := cli.WriteOutput(*out, []byte(svg)); err != nil {
+		cli.Fatalf("%v", err)
+	}
+}

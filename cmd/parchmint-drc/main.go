@@ -1,0 +1,54 @@
+// Command parchmint-drc runs physical design-rule checks on a
+// feature-annotated ParchMint device: minimum channel width, channel
+// spacing and crossings, component incursions, and component clearance.
+// Exits non-zero when any rule fires.
+//
+// Usage:
+//
+//	parchmint-drc placed.json
+//	parchmint-drc -min-width 80 -min-spacing 100 placed.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/drc"
+)
+
+func main() {
+	minWidth := flag.Int64("min-width", 0, "minimum channel width in um (0 = default 50)")
+	minSpacing := flag.Int64("min-spacing", 0, "minimum channel spacing in um (0 = default 50)")
+	minClearance := flag.Int64("min-clearance", 0, "minimum component clearance in um (0 = default 100)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Fatalf("usage: parchmint-drc [flags] <file.json|bench:NAME|-> ...")
+	}
+	rules := drc.Rules{
+		MinChannelWidth:       *minWidth,
+		MinChannelSpacing:     *minSpacing,
+		MinComponentClearance: *minClearance,
+	}
+	failed := false
+	for _, src := range flag.Args() {
+		d, err := cli.LoadDevice(src)
+		if err != nil {
+			cli.Fatalf("%s: %v", src, err)
+		}
+		if !d.HasFeatures() {
+			fmt.Fprintf(os.Stderr, "%s: no features to check (run parchmint-pnr first)\n", src)
+			failed = true
+			continue
+		}
+		report := drc.Check(d, rules)
+		fmt.Print(report)
+		if !report.Clean() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

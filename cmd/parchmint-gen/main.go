@@ -1,0 +1,82 @@
+// Command parchmint-gen materializes the benchmark suite as ParchMint JSON
+// files, and generates parameterized synthetic circuits beyond the fixed
+// suite.
+//
+// Usage:
+//
+//	parchmint-gen -list
+//	parchmint-gen -name rotary_pcr -o rotary_pcr.json
+//	parchmint-gen -all -dir benchmarks/
+//	parchmint-gen -synthetic -inputs 16 -gates 80 -levels 5 -seed 7 -o big.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the suite benchmarks")
+	name := flag.String("name", "", "generate one named benchmark")
+	all := flag.Bool("all", false, "generate the whole suite")
+	dir := flag.String("dir", ".", "output directory for -all")
+	out := flag.String("o", "", "output file (default stdout)")
+	synthetic := flag.Bool("synthetic", false, "generate a parameterized synthetic circuit")
+	inputs := flag.Int("inputs", 8, "synthetic: primary inputs")
+	gates := flag.Int("gates", 20, "synthetic: gate count")
+	levels := flag.Int("levels", 4, "synthetic: circuit depth")
+	inverters := flag.Int("inverters", 25, "synthetic: inverter percentage")
+	seed := flag.Uint64("seed", 1, "synthetic: PRNG seed")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, b := range bench.Suite() {
+			fmt.Printf("%-32s %-9s %s\n", b.Name, b.Class, b.Description)
+		}
+	case *all:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			cli.Fatalf("creating %s: %v", *dir, err)
+		}
+		for _, b := range bench.Suite() {
+			path := filepath.Join(*dir, b.Name+".json")
+			if err := writeDevice(b.Build(), path); err != nil {
+				cli.Fatalf("%s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	case *synthetic:
+		d := bench.SyntheticCircuit(fmt.Sprintf("synthetic_i%d_g%d_s%d", *inputs, *gates, *seed),
+			bench.CircuitParams{
+				Inputs: *inputs, Gates: *gates, Levels: *levels,
+				InverterRatio: *inverters, Seed: *seed,
+			})
+		if err := writeDevice(d, *out); err != nil {
+			cli.Fatalf("%v", err)
+		}
+	case *name != "":
+		b, err := bench.ByName(*name)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		if err := writeDevice(b.Build(), *out); err != nil {
+			cli.Fatalf("%v", err)
+		}
+	default:
+		cli.Fatalf("usage: parchmint-gen -list | -name NAME [-o FILE] | -all [-dir DIR] | -synthetic [flags]")
+	}
+}
+
+func writeDevice(d *core.Device, path string) error {
+	data, err := core.Marshal(d)
+	if err != nil {
+		return err
+	}
+	return cli.WriteOutput(path, data)
+}

@@ -1,0 +1,92 @@
+// Command parchmint-pnr runs the full physical design flow — placement
+// then routing — on a ParchMint device and writes the feature-annotated
+// result. The stage metrics (HPWL, area, completion, channel length) print
+// to stderr so the JSON output stays pipeable.
+//
+// Usage:
+//
+//	parchmint-pnr bench:aquaflex_3b -o placed.json
+//	parchmint-pnr -placer greedy -router lee device.json
+//	parchmint-pnr -seed 7 -utilization 0.25 bench:planar_synthetic_2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/pnr"
+	"repro/internal/route"
+)
+
+func main() {
+	placerName := flag.String("placer", "anneal", "placement engine: greedy, force, anneal")
+	routerName := flag.String("router", "astar", "routing engine: lee, astar, hadlock")
+	seed := flag.Uint64("seed", 1, "seed for randomized stages")
+	utilization := flag.Float64("utilization", 0, "die utilization (0 = default)")
+	ordering := flag.String("order", "", "net order: short-first, long-first, as-given")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Fatalf("usage: parchmint-pnr [flags] <file.json|bench:NAME|->")
+	}
+
+	placer, err := placerByName(*placerName)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	router, err := routerByName(*routerName)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	d, err := cli.LoadDevice(flag.Arg(0))
+	if err != nil {
+		cli.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+
+	res, err := pnr.Run(d, pnr.Options{
+		Placer: placer,
+		Router: router,
+		Place:  place.Options{Seed: *seed, Utilization: *utilization},
+		Route:  route.Options{Ordering: route.Order(*ordering)},
+	})
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "placement (%s): HPWL %d um, area %.2f mm2\n",
+		placer.Name(), res.PlaceMetrics.HPWL, float64(res.PlaceMetrics.Area)/1e6)
+	fmt.Fprintf(os.Stderr, "routing (%s): %d/%d nets (%.1f%%), %d um channel, %d expansions, %d rounds\n",
+		router.Name(), res.RouteReport.Routed(), res.RouteReport.Total(),
+		100*res.RouteReport.CompletionRate(), res.RouteReport.TotalLength(),
+		res.RouteReport.TotalExpansions(), res.RouteReport.Rounds)
+
+	data, err := core.Marshal(res.Device)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	if err := cli.WriteOutput(*out, data); err != nil {
+		cli.Fatalf("%v", err)
+	}
+}
+
+func placerByName(name string) (place.Placer, error) {
+	for _, e := range place.Engines() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown placer %q (greedy, force, anneal)", name)
+}
+
+func routerByName(name string) (route.Router, error) {
+	for _, e := range route.Engines() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown router %q (lee, astar, hadlock)", name)
+}

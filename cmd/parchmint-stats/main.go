@@ -1,0 +1,76 @@
+// Command parchmint-stats prints the characterization profile of one or
+// more devices: size counts, entity distribution, degree statistics, and
+// connectivity — the per-device view of the suite characterization table.
+//
+// Usage:
+//
+//	parchmint-stats device.json
+//	parchmint-stats bench:rotary_pcr bench:aquaflex_3b
+//	parchmint-stats -suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+func main() {
+	suite := flag.Bool("suite", false, "profile every suite benchmark")
+	flag.Parse()
+	srcs := flag.Args()
+	if *suite {
+		for _, name := range bench.Names() {
+			srcs = append(srcs, "bench:"+name)
+		}
+	}
+	if len(srcs) == 0 {
+		cli.Fatalf("usage: parchmint-stats [-suite] <file.json|bench:NAME|-> ...")
+	}
+	for _, src := range srcs {
+		d, err := cli.LoadDevice(src)
+		if err != nil {
+			cli.Fatalf("%s: %v", src, err)
+		}
+		printProfile(d)
+	}
+}
+
+func printProfile(d *core.Device) {
+	p := stats.ProfileDevice(d, "")
+	g := netlist.Build(d)
+	fmt.Printf("device %q\n", d.Name)
+	fmt.Printf("  layers           %d\n", p.Layers)
+	fmt.Printf("  components       %d\n", p.Components)
+	fmt.Printf("  connections      %d (%d multi-sink)\n", p.Connections, p.MultiSink)
+	fmt.Printf("  io ports         %d\n", p.Ports)
+	fmt.Printf("  valves+pumps     %d\n", p.Valves)
+	fmt.Printf("  degree           avg %.2f, max %d\n", p.AvgDegree, p.MaxDegree)
+	fmt.Printf("  diameter         %d hops\n", p.Diameter)
+	fmt.Printf("  connected        %v (%d classes)\n", g.IsConnected(), len(g.ConnectedComponents()))
+	if arts := g.ArticulationPoints(); len(arts) > 0 {
+		fmt.Printf("  cut components   %d: %v\n", len(arts), arts)
+	} else {
+		fmt.Printf("  cut components   none (2-connected)\n")
+	}
+	if d.HasFeatures() {
+		fmt.Printf("  features         %d (physical geometry present)\n", len(d.Features))
+	}
+	counts := g.EntityCounts()
+	entities := make([]string, 0, len(counts))
+	for e := range counts {
+		entities = append(entities, e)
+	}
+	sort.Strings(entities)
+	fmt.Printf("  entities:\n")
+	for _, e := range entities {
+		fmt.Printf("    %-18s %d\n", e, counts[e])
+	}
+	fmt.Println()
+}

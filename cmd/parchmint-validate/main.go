@@ -1,0 +1,80 @@
+// Command parchmint-validate checks ParchMint JSON files: first the
+// structural schema (required keys, types), then the semantic rule set
+// (reference integrity, layer consistency, geometry). It prints every
+// diagnostic and exits non-zero if any file has errors.
+//
+// Usage:
+//
+//	parchmint-validate [-q] [-schema-only] file.json [file2.json ...]
+//	parchmint-validate bench:aquaflex_3b
+//	cat device.json | parchmint-validate -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/validate"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress warnings, report only errors")
+	schemaOnly := flag.Bool("schema-only", false, "run only the structural schema check")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Fatalf("usage: parchmint-validate [-q] [-schema-only] <file.json|bench:NAME|-> ...")
+	}
+	failed := false
+	for _, src := range flag.Args() {
+		if !checkOne(src, *quiet, *schemaOnly) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkOne validates a single source and reports whether it passed.
+func checkOne(src string, quiet, schemaOnly bool) bool {
+	// Benchmark sources skip the schema stage (they are built, not parsed).
+	if !strings.HasPrefix(src, "bench:") && src != "-" {
+		data, err := cli.ReadAll(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", src, err)
+			return false
+		}
+		sr := schema.Check(data)
+		if !sr.OK() {
+			fmt.Printf("%s: structural check failed\n%s", src, sr)
+			return false
+		}
+		if schemaOnly {
+			fmt.Printf("%s: schema ok\n", src)
+			return true
+		}
+		d, err := core.Unmarshal(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", src, err)
+			return false
+		}
+		return report(src, d, quiet)
+	}
+	d, err := cli.LoadDevice(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", src, err)
+		return false
+	}
+	return report(src, d, quiet)
+}
+
+func report(src string, d *core.Device, quiet bool) bool {
+	r := validate.ValidateWith(d, validate.Options{SkipWarnings: quiet})
+	fmt.Printf("%s: %s", src, r)
+	return r.OK()
+}

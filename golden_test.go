@@ -1,0 +1,96 @@
+// Golden-corpus tests: the committed testdata/golden files pin both the
+// wire format and the generators. Any unintended change to the JSON
+// encoding, the MINT printer, the PRNG, or a benchmark generator shows up
+// here as a byte-level diff — the determinism promise of the suite, made
+// enforceable. Regenerate intentionally with:
+//
+//	go run ./cmd/parchmint-gen -all -dir testdata/golden
+//	go run ./cmd/parchmint-convert -to mint -o testdata/golden/<name>.mint bench:<name>
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mint"
+)
+
+func TestGoldenJSON(t *testing.T) {
+	for _, b := range bench.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", b.Name+".json"))
+			if err != nil {
+				t.Fatalf("golden file missing: %v", err)
+			}
+			got, err := core.Marshal(b.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("generator output differs from golden (%d vs %d bytes); "+
+					"if intentional, regenerate with parchmint-gen -all -dir testdata/golden",
+					len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestGoldenJSONParsesAndValidates(t *testing.T) {
+	// The golden files themselves are usable artifacts: they parse into
+	// devices equal to the generated ones.
+	entries, err := filepath.Glob(filepath.Join("testdata", "golden", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no golden JSON files: %v", err)
+	}
+	for _, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Unmarshal(data)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		bm, err := bench.ByName(d.Name)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if !core.Equal(d, bm.Build()) {
+			t.Errorf("%s: parsed device differs from generator output", path)
+		}
+	}
+}
+
+func TestGoldenMint(t *testing.T) {
+	for _, name := range []string{"molecular_gradients", "planar_synthetic_1"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".mint"))
+			if err != nil {
+				t.Fatalf("golden file missing: %v", err)
+			}
+			b, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, _, err := mint.FromDevice(b.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mint.Print(f); got != string(want) {
+				t.Error("MINT printer output differs from golden; regenerate with parchmint-convert if intentional")
+			}
+			// And the golden text itself parses.
+			if _, err := mint.Parse(string(want)); err != nil {
+				t.Errorf("golden MINT does not parse: %v", err)
+			}
+		})
+	}
+}

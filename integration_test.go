@@ -1,0 +1,234 @@
+// End-to-end integration tests: every subsystem chained the way a
+// downstream user would chain them, across the whole benchmark suite.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/drc"
+	"repro/internal/mint"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/pnr"
+	"repro/internal/render"
+	"repro/internal/route"
+	"repro/internal/schema"
+	"repro/internal/sim"
+	"repro/internal/validate"
+)
+
+// TestFullPipelinePerBenchmark drives each benchmark through the complete
+// toolchain: generate -> serialize -> schema-check -> reparse -> validate
+// -> graph -> place -> route -> attach features -> revalidate -> DRC ->
+// render -> diff. Fast engines (greedy + A*) keep the whole suite's
+// pipeline under test in reasonable time.
+func TestFullPipelinePerBenchmark(t *testing.T) {
+	for _, b := range bench.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			// Generate and serialize.
+			d := b.Build()
+			data, err := core.Marshal(d)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			// Structural schema over the produced bytes.
+			if sr := schema.Check(data); !sr.OK() {
+				t.Fatalf("schema: %s", sr)
+			}
+			// Reparse and compare.
+			back, err := core.Unmarshal(data)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !core.Equal(d, back) {
+				t.Fatal("round trip changed the device")
+			}
+			// Semantic validation.
+			if vr := validate.Validate(back); !vr.OK() {
+				t.Fatalf("validate: %s", vr)
+			}
+			// Graph analytics.
+			g := netlist.Build(back)
+			if !g.IsConnected() {
+				t.Fatal("netlist disconnected")
+			}
+			// Physical design.
+			res, err := pnr.Run(back, pnr.Options{
+				Placer: place.Greedy{},
+				Router: route.AStar{},
+			})
+			if err != nil {
+				t.Fatalf("pnr: %v", err)
+			}
+			if res.PlaceMetrics.Overlaps != 0 {
+				t.Fatalf("placement has %d overlaps", res.PlaceMetrics.Overlaps)
+			}
+			// The annotated device still validates.
+			if vr := validate.Validate(res.Device); !vr.OK() {
+				t.Fatalf("post-pnr validate: %s", vr)
+			}
+			// DRC: the flow never produces channel crossings or component
+			// clearance violations.
+			dr := drc.Check(res.Device, drc.Rules{})
+			if n := dr.CountRule(drc.RuleCrossing); n != 0 {
+				t.Errorf("drc: %d channel crossings", n)
+			}
+			if n := dr.CountRule(drc.RuleClearance); n != 0 {
+				t.Errorf("drc: %d clearance violations", n)
+			}
+			if n := dr.CountRule(drc.RuleIncursion); n != 0 {
+				t.Errorf("drc: %d component incursions", n)
+			}
+			// Render.
+			svg, err := render.SVG(res.Device, render.Options{})
+			if err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(svg, "</svg>") {
+				t.Error("render produced a truncated document")
+			}
+			// The annotated device differs from the original only by
+			// features.
+			dr2 := diff.Devices(d, res.Device)
+			for _, e := range dr2.Entries {
+				if e.Section != "feature" {
+					t.Errorf("unexpected non-feature diff: %s", e)
+				}
+			}
+		})
+	}
+}
+
+// TestMintExchangeAcrossSuite converts every benchmark to MINT and back,
+// asserting the documented fidelity contract: output always reparses,
+// degradations always carry notes, and the reconverted device validates.
+func TestMintExchangeAcrossSuite(t *testing.T) {
+	for _, b := range bench.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			d := b.Build()
+			f, fid, err := mint.FromDevice(d)
+			if err != nil {
+				t.Fatalf("FromDevice: %v", err)
+			}
+			text := mint.Print(f)
+			f2, err := mint.Parse(text)
+			if err != nil {
+				t.Fatalf("printed MINT does not reparse: %v", err)
+			}
+			d2, _, err := mint.ToDevice(f2)
+			if err != nil {
+				t.Fatalf("ToDevice: %v", err)
+			}
+			if vr := validate.Validate(d2); vr.Errors() > 0 {
+				t.Fatalf("reconverted device invalid:\n%s", vr)
+			}
+			// Lossless conversions reproduce the device canonically.
+			if fid.Lossless() {
+				a, c := d.Clone(), d2
+				a.Canonicalize()
+				c.Canonicalize()
+				if !core.Equal(a, c) {
+					t.Error("lossless conversion did not round trip")
+				}
+			}
+		})
+	}
+}
+
+// TestHydraulicsAcrossAssaySuite solves a pressure-driven flow on every
+// assay benchmark: one inlet high, every other flow IO port at ambient,
+// asserting conservation and positive source inflow.
+func TestHydraulicsAcrossAssaySuite(t *testing.T) {
+	for _, b := range bench.Suite() {
+		if b.Class != bench.Assay {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			d := b.Build()
+			network, err := sim.Build(d, sim.Options{})
+			if err != nil {
+				t.Fatalf("sim build: %v", err)
+			}
+			var ioNodes []sim.NodeID
+			for i := range d.Components {
+				c := &d.Components[i]
+				if c.Entity == core.EntityPort && len(c.Layers) == 1 && c.Layers[0] == "flow" {
+					ioNodes = append(ioNodes, sim.NodeID(c.ID+".port1"))
+				}
+			}
+			if len(ioNodes) < 2 {
+				t.Skip("fewer than two flow IO ports")
+			}
+			bcs := []sim.BC{{Node: ioNodes[0], Pressure: 10000}}
+			for _, n := range ioNodes[1:] {
+				bcs = append(bcs, sim.BC{Node: n})
+			}
+			sol, err := network.Solve(bcs)
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			// The pressurized source injects fluid: its net *inflow* is
+			// negative (flow leaves it into the network).
+			if out := network.Imbalance(sol, ioNodes[0]); out >= 0 {
+				t.Errorf("source imbalance = %g, want negative (outflow)", out)
+			}
+			// Global conservation across all boundary nodes.
+			total := 0.0
+			for _, n := range ioNodes {
+				total += network.Imbalance(sol, n)
+			}
+			if total > 1e-12 || total < -1e-12 {
+				t.Errorf("global imbalance = %g", total)
+			}
+		})
+	}
+}
+
+// TestControlPlansAcrossAssaySuite synthesizes a transfer plan on every
+// assay benchmark and checks open/close consistency.
+func TestControlPlansAcrossAssaySuite(t *testing.T) {
+	for _, b := range bench.Suite() {
+		if b.Class != bench.Assay {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			d := b.Build()
+			planner, err := control.NewPlanner(d)
+			if err != nil {
+				t.Fatalf("planner: %v", err)
+			}
+			var ports []string
+			for i := range d.Components {
+				c := &d.Components[i]
+				if c.Entity == core.EntityPort && len(c.Layers) == 1 && c.Layers[0] == "flow" {
+					ports = append(ports, c.ID)
+				}
+			}
+			if len(ports) < 2 {
+				t.Skip("fewer than two flow ports")
+			}
+			ph, err := planner.PlanPhase("t", ports[0], ports[len(ports)-1])
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+			open := map[string]bool{}
+			for _, a := range ph.Open {
+				open[a.Component] = true
+			}
+			for _, a := range ph.Close {
+				if open[a.Component] {
+					t.Errorf("valve %s both opened and closed", a.Component)
+				}
+			}
+		})
+	}
+}

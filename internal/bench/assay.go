@@ -1,0 +1,334 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mint"
+)
+
+// Component footprints shared by the assay generators, in micrometers,
+// matching the conventional sizes of the Fluigi component library.
+const (
+	portSize    = 200
+	valveSize   = 300
+	nodeSize    = 100
+	mixerXSpan  = 2000
+	mixerYSpan  = 1000
+	chamberSpan = 1200
+)
+
+// assay is the common scaffolding for the assay generators: a builder plus
+// flow/control layers and counters for control plumbing.
+type assay struct {
+	b    *core.Builder
+	flow string
+	ctrl string
+	nCtl int
+}
+
+func newAssay(name string) *assay {
+	b := core.NewBuilder(name)
+	return &assay{b: b, flow: b.FlowLayer(), ctrl: b.ControlLayer()}
+}
+
+// port adds a flow-layer chip IO port.
+func (a *assay) port(id string) string { return a.b.IOPort(id, a.flow, portSize) }
+
+// mixer adds a serpentine mixer with one inlet and one outlet.
+func (a *assay) mixer(id string) string {
+	return a.b.TwoPort(id, core.EntityMixer, a.flow, mixerXSpan, mixerYSpan)
+}
+
+// chamber adds a reaction chamber with one inlet and one outlet.
+func (a *assay) chamber(id string) string {
+	return a.b.TwoPort(id, core.EntityChamber, a.flow, chamberSpan, chamberSpan)
+}
+
+// trap adds a cell-trap chamber with one inlet and one outlet.
+func (a *assay) trap(id string) string {
+	return a.b.TwoPort(id, core.EntityCellTrap, a.flow, chamberSpan, chamberSpan/2)
+}
+
+// node adds a zero-function channel junction with the given port counts.
+func (a *assay) node(id string, in, out int) string {
+	ports := mint.ConventionPorts(core.EntityNode, a.flow, nodeSize, nodeSize, in, out)
+	return a.b.Component(id, core.EntityNode, []string{a.flow}, nodeSize, nodeSize, ports...)
+}
+
+// valve adds a monolithic membrane valve spanning flow and control, wired
+// to its own fresh control port; the control connection is created here so
+// every valve is actuatable.
+func (a *assay) valve(id string) string {
+	a.b.Component(id, core.EntityValve, []string{a.flow, a.ctrl}, valveSize, valveSize,
+		core.Port{Label: "port1", Layer: a.flow, X: 0, Y: valveSize / 2},
+		core.Port{Label: "port2", Layer: a.flow, X: valveSize, Y: valveSize / 2},
+		core.Port{Label: "ctl", Layer: a.ctrl, X: valveSize / 2, Y: 0},
+	)
+	a.nCtl++
+	cp := a.b.IOPort(fmt.Sprintf("cio%d", a.nCtl), a.ctrl, portSize)
+	a.b.Connect(fmt.Sprintf("cnet%d", a.nCtl), a.ctrl, cp+".port1", id+".ctl")
+	return id
+}
+
+// pump adds a three-phase peristaltic pump spanning flow and control, with
+// its three actuation lines wired to fresh control ports.
+func (a *assay) pump(id string) string {
+	const w, h = 3 * valveSize, valveSize
+	a.b.Component(id, core.EntityPump, []string{a.flow, a.ctrl}, w, h,
+		core.Port{Label: "port1", Layer: a.flow, X: 0, Y: h / 2},
+		core.Port{Label: "port2", Layer: a.flow, X: w, Y: h / 2},
+		core.Port{Label: "ctl1", Layer: a.ctrl, X: w / 6, Y: 0},
+		core.Port{Label: "ctl2", Layer: a.ctrl, X: w / 2, Y: 0},
+		core.Port{Label: "ctl3", Layer: a.ctrl, X: 5 * w / 6, Y: 0},
+	)
+	for i := 1; i <= 3; i++ {
+		a.nCtl++
+		cp := a.b.IOPort(fmt.Sprintf("cio%d", a.nCtl), a.ctrl, portSize)
+		a.b.Connect(fmt.Sprintf("cnet%d", a.nCtl), a.ctrl,
+			cp+".port1", fmt.Sprintf("%s.ctl%d", id, i))
+	}
+	return id
+}
+
+// flowChain connects the given "component.port" endpoints in sequence with
+// channels named <prefix>0, <prefix>1, ...
+func (a *assay) flowChain(prefix string, endpoints ...string) {
+	for i := 0; i+1 < len(endpoints); i++ {
+		a.b.Connect(fmt.Sprintf("%s%d", prefix, i), a.flow, endpoints[i], endpoints[i+1])
+	}
+}
+
+// connect adds one flow channel.
+func (a *assay) connect(id, from string, to ...string) {
+	a.b.Connect(id, a.flow, from, to...)
+}
+
+// AquaFlex3B builds the three-reagent AquaFlex assay chip: three valved
+// reagent inlets merging into a mix-react chain, then a valved split to
+// product and waste outlets.
+func AquaFlex3B() *core.Device {
+	a := newAssay("aquaflex_3b")
+	merge := a.node("n_merge", 3, 1)
+	for i := 1; i <= 3; i++ {
+		in := a.port(fmt.Sprintf("in%d", i))
+		v := a.valve(fmt.Sprintf("v_in%d", i))
+		a.connect(fmt.Sprintf("f_in%d", i), in+".port1", v+".port1")
+		a.connect(fmt.Sprintf("f_mrg%d", i), v+".port2", fmt.Sprintf("%s.port%d", merge, i))
+	}
+	m := a.mixer("mix1")
+	ch := a.chamber("react1")
+	vr := a.valve("v_react")
+	split := a.node("n_split", 1, 2)
+	a.flowChain("f_chain", merge+".port4", m+".port1")
+	a.flowChain("f_mix", m+".port2", ch+".port1")
+	a.flowChain("f_react", ch+".port2", vr+".port1")
+	a.flowChain("f_split", vr+".port2", split+".port1")
+	vOut := a.valve("v_out")
+	vWaste := a.valve("v_waste")
+	out := a.port("out")
+	waste := a.port("waste")
+	a.connect("f_out_a", split+".port2", vOut+".port1")
+	a.connect("f_out_b", vOut+".port2", out+".port1")
+	a.connect("f_waste_a", split+".port3", vWaste+".port1")
+	a.connect("f_waste_b", vWaste+".port2", waste+".port1")
+	return a.b.MustBuild()
+}
+
+// AquaFlex5A builds the five-reagent AquaFlex variant: five valved inlets,
+// two mix-react stages in series, and a valved split to two collection
+// outlets plus waste.
+func AquaFlex5A() *core.Device {
+	a := newAssay("aquaflex_5a")
+	merge := a.node("n_merge", 5, 1)
+	for i := 1; i <= 5; i++ {
+		in := a.port(fmt.Sprintf("in%d", i))
+		v := a.valve(fmt.Sprintf("v_in%d", i))
+		a.connect(fmt.Sprintf("f_in%d", i), in+".port1", v+".port1")
+		a.connect(fmt.Sprintf("f_mrg%d", i), v+".port2", fmt.Sprintf("%s.port%d", merge, i))
+	}
+	prev := merge + ".port6"
+	for s := 1; s <= 2; s++ {
+		m := a.mixer(fmt.Sprintf("mix%d", s))
+		ch := a.chamber(fmt.Sprintf("react%d", s))
+		v := a.valve(fmt.Sprintf("v_stage%d", s))
+		a.connect(fmt.Sprintf("f_stage%d_a", s), prev, m+".port1")
+		a.connect(fmt.Sprintf("f_stage%d_b", s), m+".port2", ch+".port1")
+		a.connect(fmt.Sprintf("f_stage%d_c", s), ch+".port2", v+".port1")
+		prev = v + ".port2"
+	}
+	split := a.node("n_split", 1, 3)
+	a.connect("f_split", prev, split+".port1")
+	for i, name := range []string{"outA", "outB", "waste"} {
+		v := a.valve("v_" + name)
+		p := a.port(name)
+		a.connect(fmt.Sprintf("f_%s_a", name), fmt.Sprintf("%s.port%d", split, i+2), v+".port1")
+		a.connect(fmt.Sprintf("f_%s_b", name), v+".port2", p+".port1")
+	}
+	return a.b.MustBuild()
+}
+
+// ChromatinImmunoprecipitation builds the ChIP automation chip: a pumped
+// input bus feeding four cell-trap chambers, each isolated by valves on
+// both sides, collecting through a pumped output bus.
+func ChromatinImmunoprecipitation() *core.Device {
+	a := newAssay("chromatin_immunoprecipitation")
+	in := a.port("in_sample")
+	inBuf := a.port("in_buffer")
+	loadMerge := a.node("n_load", 2, 1)
+	a.connect("f_s", in+".port1", loadMerge+".port1")
+	a.connect("f_b", inBuf+".port1", loadMerge+".port2")
+	p1 := a.pump("pump_in")
+	a.connect("f_pump_in", loadMerge+".port3", p1+".port1")
+
+	const traps = 4
+	fanout := a.node("n_fan", 1, traps)
+	a.connect("f_fan", p1+".port2", fanout+".port1")
+	collect := a.node("n_collect", traps, 1)
+	for i := 1; i <= traps; i++ {
+		vi := a.valve(fmt.Sprintf("v_t%d_in", i))
+		tr := a.trap(fmt.Sprintf("trap%d", i))
+		vo := a.valve(fmt.Sprintf("v_t%d_out", i))
+		a.connect(fmt.Sprintf("f_t%d_a", i), fmt.Sprintf("%s.port%d", fanout, 1+i), vi+".port1")
+		a.connect(fmt.Sprintf("f_t%d_b", i), vi+".port2", tr+".port1")
+		a.connect(fmt.Sprintf("f_t%d_c", i), tr+".port2", vo+".port1")
+		a.connect(fmt.Sprintf("f_t%d_d", i), vo+".port2", fmt.Sprintf("%s.port%d", collect, i))
+	}
+	p2 := a.pump("pump_out")
+	vw := a.valve("v_waste")
+	split := a.node("n_out", 1, 2)
+	out := a.port("out_product")
+	waste := a.port("out_waste")
+	a.connect("f_collect", fmt.Sprintf("%s.port%d", collect, traps+1), p2+".port1")
+	a.connect("f_pump_out", p2+".port2", split+".port1")
+	a.connect("f_out", split+".port2", out+".port1")
+	a.connect("f_waste_a", split+".port3", vw+".port1")
+	a.connect("f_waste_b", vw+".port2", waste+".port1")
+	return a.b.MustBuild()
+}
+
+// GeneralPurposeMFD builds the general-purpose microfluidic device: a
+// 1-to-8 demultiplexer feeding eight valved reaction chambers whose
+// outputs collect through an 8-to-1 multiplexer.
+func GeneralPurposeMFD() *core.Device {
+	a := newAssay("general_purpose_mfd")
+	const ways = 8
+	in := a.port("in")
+	out := a.port("out")
+	demux := a.b.Component("demux", core.EntityMux, []string{a.flow}, 2400, 2400,
+		mint.ConventionPorts(core.EntityMux, a.flow, 2400, 2400, 1, ways)...)
+	muxc := a.b.Component("collect", core.EntityMux, []string{a.flow}, 2400, 2400,
+		mint.ConventionPorts(core.EntityMux, a.flow, 2400, 2400, ways, 1)...)
+	a.connect("f_in", in+".port1", demux+".port1")
+	for i := 1; i <= ways; i++ {
+		v1 := a.valve(fmt.Sprintf("v_r%d_in", i))
+		ch := a.chamber(fmt.Sprintf("reactor%d", i))
+		v2 := a.valve(fmt.Sprintf("v_r%d_out", i))
+		a.connect(fmt.Sprintf("f_r%d_a", i), fmt.Sprintf("%s.port%d", demux, 1+i), v1+".port1")
+		a.connect(fmt.Sprintf("f_r%d_b", i), v1+".port2", ch+".port1")
+		a.connect(fmt.Sprintf("f_r%d_c", i), ch+".port2", v2+".port1")
+		a.connect(fmt.Sprintf("f_r%d_d", i), v2+".port2", fmt.Sprintf("%s.port%d", muxc, i))
+	}
+	a.connect("f_out", fmt.Sprintf("%s.port%d", muxc, ways+1), out+".port1")
+	return a.b.MustBuild()
+}
+
+// HIVDiagnostics builds the point-of-care HIV diagnostic chip: sample and
+// reagent inlets, a five-stage serial mixer/valve train, a detection
+// chamber, and product/waste outlets.
+func HIVDiagnostics() *core.Device {
+	a := newAssay("hiv_diagnostics")
+	sample := a.port("in_sample")
+	reagent := a.port("in_reagent")
+	merge := a.node("n_merge", 2, 1)
+	a.connect("f_sample", sample+".port1", merge+".port1")
+	a.connect("f_reagent", reagent+".port1", merge+".port2")
+	prev := merge + ".port3"
+	const stages = 5
+	for s := 1; s <= stages; s++ {
+		m := a.mixer(fmt.Sprintf("mix%d", s))
+		v := a.valve(fmt.Sprintf("v%d", s))
+		a.connect(fmt.Sprintf("f_m%d", s), prev, m+".port1")
+		a.connect(fmt.Sprintf("f_v%d", s), m+".port2", v+".port1")
+		prev = v + ".port2"
+	}
+	det := a.b.TwoPort("detect", core.EntityDiamondChamber, a.flow, chamberSpan, chamberSpan)
+	split := a.node("n_split", 1, 2)
+	out := a.port("out")
+	waste := a.port("waste")
+	a.connect("f_detect", prev, det+".port1")
+	a.connect("f_split", det+".port2", split+".port1")
+	a.connect("f_out", split+".port2", out+".port1")
+	a.connect("f_waste", split+".port3", waste+".port1")
+	return a.b.MustBuild()
+}
+
+// MolecularGradients builds the molecular gradient generator: two inlets
+// feeding a five-level diamond mixing lattice that widens from two to six
+// mixers per level, with one outlet per bottom-level column.
+func MolecularGradients() *core.Device {
+	a := newAssay("molecular_gradients")
+	inA := a.port("inA")
+	inB := a.port("inB")
+	// Lattice levels of widths 2..6; mixer (l,j) feeds (l+1,j) and (l+1,j+1).
+	const firstWidth, lastWidth = 2, 6
+	mk := func(l, j int) string { return fmt.Sprintf("g_l%d_%d", l, j) }
+	for l := firstWidth; l <= lastWidth; l++ {
+		for j := 0; j < l; j++ {
+			id := mk(l, j)
+			ports := mint.ConventionPorts(core.EntityGradient, a.flow, mixerXSpan, mixerYSpan, 2, 2)
+			a.b.Component(id, core.EntityGradient, []string{a.flow}, mixerXSpan, mixerYSpan, ports...)
+		}
+	}
+	// Inlets feed the top level.
+	a.connect("f_inA", inA+".port1", mk(firstWidth, 0)+".port1")
+	a.connect("f_inB", inB+".port1", mk(firstWidth, 1)+".port2")
+	// Lattice internal edges: out ports are port3 (left child) and port4
+	// (right child); in ports are port1 (from left parent) / port2 (right).
+	for l := firstWidth; l < lastWidth; l++ {
+		for j := 0; j < l; j++ {
+			a.connect(fmt.Sprintf("f_%s_l", mk(l, j)), mk(l, j)+".port3", mk(l+1, j)+".port2")
+			a.connect(fmt.Sprintf("f_%s_r", mk(l, j)), mk(l, j)+".port4", mk(l+1, j+1)+".port1")
+		}
+	}
+	// One outlet per bottom-level mixer.
+	for j := 0; j < lastWidth; j++ {
+		out := a.port(fmt.Sprintf("out%d", j+1))
+		a.connect(fmt.Sprintf("f_out%d", j+1), mk(lastWidth, j)+".port3", out+".port1")
+	}
+	return a.b.MustBuild()
+}
+
+// RotaryPCR builds the rotary PCR chip: valved sample and reagent loading
+// into a rotary pump amplification loop, then a valved product outlet.
+func RotaryPCR() *core.Device {
+	a := newAssay("rotary_pcr")
+	merge := a.node("n_load", 2, 1)
+	for i, name := range []string{"sample", "reagent"} {
+		p := a.port("in_" + name)
+		v := a.valve("v_" + name)
+		a.connect("f_"+name+"_a", p+".port1", v+".port1")
+		a.connect("f_"+name+"_b", v+".port2", fmt.Sprintf("%s.port%d", merge, i+1))
+	}
+	rp := a.b.Component("rotary1", core.EntityRotaryPump, []string{a.flow, a.ctrl}, 3000, 3000,
+		core.Port{Label: "port1", Layer: a.flow, X: 0, Y: 1500},
+		core.Port{Label: "port2", Layer: a.flow, X: 3000, Y: 1500},
+		core.Port{Label: "ctl1", Layer: a.ctrl, X: 750, Y: 0},
+		core.Port{Label: "ctl2", Layer: a.ctrl, X: 1500, Y: 0},
+		core.Port{Label: "ctl3", Layer: a.ctrl, X: 2250, Y: 0},
+	)
+	for i := 1; i <= 3; i++ {
+		a.nCtl++
+		cp := a.b.IOPort(fmt.Sprintf("cio%d", a.nCtl), a.ctrl, portSize)
+		a.b.Connect(fmt.Sprintf("cnet%d", a.nCtl), a.ctrl,
+			cp+".port1", fmt.Sprintf("%s.ctl%d", rp, i))
+	}
+	vLoop := a.valve("v_loop")
+	vOut := a.valve("v_out")
+	out := a.port("out")
+	a.connect("f_load", merge+".port3", vLoop+".port1")
+	a.connect("f_loop", vLoop+".port2", rp+".port1")
+	a.connect("f_amp", rp+".port2", vOut+".port1")
+	a.connect("f_out", vOut+".port2", out+".port1")
+	return a.b.MustBuild()
+}

@@ -1,0 +1,138 @@
+// Package bench provides the ParchMint benchmark suite: deterministic
+// generators that rebuild the twelve devices the paper characterizes —
+// seven assay-derived benchmarks reconstructed from published
+// laboratory-on-a-chip architectures, and five planar synthetic benchmarks
+// derived from Boolean logic circuits the way the Fluigi CAD flow's
+// synthetic generator produces them.
+//
+// The original suite ships hand-extracted JSON netlists; this package
+// substitutes generators of the same device class, entity mix, and size
+// (see DESIGN.md). Every generated device validates cleanly, making the
+// suite a fixed, reproducible input for the characterization and
+// place-and-route experiments.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Class partitions the suite.
+type Class string
+
+// Benchmark classes.
+const (
+	// Assay benchmarks reconstruct devices from published LoC papers.
+	Assay Class = "assay"
+	// Synthetic benchmarks are generated from Boolean circuits.
+	Synthetic Class = "synthetic"
+)
+
+// Benchmark describes one suite entry.
+type Benchmark struct {
+	// Name is the suite-unique benchmark name.
+	Name string
+	// Class says whether the benchmark is assay-derived or synthetic.
+	Class Class
+	// Description summarizes the device and its provenance.
+	Description string
+	// Build generates the device. Generators are deterministic: repeated
+	// calls return equal devices.
+	Build func() *core.Device
+}
+
+// Suite returns the full 12-benchmark suite in canonical (paper) order:
+// assay benchmarks alphabetically, then the synthetics by size.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{
+			Name:        "aquaflex_3b",
+			Class:       Assay,
+			Description: "three-reagent AquaFlex protein assay chip: valved inlets, mix-react chain, waste split",
+			Build:       AquaFlex3B,
+		},
+		{
+			Name:        "aquaflex_5a",
+			Class:       Assay,
+			Description: "five-reagent AquaFlex variant with two mix-react stages and dual collection",
+			Build:       AquaFlex5A,
+		},
+		{
+			Name:        "chromatin_immunoprecipitation",
+			Class:       Assay,
+			Description: "ChIP automation chip: pumped bus feeding four double-valved cell-trap chambers",
+			Build:       ChromatinImmunoprecipitation,
+		},
+		{
+			Name:        "general_purpose_mfd",
+			Class:       Assay,
+			Description: "general-purpose microfluidic device: 1-to-8 demux into valved reactors, 8-to-1 collect",
+			Build:       GeneralPurposeMFD,
+		},
+		{
+			Name:        "hiv_diagnostics",
+			Class:       Assay,
+			Description: "HIV point-of-care diagnostic: serial mixer/valve train into detection chamber",
+			Build:       HIVDiagnostics,
+		},
+		{
+			Name:        "molecular_gradients",
+			Class:       Assay,
+			Description: "molecular gradient generator: two inlets through a 5-level mixing lattice to six outlets",
+			Build:       MolecularGradients,
+		},
+		{
+			Name:        "rotary_pcr",
+			Class:       Assay,
+			Description: "rotary PCR chip: valved sample/reagent load into a rotary pump amplification loop",
+			Build:       RotaryPCR,
+		},
+		{Name: "planar_synthetic_1", Class: Synthetic,
+			Description: "Boolean-circuit synthetic, 8 inputs / 12 gates",
+			Build:       func() *core.Device { return PlanarSynthetic(1) }},
+		{Name: "planar_synthetic_2", Class: Synthetic,
+			Description: "Boolean-circuit synthetic, 12 inputs / 25 gates",
+			Build:       func() *core.Device { return PlanarSynthetic(2) }},
+		{Name: "planar_synthetic_3", Class: Synthetic,
+			Description: "Boolean-circuit synthetic, 16 inputs / 50 gates",
+			Build:       func() *core.Device { return PlanarSynthetic(3) }},
+		{Name: "planar_synthetic_4", Class: Synthetic,
+			Description: "Boolean-circuit synthetic, 24 inputs / 100 gates",
+			Build:       func() *core.Device { return PlanarSynthetic(4) }},
+		{Name: "planar_synthetic_5", Class: Synthetic,
+			Description: "Boolean-circuit synthetic, 32 inputs / 200 gates",
+			Build:       func() *core.Device { return PlanarSynthetic(5) }},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Names lists the suite's benchmark names in suite order.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, b := range s {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// sortedKeys returns map keys in sorted order for deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

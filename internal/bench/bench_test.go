@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/validate"
+)
+
+func TestSuiteShape(t *testing.T) {
+	s := Suite()
+	if len(s) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(s))
+	}
+	assay, synth := 0, 0
+	seen := map[string]bool{}
+	for _, b := range s {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Description == "" || b.Build == nil {
+			t.Errorf("benchmark %q incomplete", b.Name)
+		}
+		switch b.Class {
+		case Assay:
+			assay++
+		case Synthetic:
+			synth++
+		default:
+			t.Errorf("benchmark %q has class %q", b.Name, b.Class)
+		}
+	}
+	if assay != 7 || synth != 5 {
+		t.Errorf("class split = %d assay / %d synthetic, want 7/5", assay, synth)
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("rotary_pcr")
+	if err != nil || b.Name != "rotary_pcr" {
+		t.Errorf("ByName = %+v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	} else if !strings.Contains(err.Error(), "aquaflex_3b") {
+		t.Errorf("error should list available names: %v", err)
+	}
+	if len(Names()) != 12 {
+		t.Errorf("Names = %v", Names())
+	}
+}
+
+// TestEveryBenchmarkValidates is the suite's keystone invariant: all twelve
+// devices must pass semantic validation with zero errors and zero warnings.
+func TestEveryBenchmarkValidates(t *testing.T) {
+	for _, b := range Suite() {
+		t.Run(b.Name, func(t *testing.T) {
+			d := b.Build()
+			if d.Name != b.Name {
+				t.Errorf("device name %q != benchmark name %q", d.Name, b.Name)
+			}
+			r := validate.Validate(d)
+			if r.Errors() > 0 || r.Warnings() > 0 {
+				t.Errorf("benchmark not clean:\n%s", r)
+			}
+		})
+	}
+}
+
+func TestEveryBenchmarkIsDeterministic(t *testing.T) {
+	for _, b := range Suite() {
+		t.Run(b.Name, func(t *testing.T) {
+			d1, d2 := b.Build(), b.Build()
+			if !core.Equal(d1, d2) {
+				t.Error("two builds of the same benchmark differ")
+			}
+		})
+	}
+}
+
+func TestEveryBenchmarkRoundTripsJSON(t *testing.T) {
+	for _, b := range Suite() {
+		t.Run(b.Name, func(t *testing.T) {
+			d := b.Build()
+			data, err := core.Marshal(d)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			back, err := core.Unmarshal(data)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !core.Equal(d, back) {
+				t.Error("JSON round trip changed the device")
+			}
+		})
+	}
+}
+
+func TestEveryBenchmarkIsConnected(t *testing.T) {
+	for _, b := range Suite() {
+		t.Run(b.Name, func(t *testing.T) {
+			d := b.Build()
+			g := netlist.Build(d)
+			// Control nets make the whole device one connected class for
+			// assay benchmarks; synthetics are flow-only but still single
+			// components by construction.
+			if !g.IsConnected() {
+				t.Errorf("benchmark graph is disconnected: %d classes",
+					len(g.ConnectedComponents()))
+			}
+		})
+	}
+}
+
+func TestSuiteSizeOrdering(t *testing.T) {
+	// The synthetics must grow strictly in component count.
+	prev := 0
+	for n := 1; n <= 5; n++ {
+		d := PlanarSynthetic(n)
+		c := d.Stats().Components
+		if c <= prev {
+			t.Errorf("planar_synthetic_%d has %d components, not larger than %d", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestAssayBenchmarkStructure(t *testing.T) {
+	cases := []struct {
+		name          string
+		wantValves    int
+		wantTwoLayers bool
+		minComponents int
+	}{
+		{"aquaflex_3b", 6, true, 15},
+		{"aquaflex_5a", 10, true, 25},
+		{"chromatin_immunoprecipitation", 9, true, 30},
+		{"general_purpose_mfd", 16, true, 35},
+		{"hiv_diagnostics", 5, true, 20},
+		{"rotary_pcr", 4, true, 12},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b, err := ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := b.Build()
+			if got := d.CountEntity(core.EntityValve); got != c.wantValves {
+				t.Errorf("valves = %d, want %d", got, c.wantValves)
+			}
+			if c.wantTwoLayers && len(d.Layers) != 2 {
+				t.Errorf("layers = %d, want 2", len(d.Layers))
+			}
+			if got := d.Stats().Components; got < c.minComponents {
+				t.Errorf("components = %d, want >= %d", got, c.minComponents)
+			}
+		})
+	}
+}
+
+func TestMolecularGradientsLattice(t *testing.T) {
+	d := MolecularGradients()
+	// Levels 2..6: 2+3+4+5+6 = 20 gradient mixers.
+	if got := d.CountEntity(core.EntityGradient); got != 20 {
+		t.Errorf("gradient mixers = %d, want 20", got)
+	}
+	// 2 inlets + 6 outlets.
+	if got := d.CountEntity(core.EntityPort); got != 8 {
+		t.Errorf("ports = %d, want 8", got)
+	}
+	// Flow-only device (the lattice has no valves).
+	if got := d.CountEntity(core.EntityValve); got != 0 {
+		t.Errorf("valves = %d, want 0", got)
+	}
+}
+
+func TestGeneralPurposeMFDStructure(t *testing.T) {
+	d := GeneralPurposeMFD()
+	if got := d.CountEntity(core.EntityMux); got != 2 {
+		t.Errorf("muxes = %d, want 2", got)
+	}
+	if got := d.CountEntity(core.EntityChamber); got != 8 {
+		t.Errorf("chambers = %d, want 8", got)
+	}
+	g := netlist.Build(d)
+	// The demux drives 8 reactors plus its input: degree 9.
+	if got := g.Degree("demux"); got != 9 {
+		t.Errorf("demux degree = %d, want 9", got)
+	}
+}
+
+func TestChIPControlInfrastructure(t *testing.T) {
+	d := ChromatinImmunoprecipitation()
+	if got := d.CountEntity(core.EntityPump); got != 2 {
+		t.Errorf("pumps = %d, want 2", got)
+	}
+	if got := d.CountEntity(core.EntityCellTrap); got != 4 {
+		t.Errorf("traps = %d, want 4", got)
+	}
+	// Every valve and pump phase has a control line: 9 valves + 2*3 pump
+	// phases = 15 control connections.
+	ctl := 0
+	for _, cn := range d.Connections {
+		if cn.Layer == "control" {
+			ctl++
+		}
+	}
+	if ctl != 15 {
+		t.Errorf("control connections = %d, want 15", ctl)
+	}
+}
+
+func TestSyntheticCircuitParameters(t *testing.T) {
+	p := CircuitParams{Inputs: 10, Gates: 30, Levels: 4, InverterRatio: 30, Seed: 42}
+	d := SyntheticCircuit("syn", p)
+	r := validate.Validate(d)
+	if r.Errors() > 0 || r.Warnings() > 0 {
+		t.Fatalf("synthetic not clean:\n%s", r)
+	}
+	// 10 inputs + 30 gates + some outputs.
+	stats := d.Stats()
+	if stats.Components < 41 {
+		t.Errorf("components = %d, want > 40", stats.Components)
+	}
+	gates := d.CountEntity(core.EntityMixer) + d.CountEntity(core.EntityValve)
+	if gates != 30 {
+		t.Errorf("gates = %d, want 30", gates)
+	}
+	if d.CountEntity(core.EntityValve) == 0 {
+		t.Error("30%% inverter ratio produced no inverters")
+	}
+}
+
+func TestSyntheticCircuitDegenerateParams(t *testing.T) {
+	d := SyntheticCircuit("tiny", CircuitParams{Inputs: 0, Gates: 0, Levels: 0, Seed: 1})
+	r := validate.Validate(d)
+	if r.Errors() > 0 {
+		t.Fatalf("degenerate synthetic invalid:\n%s", r)
+	}
+	if d.Stats().Components < 2 {
+		t.Errorf("degenerate synthetic too small: %+v", d.Stats())
+	}
+}
+
+func TestSyntheticSeedsDiffer(t *testing.T) {
+	p := CircuitParams{Inputs: 10, Gates: 30, Levels: 4, InverterRatio: 25}
+	p.Seed = 1
+	d1 := SyntheticCircuit("s", p)
+	p.Seed = 2
+	d2 := SyntheticCircuit("s", p)
+	if core.Equal(d1, d2) {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestPlanarSyntheticPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PlanarSynthetic(0) should panic")
+		}
+	}()
+	PlanarSynthetic(0)
+}
+
+func TestSweep(t *testing.T) {
+	pts := Sweep(10, 4, 99)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	wantSizes := []int{10, 20, 40, 80}
+	for i, pt := range pts {
+		if pt.Components != wantSizes[i] {
+			t.Errorf("point %d components = %d, want %d", i, pt.Components, wantSizes[i])
+		}
+		r := validate.Validate(pt.Device)
+		if r.Errors() > 0 {
+			t.Errorf("sweep point %s invalid:\n%s", pt.Name, r)
+		}
+		if !strings.HasPrefix(pt.Name, "sweep_") {
+			t.Errorf("point name = %q", pt.Name)
+		}
+	}
+	// Device sizes must grow monotonically.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Device.Stats().Components <= pts[i-1].Device.Stats().Components {
+			t.Errorf("sweep sizes not increasing at %d", i)
+		}
+	}
+}

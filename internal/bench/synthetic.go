@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mint"
+	"repro/internal/xrand"
+)
+
+// CircuitParams sizes a Boolean-circuit synthetic benchmark. The generator
+// follows the Fluigi synthetic flow: primary inputs become chip IO ports,
+// two-input gates become mixers, inverters become valves, wires become
+// channels (with fanout as multi-sink connections), and every signal left
+// unconsumed is brought out to an output port.
+type CircuitParams struct {
+	// Inputs is the number of primary inputs.
+	Inputs int
+	// Gates is the number of logic gates.
+	Gates int
+	// Levels bounds circuit depth; gates are distributed evenly. Values
+	// below 2 default to 4.
+	Levels int
+	// InverterRatio is the percentage (0-100) of gates that are one-input
+	// inverters rather than two-input gates.
+	InverterRatio int
+	// Seed drives the deterministic PRNG.
+	Seed uint64
+}
+
+// planarSizes are the fixed parameters of the five suite synthetics.
+var planarSizes = [5]CircuitParams{
+	{Inputs: 8, Gates: 12, Levels: 3, InverterRatio: 25, Seed: 0xB01},
+	{Inputs: 12, Gates: 25, Levels: 4, InverterRatio: 25, Seed: 0xB02},
+	{Inputs: 16, Gates: 50, Levels: 5, InverterRatio: 25, Seed: 0xB03},
+	{Inputs: 24, Gates: 100, Levels: 6, InverterRatio: 25, Seed: 0xB04},
+	{Inputs: 32, Gates: 200, Levels: 7, InverterRatio: 25, Seed: 0xB05},
+}
+
+// PlanarSynthetic builds suite synthetic benchmark n (1-based, 1..5).
+// Out-of-range values panic: the suite is a fixed artifact.
+func PlanarSynthetic(n int) *core.Device {
+	if n < 1 || n > len(planarSizes) {
+		panic(fmt.Sprintf("bench: planar synthetic %d out of range 1..%d", n, len(planarSizes)))
+	}
+	return SyntheticCircuit(fmt.Sprintf("planar_synthetic_%d", n), planarSizes[n-1])
+}
+
+// signal is one value source in the generated circuit: a primary input's
+// port or a gate's output port, as a "component.port" endpoint.
+type signal struct {
+	endpoint string // source endpoint spec
+	level    int    // 0 for primary inputs
+}
+
+// SyntheticCircuit generates a Boolean-circuit benchmark device from the
+// given parameters. The circuit is layered and *planar by construction* —
+// each gate consumes signals only from the previous level, and parent
+// assignments are monotone across a level so no two wires cross — matching
+// the "planar synthetic" class of the suite, whose devices must be
+// routable on a single flow layer. Generation is deterministic in the
+// parameters.
+func SyntheticCircuit(name string, p CircuitParams) *core.Device {
+	if p.Inputs < 1 {
+		p.Inputs = 1
+	}
+	if p.Gates < 1 {
+		p.Gates = 1
+	}
+	if p.Levels < 2 {
+		p.Levels = 4
+	}
+	r := xrand.New(p.Seed*0x9E37 + 1)
+	b := core.NewBuilder(name)
+	flow := b.FlowLayer()
+
+	// consumers maps a signal's source endpoint to the input ports it
+	// drives; one multi-sink connection is emitted per driven signal.
+	consumers := make(map[string][]string)
+	var allSignals []string
+
+	prev := make([]string, 0, p.Inputs)
+	for i := 1; i <= p.Inputs; i++ {
+		id := b.IOPort(fmt.Sprintf("pi%d", i), flow, portSize)
+		prev = append(prev, id+".port1")
+		allSignals = append(allSignals, id+".port1")
+	}
+
+	perLevel := (p.Gates + p.Levels - 1) / p.Levels
+	gateNum := 0
+	for level := 1; level <= p.Levels && gateNum < p.Gates; level++ {
+		count := perLevel
+		if rem := p.Gates - gateNum; count > rem {
+			count = rem
+		}
+		cur := make([]string, 0, count)
+		lastParent := 0
+		for j := 0; j < count; j++ {
+			gateNum++
+			// Monotone parent assignment with ±1 jitter keeps wires from
+			// crossing: each gate's leftmost parent never precedes the
+			// previous gate's leftmost parent.
+			base := 0
+			if count > 1 {
+				base = j * (len(prev) - 1) / (count - 1)
+			}
+			a := base + r.Intn(3) - 1
+			if a < lastParent {
+				a = lastParent
+			}
+			if a > len(prev)-1 {
+				a = len(prev) - 1
+			}
+			lastParent = a
+			inverter := r.Intn(100) < p.InverterRatio
+			var out string
+			if inverter {
+				id := fmt.Sprintf("inv%d", gateNum)
+				b.Component(id, core.EntityValve, []string{flow}, valveSize, valveSize,
+					mint.ConventionPorts(core.EntityValve, flow, valveSize, valveSize, 1, 1)...)
+				consumers[prev[a]] = append(consumers[prev[a]], id+".port1")
+				out = id + ".port2"
+			} else {
+				id := fmt.Sprintf("g%d", gateNum)
+				b.Component(id, core.EntityMixer, []string{flow}, mixerXSpan, mixerYSpan,
+					mint.ConventionPorts(core.EntityMixer, flow, mixerXSpan, mixerYSpan, 2, 1)...)
+				c := a + 1
+				if c > len(prev)-1 {
+					c = len(prev) - 1
+				}
+				consumers[prev[a]] = append(consumers[prev[a]], id+".port1")
+				if c != a {
+					consumers[prev[c]] = append(consumers[prev[c]], id+".port2")
+				} else {
+					consumers[prev[a]] = append(consumers[prev[a]], id+".port2")
+				}
+				lastParent = c
+				out = id + ".port3"
+			}
+			cur = append(cur, out)
+		}
+		allSignals = append(allSignals, cur...)
+		prev = cur
+	}
+
+	// Primary inputs skipped by the jittered parent assignment would form
+	// two-component islands with their output ports; bridge each island
+	// into the main circuit with an extra two-input gate. Bridges join an
+	// island signal to an adjacent-in-order signal, so the near-planar
+	// structure survives.
+	uf := newUnionFind()
+	for src, sinks := range consumers {
+		sc := core.ParseTarget(src).Component
+		for _, sk := range sinks {
+			uf.union(sc, core.ParseTarget(sk).Component)
+		}
+	}
+	for {
+		classOf := make(map[string]string) // root -> representative signal
+		for _, sig := range allSignals {
+			root := uf.find(core.ParseTarget(sig).Component)
+			if _, ok := classOf[root]; !ok {
+				classOf[root] = sig
+			}
+		}
+		if len(classOf) <= 1 {
+			break
+		}
+		roots := sortedKeys(classOf)
+		sa, sb := classOf[roots[0]], classOf[roots[1]]
+		gateNum++
+		id := fmt.Sprintf("bridge%d", gateNum)
+		b.Component(id, core.EntityMixer, []string{flow}, mixerXSpan, mixerYSpan,
+			mint.ConventionPorts(core.EntityMixer, flow, mixerXSpan, mixerYSpan, 2, 1)...)
+		consumers[sa] = append(consumers[sa], id+".port1")
+		consumers[sb] = append(consumers[sb], id+".port2")
+		uf.union(core.ParseTarget(sa).Component, id)
+		uf.union(core.ParseTarget(sb).Component, id)
+		allSignals = append(allSignals, id+".port3")
+	}
+
+	// Every unconsumed signal — the final level plus any level's leftovers
+	// — exits through an output port. Degree-1 leaves never break
+	// planarity.
+	nOut := 0
+	for _, sig := range allSignals {
+		if len(consumers[sig]) == 0 {
+			nOut++
+			id := b.IOPort(fmt.Sprintf("po%d", nOut), flow, portSize)
+			consumers[sig] = []string{id + ".port1"}
+		}
+	}
+
+	// Emit one connection per driven signal, multi-sink for fanout, in
+	// deterministic order.
+	n := 0
+	for _, src := range sortedKeys(consumers) {
+		n++
+		b.Connect(fmt.Sprintf("w%d", n), flow, src, consumers[src]...)
+	}
+	return b.MustBuild()
+}
+
+// unionFind is a plain disjoint-set over component IDs, used to keep
+// generated circuits connected.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		// Attach the lexically larger root under the smaller so roots are
+		// deterministic regardless of union order.
+		if ra < rb {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+}
+
+// SweepPoint is one entry of the runtime-scaling sweep (Fig. 5).
+type SweepPoint struct {
+	// Name identifies the point, e.g. "sweep_040".
+	Name string
+	// Components is the approximate component count requested.
+	Components int
+	// Device is the generated benchmark.
+	Device *core.Device
+}
+
+// Sweep generates synthetic benchmarks of geometrically increasing size
+// for the runtime-scaling experiment: component counts double from, e.g.,
+// 10 up to 10*2^(points-1).
+func Sweep(base, points int, seed uint64) []SweepPoint {
+	out := make([]SweepPoint, 0, points)
+	size := base
+	for i := 0; i < points; i++ {
+		// Roughly: 1/4 of components are IO ports, 3/4 gates.
+		gates := size * 3 / 4
+		inputs := size / 8
+		if inputs < 2 {
+			inputs = 2
+		}
+		name := fmt.Sprintf("sweep_%04d", size)
+		dev := SyntheticCircuit(name, CircuitParams{
+			Inputs: inputs, Gates: gates,
+			Levels:        3 + i,
+			InverterRatio: 25,
+			Seed:          seed + uint64(i)*7919,
+		})
+		out = append(out, SweepPoint{Name: name, Components: size, Device: dev})
+		size *= 2
+	}
+	return out
+}

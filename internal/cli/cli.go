@@ -1,0 +1,76 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// loading devices from files, stdin, or benchmark names, and writing
+// outputs.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mint"
+)
+
+// LoadDevice reads a device from the given source:
+//
+//   - "bench:<name>" builds the named suite benchmark;
+//   - "-" reads ParchMint JSON from stdin;
+//   - a path ending in .mint or .uf parses MINT text;
+//   - any other path parses ParchMint JSON.
+func LoadDevice(src string) (*core.Device, error) {
+	if name, ok := strings.CutPrefix(src, "bench:"); ok {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(), nil
+	}
+	if src == "-" {
+		return core.Decode(os.Stdin)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(src, ".mint") || strings.HasSuffix(src, ".uf") {
+		f, err := mint.Parse(string(data))
+		if err != nil {
+			return nil, err
+		}
+		d, fid, err := mint.ToDevice(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range fid.Notes {
+			fmt.Fprintf(os.Stderr, "note: %s\n", n)
+		}
+		return d, nil
+	}
+	return core.Unmarshal(data)
+}
+
+// WriteOutput writes data to the path, or to stdout when path is "" or "-".
+func WriteOutput(path string, data []byte) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Fatalf prints an error to stderr and exits 1.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// ReadAll reads a whole source ("-" for stdin, else a file path).
+func ReadAll(src string) ([]byte, error) {
+	if src == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(src)
+}

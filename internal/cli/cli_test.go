@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func TestLoadDeviceFromBenchmark(t *testing.T) {
+	d, err := LoadDevice("bench:rotary_pcr")
+	if err != nil {
+		t.Fatalf("LoadDevice: %v", err)
+	}
+	if d.Name != "rotary_pcr" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if _, err := LoadDevice("bench:nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestLoadDeviceFromJSONFile(t *testing.T) {
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b.Build()
+	data, err := core.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dev.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDevice(path)
+	if err != nil {
+		t.Fatalf("LoadDevice: %v", err)
+	}
+	if !core.Equal(want, got) {
+		t.Error("loaded device differs")
+	}
+}
+
+func TestLoadDeviceFromMintFile(t *testing.T) {
+	src := "DEVICE demo\nLAYER FLOW\nPORT a, b r=100 ;\nCHANNEL c from a 1 to b 1 w=120 ;\nEND LAYER\n"
+	path := filepath.Join(t.TempDir(), "dev.mint")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDevice(path)
+	if err != nil {
+		t.Fatalf("LoadDevice: %v", err)
+	}
+	if d.Name != "demo" || len(d.Components) != 2 {
+		t.Errorf("device = %q with %d components", d.Name, len(d.Components))
+	}
+}
+
+func TestLoadDeviceErrors(t *testing.T) {
+	if _, err := LoadDevice("/does/not/exist.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte("not json"), 0o644)
+	if _, err := LoadDevice(path); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	mintPath := filepath.Join(t.TempDir(), "bad.mint")
+	os.WriteFile(mintPath, []byte("not mint"), 0o644)
+	if _, err := LoadDevice(mintPath); err == nil {
+		t.Error("bad MINT should fail")
+	}
+}
+
+func TestWriteOutputToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteOutput(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Errorf("read back %q, %v", data, err)
+	}
+}
+
+func TestReadAllFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.txt")
+	os.WriteFile(path, []byte("abc"), 0o644)
+	data, err := ReadAll(path)
+	if err != nil || string(data) != "abc" {
+		t.Errorf("ReadAll = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package control synthesizes valve actuation sequences for ParchMint
+// devices: given a fluid transfer ("move fluid from port A to port B"),
+// it computes which valves must open (those on the flow path), which must
+// close (valves adjoining the path that would leak), and the peristaltic
+// cycles for pumps along the path — the control-layer counterpart of the
+// physical design flow, mirroring the control-sequence generation of the
+// Fluigi CAD framework the benchmark suite originates from.
+package control
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Actuation names a valve (or pump phase line) together with the chip
+// control port that drives it, traced through the control layer.
+type Actuation struct {
+	// Component is the valve/pump component ID.
+	Component string
+	// Line is the control port label on the component ("ctl", "ctl2", …).
+	Line string
+	// ControlPort is the chip-edge control IO component driving the line;
+	// empty when the device wires no control line to it.
+	ControlPort string
+}
+
+// String renders "valve(ctl)<-cio3" or "valve(ctl)<-?" when untraced.
+func (a Actuation) String() string {
+	drv := a.ControlPort
+	if drv == "" {
+		drv = "?"
+	}
+	return fmt.Sprintf("%s(%s)<-%s", a.Component, a.Line, drv)
+}
+
+// PumpCycle is the actuation program for one peristaltic pump: the
+// sequence of open-line sets to iterate, in order.
+type PumpCycle struct {
+	// Pump is the pump component ID.
+	Pump string
+	// Lines are the pump's phase lines in order (ctl1..ctlN).
+	Lines []Actuation
+	// Steps are the successive open-set patterns over Lines, by index.
+	// The canonical three-line peristalsis uses the six-step program
+	// {0}, {0,1}, {1}, {1,2}, {2}, {2,0}.
+	Steps [][]int
+}
+
+// Phase is one step of an assay protocol: a fluid transfer with the valve
+// state making exactly that path open.
+type Phase struct {
+	// Name labels the phase.
+	Name string
+	// From, To are the endpoint component IDs.
+	From, To string
+	// Path is the component path the fluid takes, inclusive.
+	Path []string
+	// Open lists valves on the path (must open).
+	Open []Actuation
+	// Close lists valves adjoining the path (must close to avoid leaks).
+	Close []Actuation
+	// Pumps lists the peristaltic programs for pumps on the path.
+	Pumps []PumpCycle
+}
+
+// Plan is a sequence of phases implementing a protocol.
+type Plan struct {
+	Device string
+	Phases []*Phase
+}
+
+// Step requests one fluid transfer when building a plan.
+type Step struct {
+	From, To string
+}
+
+// Planner precomputes the flow topology and control wiring of a device.
+type Planner struct {
+	device *core.Device
+	ix     *core.Index
+	// flowAdj is component adjacency over flow-layer connections.
+	flowAdj map[string][]string
+	// driver maps component+line to the control IO port driving it.
+	driver map[string]string
+	// flowLayers marks the IDs of flow-type layers.
+	flowLayers map[string]bool
+}
+
+// NewPlanner analyzes the device's flow and control topology.
+func NewPlanner(d *core.Device) (*Planner, error) {
+	p := &Planner{
+		device:     d,
+		ix:         d.Index(),
+		flowAdj:    make(map[string][]string),
+		driver:     make(map[string]string),
+		flowLayers: make(map[string]bool),
+	}
+	hasFlow := false
+	for _, l := range d.Layers {
+		if l.Type == core.LayerFlow {
+			p.flowLayers[l.ID] = true
+			hasFlow = true
+		}
+	}
+	if !hasFlow {
+		return nil, fmt.Errorf("control: device %q has no flow layer", d.Name)
+	}
+	for i := range d.Connections {
+		cn := &d.Connections[i]
+		if p.flowLayers[cn.Layer] {
+			for _, s := range cn.Sinks {
+				p.link(cn.Source.Component, s.Component)
+			}
+			continue
+		}
+		// Control connection: a chip PORT at one end drives the lines at
+		// the other ends (and vice versa for reversed wiring).
+		p.traceControl(cn)
+	}
+	return p, nil
+}
+
+func (p *Planner) link(a, b string) {
+	if a == b {
+		return
+	}
+	p.flowAdj[a] = appendUnique(p.flowAdj[a], b)
+	p.flowAdj[b] = appendUnique(p.flowAdj[b], a)
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// traceControl records which chip control port drives which valve line.
+func (p *Planner) traceControl(cn *core.Connection) {
+	targets := cn.Targets()
+	// Find the driving PORT entity among the endpoints.
+	var ioComp string
+	for _, t := range targets {
+		if c := p.ix.Component(t.Component); c != nil && c.Entity == core.EntityPort {
+			ioComp = t.Component
+			break
+		}
+	}
+	if ioComp == "" {
+		return
+	}
+	for _, t := range targets {
+		if t.Component == ioComp {
+			continue
+		}
+		key := t.Component + "\x00" + t.Port
+		if _, dup := p.driver[key]; !dup {
+			p.driver[key] = ioComp
+		}
+	}
+}
+
+// actuation resolves the driver of one component control line.
+func (p *Planner) actuation(comp, line string) Actuation {
+	return Actuation{
+		Component:   comp,
+		Line:        line,
+		ControlPort: p.driver[comp+"\x00"+line],
+	}
+}
+
+// controlLines returns a component's control-layer port labels, sorted.
+func (p *Planner) controlLines(comp string) []string {
+	c := p.ix.Component(comp)
+	if c == nil {
+		return nil
+	}
+	var lines []string
+	for _, port := range c.Ports {
+		if !p.flowLayers[port.Layer] {
+			lines = append(lines, port.Label)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// PlanPhase computes the valve state for one fluid transfer.
+func (p *Planner) PlanPhase(name, from, to string) (*Phase, error) {
+	if p.ix.Component(from) == nil {
+		return nil, fmt.Errorf("control: unknown component %q", from)
+	}
+	if p.ix.Component(to) == nil {
+		return nil, fmt.Errorf("control: unknown component %q", to)
+	}
+	path := p.shortestPath(from, to)
+	if path == nil {
+		return nil, fmt.Errorf("control: no flow path from %q to %q", from, to)
+	}
+	ph := &Phase{Name: name, From: from, To: to, Path: path}
+	onPath := make(map[string]bool, len(path))
+	for _, id := range path {
+		onPath[id] = true
+	}
+	for _, id := range path {
+		c := p.ix.Component(id)
+		switch {
+		case c.Entity == core.EntityValve || c.Entity == core.EntityValve3D:
+			for _, line := range p.controlLines(id) {
+				ph.Open = append(ph.Open, p.actuation(id, line))
+			}
+		case c.Entity == core.EntityPump || c.Entity == core.EntityRotaryPump:
+			ph.Pumps = append(ph.Pumps, p.pumpCycle(id))
+		}
+	}
+	// Valves adjacent to the path but not on it would leak: close them.
+	closed := map[string]bool{}
+	for _, id := range path {
+		for _, nb := range p.flowAdj[id] {
+			if onPath[nb] || closed[nb] {
+				continue
+			}
+			c := p.ix.Component(nb)
+			if c == nil {
+				continue
+			}
+			if c.Entity == core.EntityValve || c.Entity == core.EntityValve3D {
+				closed[nb] = true
+				for _, line := range p.controlLines(nb) {
+					ph.Close = append(ph.Close, p.actuation(nb, line))
+				}
+			}
+		}
+	}
+	sort.Slice(ph.Close, func(i, j int) bool { return ph.Close[i].Component < ph.Close[j].Component })
+	return ph, nil
+}
+
+// pumpCycle builds the canonical six-step peristaltic program for a pump.
+func (p *Planner) pumpCycle(id string) PumpCycle {
+	lines := p.controlLines(id)
+	pc := PumpCycle{Pump: id}
+	for _, line := range lines {
+		pc.Lines = append(pc.Lines, p.actuation(id, line))
+	}
+	n := len(pc.Lines)
+	if n == 0 {
+		return pc
+	}
+	// Six-step program over three lines; fewer/more lines degrade to the
+	// rotating pair pattern of the same shape.
+	for i := 0; i < n; i++ {
+		pc.Steps = append(pc.Steps, []int{i})
+		pc.Steps = append(pc.Steps, []int{i, (i + 1) % n})
+	}
+	return pc
+}
+
+// shortestPath runs BFS over the flow adjacency.
+func (p *Planner) shortestPath(from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range p.flowAdj[cur] {
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			if nb == to {
+				var rev []string
+				for c := to; ; c = prev[c] {
+					rev = append(rev, c)
+					if c == from {
+						break
+					}
+				}
+				out := make([]string, len(rev))
+				for i, v := range rev {
+					out[len(rev)-1-i] = v
+				}
+				return out
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// Schedule builds a full plan from protocol steps.
+func (p *Planner) Schedule(steps []Step) (*Plan, error) {
+	plan := &Plan{Device: p.device.Name}
+	for i, s := range steps {
+		ph, err := p.PlanPhase(fmt.Sprintf("phase%d", i+1), s.From, s.To)
+		if err != nil {
+			return nil, fmt.Errorf("control: step %d: %w", i+1, err)
+		}
+		plan.Phases = append(plan.Phases, ph)
+	}
+	return plan, nil
+}
+
+// Render produces a human-readable actuation listing.
+func (p *Plan) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "control plan for %q: %d phase(s)\n", p.Device, len(p.Phases))
+	for _, ph := range p.Phases {
+		fmt.Fprintf(&sb, "\n%s: %s -> %s\n", ph.Name, ph.From, ph.To)
+		fmt.Fprintf(&sb, "  path: %s\n", strings.Join(ph.Path, " -> "))
+		if len(ph.Open) > 0 {
+			sb.WriteString("  open:")
+			for _, a := range ph.Open {
+				sb.WriteString(" " + a.String())
+			}
+			sb.WriteByte('\n')
+		}
+		if len(ph.Close) > 0 {
+			sb.WriteString("  close:")
+			for _, a := range ph.Close {
+				sb.WriteString(" " + a.String())
+			}
+			sb.WriteByte('\n')
+		}
+		for _, pc := range ph.Pumps {
+			fmt.Fprintf(&sb, "  pump %s cycle:", pc.Pump)
+			for _, step := range pc.Steps {
+				names := make([]string, len(step))
+				for i, li := range step {
+					names[i] = pc.Lines[li].Line
+				}
+				fmt.Fprintf(&sb, " [%s]", strings.Join(names, "+"))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,239 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func planner(t testing.TB, name string) *Planner {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlannerErrors(t *testing.T) {
+	if _, err := NewPlanner(&core.Device{Name: "bare"}); err == nil {
+		t.Error("device without flow layer should fail")
+	}
+}
+
+func TestPlanPhaseSimplePath(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	ph, err := p.PlanPhase("load", "in1", "out")
+	if err != nil {
+		t.Fatalf("PlanPhase: %v", err)
+	}
+	if ph.Path[0] != "in1" || ph.Path[len(ph.Path)-1] != "out" {
+		t.Errorf("path endpoints = %v", ph.Path)
+	}
+	// The in1->out path passes v_in1, v_react and v_out.
+	openSet := map[string]bool{}
+	for _, a := range ph.Open {
+		openSet[a.Component] = true
+		if a.ControlPort == "" {
+			t.Errorf("valve %s has no traced control port", a.Component)
+		}
+		if !strings.HasPrefix(a.ControlPort, "cio") {
+			t.Errorf("valve %s driver = %q", a.Component, a.ControlPort)
+		}
+	}
+	for _, want := range []string{"v_in1", "v_react", "v_out"} {
+		if !openSet[want] {
+			t.Errorf("valve %s not opened; open = %v", want, ph.Open)
+		}
+	}
+	// Branch valves leak if left open: the other inlets and the waste arm.
+	closeSet := map[string]bool{}
+	for _, a := range ph.Close {
+		closeSet[a.Component] = true
+	}
+	for _, want := range []string{"v_in2", "v_in3", "v_waste"} {
+		if !closeSet[want] {
+			t.Errorf("valve %s not closed; close = %v", want, ph.Close)
+		}
+	}
+	// Open and close sets are disjoint.
+	for c := range closeSet {
+		if openSet[c] {
+			t.Errorf("valve %s both opened and closed", c)
+		}
+	}
+}
+
+func TestPlanPhaseWithPump(t *testing.T) {
+	p := planner(t, "chromatin_immunoprecipitation")
+	ph, err := p.PlanPhase("load", "in_sample", "trap1")
+	if err != nil {
+		t.Fatalf("PlanPhase: %v", err)
+	}
+	if len(ph.Pumps) == 0 {
+		t.Fatal("path through pump_in produced no pump cycle")
+	}
+	pc := ph.Pumps[0]
+	if pc.Pump != "pump_in" {
+		t.Errorf("pump = %q", pc.Pump)
+	}
+	if len(pc.Lines) != 3 {
+		t.Fatalf("pump lines = %d, want 3", len(pc.Lines))
+	}
+	// Canonical six-step program over three lines.
+	if len(pc.Steps) != 6 {
+		t.Errorf("pump steps = %d, want 6", len(pc.Steps))
+	}
+	for _, step := range pc.Steps {
+		for _, li := range step {
+			if li < 0 || li >= len(pc.Lines) {
+				t.Errorf("step index %d out of range", li)
+			}
+		}
+	}
+	// Every line participates.
+	used := map[int]bool{}
+	for _, step := range pc.Steps {
+		for _, li := range step {
+			used[li] = true
+		}
+	}
+	if len(used) != 3 {
+		t.Errorf("only %d of 3 lines used", len(used))
+	}
+}
+
+func TestPlanPhaseRotaryPump(t *testing.T) {
+	p := planner(t, "rotary_pcr")
+	ph, err := p.PlanPhase("amplify", "in_sample", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pc := range ph.Pumps {
+		if pc.Pump == "rotary1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rotary pump not programmed; pumps = %+v", ph.Pumps)
+	}
+}
+
+func TestPlanPhaseErrors(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	if _, err := p.PlanPhase("x", "ghost", "out"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := p.PlanPhase("x", "in1", "ghost"); err == nil {
+		t.Error("unknown sink should fail")
+	}
+	// Control IO ports are not on the flow layer: no flow path.
+	if _, err := p.PlanPhase("x", "in1", "cio1"); err == nil {
+		t.Error("path onto control layer should fail")
+	}
+}
+
+func TestPlanPhaseSelf(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	ph, err := p.PlanPhase("noop", "in1", "in1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph.Path) != 1 {
+		t.Errorf("self path = %v", ph.Path)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	plan, err := p.Schedule([]Step{
+		{From: "in1", To: "react1"},
+		{From: "in2", To: "react1"},
+		{From: "react1", To: "out"},
+		{From: "react1", To: "waste"},
+	})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if len(plan.Phases) != 4 {
+		t.Fatalf("phases = %d", len(plan.Phases))
+	}
+	if plan.Phases[0].Name != "phase1" || plan.Phases[3].Name != "phase4" {
+		t.Errorf("phase names: %s, %s", plan.Phases[0].Name, plan.Phases[3].Name)
+	}
+	out := plan.Render()
+	for _, frag := range []string{"control plan", "phase1", "open:", "close:", "in1 -> "} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestScheduleErrorMentionsStep(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	_, err := p.Schedule([]Step{{From: "in1", To: "out"}, {From: "in1", To: "ghost"}})
+	if err == nil || !strings.Contains(err.Error(), "step 2") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestActuationString(t *testing.T) {
+	a := Actuation{Component: "v1", Line: "ctl", ControlPort: "cio3"}
+	if a.String() != "v1(ctl)<-cio3" {
+		t.Errorf("String = %q", a.String())
+	}
+	a.ControlPort = ""
+	if a.String() != "v1(ctl)<-?" {
+		t.Errorf("untraced String = %q", a.String())
+	}
+}
+
+func TestPlannerOnEveryAssayBenchmark(t *testing.T) {
+	// Every assay benchmark must support planning between its first and
+	// last flow IO ports.
+	for _, name := range []string{"aquaflex_3b", "aquaflex_5a", "chromatin_immunoprecipitation",
+		"general_purpose_mfd", "hiv_diagnostics", "rotary_pcr"} {
+		t.Run(name, func(t *testing.T) {
+			b, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := b.Build()
+			p, err := NewPlanner(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Find two flow-layer IO ports.
+			var ports []string
+			for i := range d.Components {
+				c := &d.Components[i]
+				if c.Entity == core.EntityPort && len(c.Layers) == 1 && c.Layers[0] == "flow" {
+					ports = append(ports, c.ID)
+				}
+			}
+			if len(ports) < 2 {
+				t.Fatalf("only %d flow ports", len(ports))
+			}
+			ph, err := p.PlanPhase("t", ports[0], ports[len(ports)-1])
+			if err != nil {
+				t.Fatalf("PlanPhase(%s -> %s): %v", ports[0], ports[len(ports)-1], err)
+			}
+			if len(ph.Path) < 2 {
+				t.Errorf("degenerate path %v", ph.Path)
+			}
+			// Every opened or closed valve traces to a control port.
+			for _, a := range append(append([]Actuation{}, ph.Open...), ph.Close...) {
+				if a.ControlPort == "" {
+					t.Errorf("untraced actuation %s", a)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Protocol simulation: beyond synthesizing valve states, the planner can
+// execute a protocol symbolically — tracking which fluid occupies which
+// component as transfers run — and report protocol-level errors a wet-lab
+// run would only reveal at the bench: transferring from an empty
+// component, clobbering an un-flushed chamber, or contaminating a sample
+// by routing it through residue left by an earlier phase.
+
+// Fluid names a fluid species. Mixtures get deterministic composite names
+// like "mix(buffer+sample)".
+type Fluid string
+
+// Mix combines two fluids into a deterministic mixture name. Mixing with
+// the empty fluid or with itself is the identity.
+func Mix(a, b Fluid) Fluid {
+	if a == "" || a == b {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	parts := flatten(a)
+	parts = append(parts, flatten(b)...)
+	sort.Strings(parts)
+	uniq := parts[:0]
+	for i, p := range parts {
+		if i == 0 || p != parts[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 1 {
+		return Fluid(uniq[0])
+	}
+	return Fluid("mix(" + strings.Join(uniq, "+") + ")")
+}
+
+// flatten expands "mix(a+b)" into its constituents.
+func flatten(f Fluid) []string {
+	s := string(f)
+	if inner, ok := strings.CutPrefix(s, "mix("); ok && strings.HasSuffix(inner, ")") {
+		return strings.Split(strings.TrimSuffix(inner, ")"), "+")
+	}
+	return []string{s}
+}
+
+// TraceEvent records one observation during protocol simulation.
+type TraceEvent struct {
+	// Phase is the phase name the event occurred in ("" for setup).
+	Phase string
+	// Kind is "move", "mix", "contaminate", or "error".
+	Kind string
+	// Message is the human-readable description.
+	Message string
+}
+
+// String renders "[phase] kind: message".
+func (e TraceEvent) String() string {
+	if e.Phase == "" {
+		return fmt.Sprintf("%s: %s", e.Kind, e.Message)
+	}
+	return fmt.Sprintf("[%s] %s: %s", e.Phase, e.Kind, e.Message)
+}
+
+// Trace is the outcome of simulating a protocol.
+type Trace struct {
+	// Events in execution order.
+	Events []TraceEvent
+	// Final maps component ID -> occupying fluid after the last phase.
+	Final map[string]Fluid
+	// Residue maps component ID -> the last fluid that passed through it
+	// (the contamination state of the flow path).
+	Residue map[string]Fluid
+}
+
+// Errors returns the error-kind events.
+func (tr *Trace) Errors() []TraceEvent {
+	var out []TraceEvent
+	for _, e := range tr.Events {
+		if e.Kind == "error" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OK reports whether the protocol ran without errors.
+func (tr *Trace) OK() bool { return len(tr.Errors()) == 0 }
+
+// String renders the trace, one event per line, then the final state.
+func (tr *Trace) String() string {
+	var sb strings.Builder
+	for _, e := range tr.Events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	ids := make([]string, 0, len(tr.Final))
+	for id := range tr.Final {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	sb.WriteString("final state:\n")
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "  %-16s %s\n", id, tr.Final[id])
+	}
+	return sb.String()
+}
+
+func (tr *Trace) eventf(phase, kind, format string, args ...any) {
+	tr.Events = append(tr.Events, TraceEvent{
+		Phase: phase, Kind: kind, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Simulate executes the protocol symbolically. `initial` seeds fluids at
+// components (typically the inlet ports); each step moves the fluid at
+// From to To along the planned flow path. The simulation reports:
+//
+//   - error: transfer from a component holding no fluid;
+//   - mix: the destination already held a different fluid (the result is
+//     the mixture — often intended, e.g. into a mixer);
+//   - contaminate: the path crosses residue of a *different* fluid left
+//     by an earlier transfer (often unintended — flush first).
+//
+// Simulation never stops at an error; the full trace lets a protocol
+// author fix everything at once.
+func (p *Planner) Simulate(initial map[string]Fluid, steps []Step) (*Trace, error) {
+	tr := &Trace{
+		Final:   make(map[string]Fluid, len(initial)),
+		Residue: make(map[string]Fluid),
+	}
+	for _, id := range sortedKeys(initial) {
+		if p.ix.Component(id) == nil {
+			return nil, fmt.Errorf("control: initial fluid at unknown component %q", id)
+		}
+		tr.Final[id] = initial[id]
+		tr.eventf("", "move", "load %s at %s", initial[id], id)
+	}
+	for i, s := range steps {
+		phase := fmt.Sprintf("phase%d", i+1)
+		ph, err := p.PlanPhase(phase, s.From, s.To)
+		if err != nil {
+			return nil, fmt.Errorf("control: %s: %w", phase, err)
+		}
+		fluid := tr.Final[s.From]
+		if fluid == "" {
+			tr.eventf(phase, "error", "transfer from empty component %s", s.From)
+			continue
+		}
+		// Contamination: interior path components with residue of another
+		// fluid taint the transfer.
+		for _, id := range ph.Path[1 : len(ph.Path)-1] {
+			if res, ok := tr.Residue[id]; ok && res != fluid {
+				tr.eventf(phase, "contaminate",
+					"%s picks up %s residue at %s", fluid, res, id)
+				fluid = Mix(fluid, res)
+			}
+		}
+		// The fluid leaves its source and coats the path.
+		delete(tr.Final, s.From)
+		for _, id := range ph.Path {
+			tr.Residue[id] = fluid
+		}
+		// Arrival: mixing with any occupant.
+		if prev, occupied := tr.Final[s.To]; occupied && prev != fluid {
+			mixed := Mix(prev, fluid)
+			tr.eventf(phase, "mix", "%s + %s -> %s at %s", prev, fluid, mixed, s.To)
+			fluid = mixed
+		}
+		tr.Final[s.To] = fluid
+		tr.eventf(phase, "move", "%s -> %s carrying %s", s.From, s.To, fluid)
+	}
+	return tr, nil
+}
+
+// sortedKeys returns map keys in sorted order for deterministic traces.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

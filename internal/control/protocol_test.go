@@ -1,0 +1,153 @@
+package control
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMix(t *testing.T) {
+	cases := []struct {
+		a, b, want Fluid
+	}{
+		{"", "x", "x"},
+		{"x", "", "x"},
+		{"x", "x", "x"},
+		{"a", "b", "mix(a+b)"},
+		{"b", "a", "mix(a+b)"}, // order-insensitive
+		{"mix(a+b)", "c", "mix(a+b+c)"},
+		{"mix(a+b)", "a", "mix(a+b)"}, // constituents deduplicate
+		{"mix(a+b)", "mix(b+c)", "mix(a+b+c)"},
+	}
+	for _, c := range cases {
+		if got := Mix(c.a, c.b); got != c.want {
+			t.Errorf("Mix(%q, %q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimulateHappyPath(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	tr, err := p.Simulate(map[string]Fluid{
+		"in1": "sample",
+		"in2": "reagent",
+	}, []Step{
+		{From: "in1", To: "react1"},
+		{From: "in2", To: "react1"}, // intentional mixing in the reactor
+		{From: "react1", To: "out"},
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !tr.OK() {
+		t.Fatalf("unexpected errors:\n%s", tr)
+	}
+	// The reactor mixed sample and reagent; the product reached the outlet.
+	got := tr.Final["out"]
+	if got != "mix(reagent+sample)" {
+		t.Errorf("product = %q", got)
+	}
+	if _, stillThere := tr.Final["in1"]; stillThere {
+		t.Error("fluid did not leave in1")
+	}
+	// A mix event was traced.
+	mixed := false
+	for _, e := range tr.Events {
+		if e.Kind == "mix" {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Errorf("no mix event:\n%s", tr)
+	}
+}
+
+func TestSimulateEmptySourceError(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	tr, err := p.Simulate(nil, []Step{{From: "in1", To: "out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OK() {
+		t.Fatal("transfer from empty component should be an error")
+	}
+	if !strings.Contains(tr.Errors()[0].Message, "empty component in1") {
+		t.Errorf("error = %v", tr.Errors()[0])
+	}
+}
+
+func TestSimulateContamination(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	// Sample passes through the shared merge/mix path; buffer follows the
+	// same path and picks up sample residue.
+	tr, err := p.Simulate(map[string]Fluid{
+		"in1": "sample",
+		"in2": "buffer",
+	}, []Step{
+		{From: "in1", To: "waste"},
+		{From: "in2", To: "out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contaminated := false
+	for _, e := range tr.Events {
+		if e.Kind == "contaminate" {
+			contaminated = true
+		}
+	}
+	if !contaminated {
+		t.Fatalf("expected contamination through the shared path:\n%s", tr)
+	}
+	if tr.Final["out"] != "mix(buffer+sample)" {
+		t.Errorf("outlet fluid = %q", tr.Final["out"])
+	}
+}
+
+func TestSimulateResidueTracking(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	tr, err := p.Simulate(map[string]Fluid{"in1": "sample"},
+		[]Step{{From: "in1", To: "out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every component on the path carries residue.
+	for _, id := range []string{"in1", "v_in1", "mix1", "react1", "out"} {
+		if tr.Residue[id] != "sample" {
+			t.Errorf("residue at %s = %q", id, tr.Residue[id])
+		}
+	}
+	// Components off the path stay clean.
+	if _, dirty := tr.Residue["v_waste"]; dirty {
+		t.Error("off-path valve has residue")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	if _, err := p.Simulate(map[string]Fluid{"ghost": "x"}, nil); err == nil {
+		t.Error("unknown initial component should fail")
+	}
+	if _, err := p.Simulate(map[string]Fluid{"in1": "x"},
+		[]Step{{From: "in1", To: "ghost"}}); err == nil {
+		t.Error("unknown step target should fail")
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	p := planner(t, "aquaflex_3b")
+	tr, err := p.Simulate(map[string]Fluid{"in1": "sample"},
+		[]Step{{From: "in1", To: "out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	for _, frag := range []string{"load sample at in1", "[phase1] move", "final state:", "out"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("trace missing %q:\n%s", frag, s)
+		}
+	}
+	e := TraceEvent{Phase: "", Kind: "move", Message: "m"}
+	if e.String() != "move: m" {
+		t.Errorf("setup event = %q", e.String())
+	}
+}

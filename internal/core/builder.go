@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Builder constructs a Device incrementally with validation of the most
+// common construction mistakes (duplicate IDs, dangling references). It is
+// the API the benchmark generators and the examples use; errors are
+// accumulated and reported once by Build, so call sites can chain freely.
+type Builder struct {
+	device Device
+	errs   []error
+	layers map[string]bool
+	comps  map[string]*Component
+	conns  map[string]bool
+}
+
+// NewBuilder starts a device with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		device: Device{Name: name, Params: Params{}},
+		layers: make(map[string]bool),
+		comps:  make(map[string]*Component),
+		conns:  make(map[string]bool),
+	}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Layer adds a layer and returns its ID for convenience.
+func (b *Builder) Layer(id, name string, typ LayerType) string {
+	if id == "" {
+		b.errorf("layer with empty id")
+		return id
+	}
+	if b.layers[id] {
+		b.errorf("duplicate layer id %q", id)
+		return id
+	}
+	b.layers[id] = true
+	b.device.Layers = append(b.device.Layers, Layer{ID: id, Name: name, Type: typ})
+	return id
+}
+
+// FlowLayer adds the conventional flow layer ("flow").
+func (b *Builder) FlowLayer() string { return b.Layer("flow", "flow", LayerFlow) }
+
+// ControlLayer adds the conventional control layer ("control").
+func (b *Builder) ControlLayer() string { return b.Layer("control", "control", LayerControl) }
+
+// Param sets a numeric device parameter.
+func (b *Builder) Param(key string, value float64) *Builder {
+	b.device.Params[key] = value
+	return b
+}
+
+// Component adds a component with explicit ports and returns its ID.
+func (b *Builder) Component(id, entity string, layerIDs []string, xSpan, ySpan int64, ports ...Port) string {
+	if id == "" {
+		b.errorf("component with empty id")
+		return id
+	}
+	if _, dup := b.comps[id]; dup {
+		b.errorf("duplicate component id %q", id)
+		return id
+	}
+	if len(layerIDs) == 0 {
+		b.errorf("component %q has no layers", id)
+	}
+	for _, l := range layerIDs {
+		if !b.layers[l] {
+			b.errorf("component %q references undeclared layer %q", id, l)
+		}
+	}
+	seen := make(map[string]bool, len(ports))
+	for _, p := range ports {
+		if seen[p.Label] {
+			b.errorf("component %q has duplicate port label %q", id, p.Label)
+		}
+		seen[p.Label] = true
+	}
+	b.device.Components = append(b.device.Components, Component{
+		ID:     id,
+		Name:   id,
+		Entity: entity,
+		Layers: append([]string(nil), layerIDs...),
+		XSpan:  xSpan,
+		YSpan:  ySpan,
+		Ports:  append([]Port(nil), ports...),
+	})
+	b.comps[id] = &b.device.Components[len(b.device.Components)-1]
+	return id
+}
+
+// TwoPort adds a component with the standard left/right port pair used by
+// in-line elements (mixers, chambers, valves): port1 on the west edge
+// midpoint, port2 on the east edge midpoint.
+func (b *Builder) TwoPort(id, entity, layerID string, xSpan, ySpan int64) string {
+	return b.Component(id, entity, []string{layerID}, xSpan, ySpan,
+		Port{Label: "port1", Layer: layerID, X: 0, Y: ySpan / 2},
+		Port{Label: "port2", Layer: layerID, X: xSpan, Y: ySpan / 2},
+	)
+}
+
+// IOPort adds a chip-edge fluid port: a square PORT entity with a single
+// connection point at its center.
+func (b *Builder) IOPort(id, layerID string, size int64) string {
+	return b.Component(id, EntityPort, []string{layerID}, size, size,
+		Port{Label: "port1", Layer: layerID, X: size / 2, Y: size / 2},
+	)
+}
+
+// Connect adds a connection from source to the given sinks and returns its
+// ID. Targets are written "component" or "component.port"; splitting happens
+// here so call sites stay terse.
+func (b *Builder) Connect(id, layerID, source string, sinks ...string) string {
+	if id == "" {
+		b.errorf("connection with empty id")
+		return id
+	}
+	if b.conns[id] {
+		b.errorf("duplicate connection id %q", id)
+		return id
+	}
+	if !b.layers[layerID] {
+		b.errorf("connection %q references undeclared layer %q", id, layerID)
+	}
+	if len(sinks) == 0 {
+		b.errorf("connection %q has no sinks", id)
+	}
+	conn := Connection{ID: id, Name: id, Layer: layerID, Source: b.target(id, source)}
+	for _, s := range sinks {
+		conn.Sinks = append(conn.Sinks, b.target(id, s))
+	}
+	b.conns[id] = true
+	b.device.Connections = append(b.device.Connections, conn)
+	return id
+}
+
+// target parses "component" or "component.port" and checks the reference.
+func (b *Builder) target(connID, spec string) Target {
+	t := ParseTarget(spec)
+	c, ok := b.comps[t.Component]
+	if !ok {
+		b.errorf("connection %q references undeclared component %q", connID, t.Component)
+		return t
+	}
+	if t.Port != "" {
+		if _, ok := c.PortByLabel(t.Port); !ok {
+			b.errorf("connection %q references missing port %q on component %q", connID, t.Port, t.Component)
+		}
+	}
+	return t
+}
+
+// Build returns the constructed device, or the accumulated construction
+// errors. The builder must not be reused after Build.
+func (b *Builder) Build() (*Device, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("core: building device %q: %d error(s), first: %w",
+			b.device.Name, len(b.errs), b.errs[0])
+	}
+	d := b.device
+	if len(d.Params) == 0 {
+		d.Params = nil
+	}
+	return &d, nil
+}
+
+// MustBuild is Build for programmatically generated devices whose
+// construction cannot fail; it panics on error.
+func (b *Builder) MustBuild() *Device {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseTarget splits "component.port" into a Target. A spec without a dot
+// is a component-only target ("any port"). Only the last dot separates the
+// port, so component IDs containing dots still parse usefully.
+func ParseTarget(spec string) Target {
+	for i := len(spec) - 1; i >= 0; i-- {
+		if spec[i] == '.' {
+			return Target{Component: spec[:i], Port: spec[i+1:]}
+		}
+	}
+	return Target{Component: spec}
+}

@@ -1,0 +1,46 @@
+package core
+
+import "sort"
+
+// Canonicalize sorts every collection in the device into a deterministic
+// order: layers, components, connections, and features by ID; component
+// layer lists lexically; ports by label; sinks by (component, port).
+// Canonical form makes interchange byte-stable and lets Equal compare
+// devices regardless of the order a producing tool emitted elements in.
+func (d *Device) Canonicalize() {
+	sort.SliceStable(d.Layers, func(i, j int) bool { return d.Layers[i].ID < d.Layers[j].ID })
+	sort.SliceStable(d.Components, func(i, j int) bool { return d.Components[i].ID < d.Components[j].ID })
+	sort.SliceStable(d.Connections, func(i, j int) bool { return d.Connections[i].ID < d.Connections[j].ID })
+	sort.SliceStable(d.Features, func(i, j int) bool {
+		a, b := &d.Features[i], &d.Features[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		// Channel features of one connection share an ID prefix; order the
+		// segments geometrically so repeated routes serialize identically.
+		if a.Source != b.Source {
+			if a.Source.X != b.Source.X {
+				return a.Source.X < b.Source.X
+			}
+			return a.Source.Y < b.Source.Y
+		}
+		if a.Sink.X != b.Sink.X {
+			return a.Sink.X < b.Sink.X
+		}
+		return a.Sink.Y < b.Sink.Y
+	})
+	for i := range d.Components {
+		c := &d.Components[i]
+		sort.Strings(c.Layers)
+		sort.SliceStable(c.Ports, func(a, b int) bool { return c.Ports[a].Label < c.Ports[b].Label })
+	}
+	for i := range d.Connections {
+		c := &d.Connections[i]
+		sort.SliceStable(c.Sinks, func(a, b int) bool {
+			if c.Sinks[a].Component != c.Sinks[b].Component {
+				return c.Sinks[a].Component < c.Sinks[b].Component
+			}
+			return c.Sinks[a].Port < c.Sinks[b].Port
+		})
+	}
+}

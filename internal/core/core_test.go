@@ -1,0 +1,282 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// testDevice builds a small two-layer device used across the package tests:
+// in -> mixer -> valve -> out on the flow layer, with a control line from a
+// control port to the valve.
+func testDevice(t testing.TB) *Device {
+	t.Helper()
+	b := NewBuilder("unit-test-device")
+	flow := b.FlowLayer()
+	ctrl := b.ControlLayer()
+	b.IOPort("in", flow, 200)
+	b.IOPort("out", flow, 200)
+	b.TwoPort("mix1", EntityMixer, flow, 2000, 1000)
+	b.Component("v1", EntityValve, []string{flow, ctrl}, 300, 300,
+		Port{Label: "port1", Layer: flow, X: 0, Y: 150},
+		Port{Label: "port2", Layer: flow, X: 300, Y: 150},
+		Port{Label: "ctl", Layer: ctrl, X: 150, Y: 0},
+	)
+	b.IOPort("cin", ctrl, 200)
+	b.Connect("c1", flow, "in.port1", "mix1.port1")
+	b.Connect("c2", flow, "mix1.port2", "v1.port1")
+	b.Connect("c3", flow, "v1.port2", "out.port1")
+	b.Connect("cc1", ctrl, "cin.port1", "v1.ctl")
+	b.Param("channelWidth", 100)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("building test device: %v", err)
+	}
+	return d
+}
+
+func TestDeviceStats(t *testing.T) {
+	d := testDevice(t)
+	s := d.Stats()
+	want := Stats{Layers: 2, Components: 5, Connections: 4, Ports: 8, Sinks: 4}
+	if s != want {
+		t.Errorf("Stats = %+v, want %+v", s, want)
+	}
+}
+
+func TestCountEntity(t *testing.T) {
+	d := testDevice(t)
+	if n := d.CountEntity(EntityPort); n != 3 {
+		t.Errorf("PORT count = %d, want 3", n)
+	}
+	if n := d.CountEntity(EntityValve); n != 1 {
+		t.Errorf("VALVE count = %d, want 1", n)
+	}
+	if n := d.CountEntity("NOPE"); n != 0 {
+		t.Errorf("unknown entity count = %d, want 0", n)
+	}
+}
+
+func TestPortByLabel(t *testing.T) {
+	d := testDevice(t)
+	ix := d.Index()
+	v := ix.Component("v1")
+	if v == nil {
+		t.Fatal("v1 missing from index")
+	}
+	p, ok := v.PortByLabel("ctl")
+	if !ok || p.Layer != "control" {
+		t.Errorf("PortByLabel(ctl) = %+v, %v", p, ok)
+	}
+	if _, ok := v.PortByLabel("nope"); ok {
+		t.Error("missing port should not resolve")
+	}
+}
+
+func TestComponentFootprint(t *testing.T) {
+	c := Component{XSpan: 100, YSpan: 50}
+	fp := c.Footprint(geom.Pt(10, 20))
+	if fp != geom.R(10, 20, 110, 70) {
+		t.Errorf("Footprint = %v", fp)
+	}
+}
+
+func TestConnectionTargets(t *testing.T) {
+	c := Connection{
+		Source: Target{Component: "a", Port: "p"},
+		Sinks:  []Target{{Component: "b"}, {Component: "c", Port: "q"}},
+	}
+	ts := c.Targets()
+	if len(ts) != 3 || ts[0].Component != "a" || ts[2].Port != "q" {
+		t.Errorf("Targets = %+v", ts)
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if got := (Target{Component: "m", Port: "p"}).String(); got != "m.p" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Target{Component: "m"}).String(); got != "m" {
+		t.Errorf("portless String = %q", got)
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Target
+	}{
+		{"mix1.port1", Target{Component: "mix1", Port: "port1"}},
+		{"mix1", Target{Component: "mix1"}},
+		{"a.b.port", Target{Component: "a.b", Port: "port"}}, // last dot wins
+		{"", Target{}},
+	}
+	for _, c := range cases {
+		if got := ParseTarget(c.in); got != c.want {
+			t.Errorf("ParseTarget(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFeatureKindString(t *testing.T) {
+	if FeatureComponent.String() != "component" || FeatureChannel.String() != "channel" {
+		t.Error("FeatureKind names wrong")
+	}
+	if got := FeatureKind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestFeatureFootprint(t *testing.T) {
+	comp := Feature{Kind: FeatureComponent, Location: geom.Pt(10, 10), XSpan: 100, YSpan: 50}
+	if got := comp.Footprint(); got != geom.R(10, 10, 110, 60) {
+		t.Errorf("component footprint = %v", got)
+	}
+	ch := Feature{Kind: FeatureChannel, Source: geom.Pt(5, 30), Sink: geom.Pt(50, 10)}
+	if got := ch.Footprint(); got != geom.R(5, 10, 50, 30) {
+		t.Errorf("channel footprint = %v", got)
+	}
+}
+
+func TestParams(t *testing.T) {
+	p := Params{"w": 100}
+	if v, ok := p.Get("w"); !ok || v != 100 {
+		t.Errorf("Get = %v,%v", v, ok)
+	}
+	if _, ok := p.Get("missing"); ok {
+		t.Error("missing key should not resolve")
+	}
+	if v := p.GetDefault("missing", 42); v != 42 {
+		t.Errorf("GetDefault = %v, want 42", v)
+	}
+	if v := p.GetDefault("w", 42); v != 100 {
+		t.Errorf("GetDefault present = %v, want 100", v)
+	}
+}
+
+func TestEntityVocabulary(t *testing.T) {
+	if !IsKnownEntity(EntityMixer) || IsKnownEntity("BOGUS") {
+		t.Error("IsKnownEntity misclassifies")
+	}
+	if !IsControlEntity(EntityValve) || !IsControlEntity(EntityPump) {
+		t.Error("valves and pumps are control entities")
+	}
+	if IsControlEntity(EntityMixer) || IsControlEntity(EntityPort) {
+		t.Error("mixers and ports are not control entities")
+	}
+	seen := map[string]bool{}
+	for _, e := range KnownEntities() {
+		if seen[e] {
+			t.Errorf("duplicate entity %q in vocabulary", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"duplicate layer", func(b *Builder) {
+			b.FlowLayer()
+			b.Layer("flow", "again", LayerFlow)
+		}, "duplicate layer"},
+		{"empty layer id", func(b *Builder) {
+			b.Layer("", "x", LayerFlow)
+		}, "empty id"},
+		{"duplicate component", func(b *Builder) {
+			f := b.FlowLayer()
+			b.IOPort("p", f, 100)
+			b.IOPort("p", f, 100)
+		}, "duplicate component"},
+		{"undeclared layer", func(b *Builder) {
+			b.FlowLayer()
+			b.IOPort("p", "nope", 100)
+		}, "undeclared layer"},
+		{"no layers", func(b *Builder) {
+			b.Component("c", EntityMixer, nil, 10, 10)
+		}, "no layers"},
+		{"duplicate port label", func(b *Builder) {
+			f := b.FlowLayer()
+			b.Component("c", EntityMixer, []string{f}, 10, 10,
+				Port{Label: "p", Layer: f}, Port{Label: "p", Layer: f})
+		}, "duplicate port label"},
+		{"undeclared source component", func(b *Builder) {
+			f := b.FlowLayer()
+			b.IOPort("a", f, 100)
+			b.Connect("c", f, "ghost.port1", "a.port1")
+		}, "undeclared component"},
+		{"missing port", func(b *Builder) {
+			f := b.FlowLayer()
+			b.IOPort("a", f, 100)
+			b.IOPort("z", f, 100)
+			b.Connect("c", f, "a.nope", "z.port1")
+		}, "missing port"},
+		{"no sinks", func(b *Builder) {
+			f := b.FlowLayer()
+			b.IOPort("a", f, 100)
+			b.Connect("c", f, "a.port1")
+		}, "no sinks"},
+		{"duplicate connection", func(b *Builder) {
+			f := b.FlowLayer()
+			b.IOPort("a", f, 100)
+			b.IOPort("z", f, 100)
+			b.Connect("c", f, "a.port1", "z.port1")
+			b.Connect("c", f, "z.port1", "a.port1")
+		}, "duplicate connection"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder("bad")
+			c.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatal("Build succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestBuilderComponentOnlyTarget(t *testing.T) {
+	b := NewBuilder("d")
+	f := b.FlowLayer()
+	b.IOPort("a", f, 100)
+	b.IOPort("z", f, 100)
+	b.Connect("c", f, "a", "z") // component-only targets are legal
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d.Connections[0].Source.Port != "" {
+		t.Error("component-only target should have empty port")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on error")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Layer("", "x", LayerFlow)
+	b.MustBuild()
+}
+
+func TestBuilderParamsDroppedWhenEmpty(t *testing.T) {
+	b := NewBuilder("d")
+	b.FlowLayer()
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d.Params != nil {
+		t.Error("empty params should be nil on built device")
+	}
+}

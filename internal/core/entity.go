@@ -1,0 +1,66 @@
+package core
+
+// Entity vocabulary used across the benchmark suite. ParchMint itself
+// leaves the entity namespace open; these are the types that appear in the
+// suite's assay-derived and planar synthetic benchmarks, matching the
+// component library of the Fluigi CAD flow.
+const (
+	EntityPort           = "PORT"            // fluid I/O port on the chip edge
+	EntityMixer          = "MIXER"           // serpentine mixing channel
+	EntityDiamondChamber = "DIAMOND CHAMBER" // diamond reaction chamber
+	EntityValve          = "VALVE"           // monolithic membrane valve
+	EntityValve3D        = "VALVE3D"         // 3D valve crossing layers
+	EntityPump           = "PUMP"            // peristaltic pump (3 valves)
+	EntityRotaryPump     = "ROTARY PUMP"     // rotary mixing pump loop
+	EntityMux            = "MUX"             // binary demultiplexer tree
+	EntityTree           = "TREE"            // channel splitting tree
+	EntityGradient       = "GRADIENT"        // gradient generator lattice
+	EntityCellTrap       = "CELL TRAP"       // cell trapping chamber row
+	EntityChamber        = "CHAMBER"         // generic reaction chamber
+	EntityTransposer     = "TRANSPOSER"      // channel crossing transposer
+	EntityNode           = "NODE"            // zero-area channel junction
+)
+
+// KnownEntities lists the suite's entity vocabulary in a stable order.
+// The validator warns (but does not fail) on entities outside this set,
+// since the format itself leaves the namespace open.
+func KnownEntities() []string {
+	return []string{
+		EntityPort,
+		EntityMixer,
+		EntityDiamondChamber,
+		EntityValve,
+		EntityValve3D,
+		EntityPump,
+		EntityRotaryPump,
+		EntityMux,
+		EntityTree,
+		EntityGradient,
+		EntityCellTrap,
+		EntityChamber,
+		EntityTransposer,
+		EntityNode,
+	}
+}
+
+// IsKnownEntity reports whether entity is in the suite vocabulary.
+func IsKnownEntity(entity string) bool {
+	for _, e := range KnownEntities() {
+		if e == entity {
+			return true
+		}
+	}
+	return false
+}
+
+// IsControlEntity reports whether the entity belongs to the control
+// infrastructure of a device (valves and pumps) rather than the flow path.
+// Table 1 of the benchmark characterization counts these separately.
+func IsControlEntity(entity string) bool {
+	switch entity {
+	case EntityValve, EntityValve3D, EntityPump, EntityRotaryPump:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := testDevice(t)
+	d.Features = []Feature{
+		{Kind: FeatureComponent, ID: "mix1", Name: "mix1", Layer: "flow",
+			Location: geom.Pt(500, 500), XSpan: 2000, YSpan: 1000, Depth: 10},
+		{Kind: FeatureChannel, ID: "c1_seg0", Name: "c1", Layer: "flow",
+			Connection: "c1", Width: 100, Depth: 10,
+			Source: geom.Pt(100, 100), Sink: geom.Pt(500, 100)},
+	}
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !Equal(d, back) {
+		t.Errorf("round trip not equal:\n%s", data)
+	}
+}
+
+func TestJSONRoundTripIsByteStable(t *testing.T) {
+	d := testDevice(t)
+	first, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(first)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	second, err := Marshal(back)
+	if err != nil {
+		t.Fatalf("re-Marshal: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("JSON round trip changed bytes")
+	}
+}
+
+func TestJSONWireKeys(t *testing.T) {
+	d := testDevice(t)
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	s := string(data)
+	// ParchMint v1 uses hyphenated span keys; regressions here would break
+	// interchange with other tools.
+	for _, key := range []string{`"x-span"`, `"y-span"`, `"layers"`, `"components"`, `"connections"`, `"sinks"`, `"source"`} {
+		if !strings.Contains(s, key) {
+			t.Errorf("serialized device missing wire key %s", key)
+		}
+	}
+	if strings.Contains(s, `"XSpan"`) {
+		t.Error("Go field name leaked into wire format")
+	}
+}
+
+func TestJSONEmptyArraysNotNull(t *testing.T) {
+	d := &Device{Name: "empty"}
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	for _, key := range []string{"layers", "components", "connections"} {
+		v, ok := raw[key]
+		if !ok {
+			t.Errorf("required key %q missing", key)
+			continue
+		}
+		if string(bytes.TrimSpace(v)) == "null" {
+			t.Errorf("required array %q serialized as null", key)
+		}
+	}
+	// Optional keys stay absent when empty.
+	if _, ok := raw["features"]; ok {
+		t.Error("empty features should be omitted")
+	}
+	if _, ok := raw["params"]; ok {
+		t.Error("empty params should be omitted")
+	}
+}
+
+func TestJSONVersionEmitted(t *testing.T) {
+	data, err := Marshal(&Device{Name: "v"})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"version": "1.0"`) {
+		t.Errorf("version field missing:\n%s", data)
+	}
+}
+
+func TestFeatureUnionDecoding(t *testing.T) {
+	// A channel feature is recognized by its "connection" key.
+	chJSON := `{"name":"n1","id":"f1","layer":"flow","connection":"c9",
+		"width":120,"depth":15,"source":{"x":1,"y":2},"sink":{"x":3,"y":4},"type":"channel"}`
+	var f Feature
+	if err := json.Unmarshal([]byte(chJSON), &f); err != nil {
+		t.Fatalf("channel decode: %v", err)
+	}
+	want := Feature{Kind: FeatureChannel, ID: "f1", Name: "n1", Layer: "flow",
+		Connection: "c9", Width: 120, Depth: 15,
+		Source: geom.Pt(1, 2), Sink: geom.Pt(3, 4)}
+	if f != want {
+		t.Errorf("channel feature = %+v, want %+v", f, want)
+	}
+
+	compJSON := `{"name":"m","id":"m","layer":"flow","location":{"x":10,"y":20},
+		"x-span":100,"y-span":200,"depth":5}`
+	if err := json.Unmarshal([]byte(compJSON), &f); err != nil {
+		t.Fatalf("component decode: %v", err)
+	}
+	want = Feature{Kind: FeatureComponent, ID: "m", Name: "m", Layer: "flow",
+		Location: geom.Pt(10, 20), XSpan: 100, YSpan: 200, Depth: 5}
+	if f != want {
+		t.Errorf("component feature = %+v, want %+v", f, want)
+	}
+
+	// "type":"channel" alone (no connection id) still selects the channel arm.
+	typeOnly := `{"name":"n","id":"f","layer":"flow","type":"channel","depth":1}`
+	if err := json.Unmarshal([]byte(typeOnly), &f); err != nil {
+		t.Fatalf("type-only decode: %v", err)
+	}
+	if f.Kind != FeatureChannel {
+		t.Errorf("type-only feature decoded as %v", f.Kind)
+	}
+}
+
+func TestFeatureMarshalUnknownKind(t *testing.T) {
+	f := Feature{Kind: FeatureKind(42), ID: "x"}
+	if _, err := json.Marshal(f); err == nil {
+		t.Error("marshaling unknown feature kind should fail")
+	}
+}
+
+func TestFeatureMarshalShape(t *testing.T) {
+	comp := Feature{Kind: FeatureComponent, ID: "c", Name: "c", Layer: "flow",
+		Location: geom.Pt(1, 2), XSpan: 3, YSpan: 4, Depth: 5}
+	data, err := json.Marshal(comp)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	s := string(data)
+	if strings.Contains(s, `"connection"`) || strings.Contains(s, `"width"`) {
+		t.Errorf("component feature leaked channel keys: %s", s)
+	}
+	if !strings.Contains(s, `"location"`) {
+		t.Errorf("component feature missing location: %s", s)
+	}
+
+	ch := Feature{Kind: FeatureChannel, ID: "s", Name: "s", Layer: "flow",
+		Connection: "c1", Width: 10, Depth: 5, Source: geom.Pt(0, 0), Sink: geom.Pt(9, 0)}
+	data, err = json.Marshal(ch)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	s = string(data)
+	if strings.Contains(s, `"location"`) || strings.Contains(s, `"x-span"`) {
+		t.Errorf("channel feature leaked component keys: %s", s)
+	}
+	if !strings.Contains(s, `"type":"channel"`) {
+		t.Errorf("channel feature missing type tag: %s", s)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"name": 42}`)); err == nil {
+		t.Error("non-string name should fail decode")
+	}
+	if _, err := Unmarshal([]byte(`not json`)); err == nil {
+		t.Error("garbage should fail decode")
+	}
+	if _, err := Unmarshal([]byte(`{"components": [{"x-span": "wide"}]}`)); err == nil {
+		t.Error("non-numeric span should fail decode")
+	}
+}
+
+func TestDecodeMinimalDevice(t *testing.T) {
+	d, err := Unmarshal([]byte(`{"name":"tiny","layers":[],"components":[],"connections":[]}`))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if d.Name != "tiny" || len(d.Components) != 0 {
+		t.Errorf("decoded = %+v", d)
+	}
+}
+
+func TestEncodeDecodeStream(t *testing.T) {
+	d := testDevice(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !Equal(d, back) {
+		t.Error("stream round trip not equal")
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import "repro/internal/geom"
+
+// Index provides O(1) lookup of layers, components, and connections by ID.
+// Build one with d.Index() after the device stops changing; the index holds
+// pointers into the device's slices, so mutating the device's slice headers
+// (append, reorder) invalidates it.
+type Index struct {
+	device      *Device
+	layers      map[string]*Layer
+	components  map[string]*Component
+	connections map[string]*Connection
+}
+
+// Index builds lookup tables over the device. Duplicate IDs keep the first
+// occurrence; the validator reports duplicates as errors separately.
+func (d *Device) Index() *Index {
+	ix := &Index{
+		device:      d,
+		layers:      make(map[string]*Layer, len(d.Layers)),
+		components:  make(map[string]*Component, len(d.Components)),
+		connections: make(map[string]*Connection, len(d.Connections)),
+	}
+	for i := range d.Layers {
+		l := &d.Layers[i]
+		if _, dup := ix.layers[l.ID]; !dup {
+			ix.layers[l.ID] = l
+		}
+	}
+	for i := range d.Components {
+		c := &d.Components[i]
+		if _, dup := ix.components[c.ID]; !dup {
+			ix.components[c.ID] = c
+		}
+	}
+	for i := range d.Connections {
+		c := &d.Connections[i]
+		if _, dup := ix.connections[c.ID]; !dup {
+			ix.connections[c.ID] = c
+		}
+	}
+	return ix
+}
+
+// Layer returns the layer with the given ID, or nil.
+func (ix *Index) Layer(id string) *Layer { return ix.layers[id] }
+
+// Component returns the component with the given ID, or nil.
+func (ix *Index) Component(id string) *Component { return ix.components[id] }
+
+// Connection returns the connection with the given ID, or nil.
+func (ix *Index) Connection(id string) *Connection { return ix.connections[id] }
+
+// ResolveTarget returns the component and port a target names. The port is
+// zero-valued with ok=false when either the component or the port is missing
+// (an empty target port resolves to the component's first port, matching the
+// routers' "any port" behavior).
+func (ix *Index) ResolveTarget(t Target) (*Component, Port, bool) {
+	c := ix.components[t.Component]
+	if c == nil {
+		return nil, Port{}, false
+	}
+	if t.Port == "" {
+		if len(c.Ports) == 0 {
+			return c, Port{}, false
+		}
+		return c, c.Ports[0], true
+	}
+	p, ok := c.PortByLabel(t.Port)
+	return c, p, ok
+}
+
+// Clone returns a deep copy of the device. The copy shares no mutable state
+// with the original.
+func (d *Device) Clone() *Device {
+	out := &Device{Name: d.Name}
+	if d.Layers != nil {
+		out.Layers = make([]Layer, len(d.Layers))
+		copy(out.Layers, d.Layers)
+	}
+	if d.Components != nil {
+		out.Components = make([]Component, len(d.Components))
+		for i, c := range d.Components {
+			cc := c
+			cc.Layers = append([]string(nil), c.Layers...)
+			cc.Ports = append([]Port(nil), c.Ports...)
+			if c.Params != nil {
+				cc.Params = make(Params, len(c.Params))
+				for k, v := range c.Params {
+					cc.Params[k] = v
+				}
+			}
+			out.Components[i] = cc
+		}
+	}
+	if d.Connections != nil {
+		out.Connections = make([]Connection, len(d.Connections))
+		for i, c := range d.Connections {
+			cc := c
+			cc.Sinks = append([]Target(nil), c.Sinks...)
+			if c.Paths != nil {
+				cc.Paths = make([]ChannelPath, len(c.Paths))
+				for pi, path := range c.Paths {
+					pp := path
+					pp.Waypoints = append([]geom.Point(nil), path.Waypoints...)
+					cc.Paths[pi] = pp
+				}
+			}
+			out.Connections[i] = cc
+		}
+	}
+	if d.Features != nil {
+		out.Features = make([]Feature, len(d.Features))
+		copy(out.Features, d.Features)
+	}
+	if d.Params != nil {
+		out.Params = make(Params, len(d.Params))
+		for k, v := range d.Params {
+			out.Params[k] = v
+		}
+	}
+	if d.ValveMap != nil {
+		out.ValveMap = make(map[string]string, len(d.ValveMap))
+		for k, v := range d.ValveMap {
+			out.ValveMap[k] = v
+		}
+	}
+	if d.ValveTypes != nil {
+		out.ValveTypes = make(map[string]ValveType, len(d.ValveTypes))
+		for k, v := range d.ValveTypes {
+			out.ValveTypes[k] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether two devices are structurally identical, including
+// element order. Use Canonicalize on both first for order-insensitive
+// comparison.
+func Equal(a, b *Device) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name ||
+		len(a.Layers) != len(b.Layers) ||
+		len(a.Components) != len(b.Components) ||
+		len(a.Connections) != len(b.Connections) ||
+		len(a.Features) != len(b.Features) ||
+		len(a.Params) != len(b.Params) ||
+		len(a.ValveMap) != len(b.ValveMap) ||
+		len(a.ValveTypes) != len(b.ValveTypes) {
+		return false
+	}
+	for i := range a.Layers {
+		if a.Layers[i] != b.Layers[i] {
+			return false
+		}
+	}
+	for i := range a.Components {
+		if !componentEqual(&a.Components[i], &b.Components[i]) {
+			return false
+		}
+	}
+	for i := range a.Connections {
+		if !connectionEqual(&a.Connections[i], &b.Connections[i]) {
+			return false
+		}
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			return false
+		}
+	}
+	for k, v := range a.Params {
+		if bv, ok := b.Params[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, v := range a.ValveMap {
+		if bv, ok := b.ValveMap[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, v := range a.ValveTypes {
+		if bv, ok := b.ValveTypes[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func componentEqual(a, b *Component) bool {
+	if a.ID != b.ID || a.Name != b.Name || a.Entity != b.Entity ||
+		a.XSpan != b.XSpan || a.YSpan != b.YSpan ||
+		len(a.Layers) != len(b.Layers) || len(a.Ports) != len(b.Ports) ||
+		len(a.Params) != len(b.Params) {
+		return false
+	}
+	for k, v := range a.Params {
+		if bv, ok := b.Params[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for i := range a.Layers {
+		if a.Layers[i] != b.Layers[i] {
+			return false
+		}
+	}
+	for i := range a.Ports {
+		if a.Ports[i] != b.Ports[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func connectionEqual(a, b *Connection) bool {
+	if a.ID != b.ID || a.Name != b.Name || a.Layer != b.Layer ||
+		a.Source != b.Source || len(a.Sinks) != len(b.Sinks) ||
+		len(a.Paths) != len(b.Paths) {
+		return false
+	}
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			return false
+		}
+	}
+	for i := range a.Paths {
+		if !pathEqual(&a.Paths[i], &b.Paths[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func pathEqual(a, b *ChannelPath) bool {
+	if a.Source != b.Source || a.Sink != b.Sink || len(a.Waypoints) != len(b.Waypoints) {
+		return false
+	}
+	for i := range a.Waypoints {
+		if a.Waypoints[i] != b.Waypoints[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestIndexLookups(t *testing.T) {
+	d := testDevice(t)
+	ix := d.Index()
+	if ix.Layer("flow") == nil || ix.Layer("control") == nil {
+		t.Error("layer lookup failed")
+	}
+	if ix.Layer("nope") != nil {
+		t.Error("missing layer should be nil")
+	}
+	if c := ix.Component("mix1"); c == nil || c.Entity != EntityMixer {
+		t.Errorf("Component(mix1) = %+v", c)
+	}
+	if ix.Component("ghost") != nil {
+		t.Error("missing component should be nil")
+	}
+	if cn := ix.Connection("c2"); cn == nil || cn.Source.Component != "mix1" {
+		t.Errorf("Connection(c2) = %+v", cn)
+	}
+	if ix.Connection("ghost") != nil {
+		t.Error("missing connection should be nil")
+	}
+}
+
+func TestIndexDuplicateKeepsFirst(t *testing.T) {
+	d := &Device{
+		Components: []Component{
+			{ID: "dup", Name: "first"},
+			{ID: "dup", Name: "second"},
+		},
+	}
+	ix := d.Index()
+	if got := ix.Component("dup"); got == nil || got.Name != "first" {
+		t.Errorf("duplicate lookup = %+v, want first occurrence", got)
+	}
+}
+
+func TestResolveTarget(t *testing.T) {
+	d := testDevice(t)
+	ix := d.Index()
+
+	c, p, ok := ix.ResolveTarget(Target{Component: "v1", Port: "ctl"})
+	if !ok || c.ID != "v1" || p.Layer != "control" {
+		t.Errorf("ResolveTarget = %v %+v %v", c, p, ok)
+	}
+
+	// Empty port resolves to the first port.
+	c, p, ok = ix.ResolveTarget(Target{Component: "mix1"})
+	if !ok || p.Label != "port1" {
+		t.Errorf("empty-port resolve = %+v %v", p, ok)
+	}
+
+	// Missing component.
+	if _, _, ok := ix.ResolveTarget(Target{Component: "ghost"}); ok {
+		t.Error("missing component should not resolve")
+	}
+	// Missing port on existing component.
+	if _, _, ok := ix.ResolveTarget(Target{Component: "mix1", Port: "nope"}); ok {
+		t.Error("missing port should not resolve")
+	}
+}
+
+func TestResolveTargetPortlessComponent(t *testing.T) {
+	d := &Device{Components: []Component{{ID: "bare"}}}
+	ix := d.Index()
+	c, _, ok := ix.ResolveTarget(Target{Component: "bare"})
+	if ok {
+		t.Error("component without ports cannot resolve an any-port target")
+	}
+	if c == nil {
+		t.Error("component itself should still be returned")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := testDevice(t)
+	d.Features = []Feature{{Kind: FeatureComponent, ID: "mix1", Layer: "flow", XSpan: 1, YSpan: 1}}
+	c := d.Clone()
+	if !Equal(d, c) {
+		t.Fatal("clone not equal to original")
+	}
+	// Mutate every nested collection of the clone; original must not move.
+	c.Components[0].Ports[0].X = 9999
+	c.Components[0].Layers[0] = "mutated"
+	c.Connections[0].Sinks[0].Component = "mutated"
+	c.Features[0].XSpan = 9999
+	c.Params["channelWidth"] = -1
+	c.Layers[0].Name = "mutated"
+	if d.Components[0].Ports[0].X == 9999 {
+		t.Error("clone shares port storage")
+	}
+	if d.Components[0].Layers[0] == "mutated" {
+		t.Error("clone shares layer-list storage")
+	}
+	if d.Connections[0].Sinks[0].Component == "mutated" {
+		t.Error("clone shares sink storage")
+	}
+	if d.Features[0].XSpan == 9999 {
+		t.Error("clone shares feature storage")
+	}
+	if d.Params["channelWidth"] == -1 {
+		t.Error("clone shares params map")
+	}
+	if d.Layers[0].Name == "mutated" {
+		t.Error("clone shares layer storage")
+	}
+}
+
+func TestCloneNilCollections(t *testing.T) {
+	d := &Device{Name: "sparse"}
+	c := d.Clone()
+	if c.Layers != nil || c.Components != nil || c.Params != nil {
+		t.Error("clone invented collections")
+	}
+	if !Equal(d, c) {
+		t.Error("sparse clone not equal")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := testDevice(t)
+	b := testDevice(t)
+	if !Equal(a, b) {
+		t.Fatal("identical constructions should be equal")
+	}
+	if !Equal(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if Equal(a, nil) || Equal(nil, b) {
+		t.Error("device != nil")
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(d *Device)
+	}{
+		{"name", func(d *Device) { d.Name = "other" }},
+		{"layer", func(d *Device) { d.Layers[0].Type = LayerControl }},
+		{"component span", func(d *Device) { d.Components[2].XSpan++ }},
+		{"port", func(d *Device) { d.Components[2].Ports[0].Y++ }},
+		{"component layers", func(d *Device) { d.Components[0].Layers[0] = "x" }},
+		{"connection source", func(d *Device) { d.Connections[0].Source.Port = "x" }},
+		{"sink", func(d *Device) { d.Connections[0].Sinks[0].Component = "x" }},
+		{"extra sink", func(d *Device) {
+			d.Connections[0].Sinks = append(d.Connections[0].Sinks, Target{Component: "out"})
+		}},
+		{"param value", func(d *Device) { d.Params["channelWidth"] = 7 }},
+		{"param key", func(d *Device) {
+			delete(d.Params, "channelWidth")
+			d.Params["other"] = 100
+		}},
+		{"extra component", func(d *Device) {
+			d.Components = append(d.Components, Component{ID: "new"})
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := a.Clone()
+			m.mut(c)
+			if Equal(a, c) {
+				t.Errorf("mutation %q not detected by Equal", m.name)
+			}
+		})
+	}
+}
+
+func TestEqualFeatures(t *testing.T) {
+	a := testDevice(t)
+	a.Features = []Feature{{Kind: FeatureChannel, ID: "f", Connection: "c1", Width: 10}}
+	b := a.Clone()
+	if !Equal(a, b) {
+		t.Fatal("clones with features should be equal")
+	}
+	b.Features[0].Width = 20
+	if Equal(a, b) {
+		t.Error("feature width change not detected")
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	// Build two devices with the same content in different orders.
+	mk := func(reverse bool) *Device {
+		d := &Device{
+			Name: "canon",
+			Layers: []Layer{
+				{ID: "b", Name: "b", Type: LayerControl},
+				{ID: "a", Name: "a", Type: LayerFlow},
+			},
+			Components: []Component{
+				{ID: "c2", Layers: []string{"b", "a"}, Ports: []Port{{Label: "z"}, {Label: "a"}}},
+				{ID: "c1", Layers: []string{"a"}},
+			},
+			Connections: []Connection{
+				{ID: "n2", Source: Target{Component: "c1"},
+					Sinks: []Target{{Component: "c2", Port: "z"}, {Component: "c2", Port: "a"}}},
+				{ID: "n1", Source: Target{Component: "c2"}, Sinks: []Target{{Component: "c1"}}},
+			},
+		}
+		if reverse {
+			d.Layers[0], d.Layers[1] = d.Layers[1], d.Layers[0]
+			d.Components[0], d.Components[1] = d.Components[1], d.Components[0]
+			d.Connections[0], d.Connections[1] = d.Connections[1], d.Connections[0]
+		}
+		return d
+	}
+	a, b := mk(false), mk(true)
+	if Equal(a, b) {
+		t.Fatal("differently ordered devices should differ before canonicalization")
+	}
+	a.Canonicalize()
+	b.Canonicalize()
+	if !Equal(a, b) {
+		t.Error("canonicalization should make order-permuted devices equal")
+	}
+	// Spot-check the canonical order.
+	if a.Layers[0].ID != "a" || a.Components[0].ID != "c1" || a.Connections[0].ID != "n1" {
+		t.Errorf("canonical top-level order wrong: %+v", a)
+	}
+	c2 := a.Index().Component("c2")
+	if c2.Ports[0].Label != "a" || c2.Layers[0] != "a" {
+		t.Errorf("canonical nested order wrong: %+v", c2)
+	}
+	n2 := a.Index().Connection("n2")
+	if n2.Sinks[0].Port != "a" {
+		t.Errorf("canonical sink order wrong: %+v", n2.Sinks)
+	}
+}
+
+func TestCanonicalizeChannelSegments(t *testing.T) {
+	d := &Device{
+		Name: "segs",
+		Features: []Feature{
+			{Kind: FeatureChannel, ID: "c1", Source: geomPt(10, 0), Sink: geomPt(20, 0)},
+			{Kind: FeatureChannel, ID: "c1", Source: geomPt(0, 0), Sink: geomPt(10, 0)},
+		},
+	}
+	d.Canonicalize()
+	if d.Features[0].Source != geomPt(0, 0) {
+		t.Errorf("segments not ordered geometrically: %+v", d.Features)
+	}
+}
+
+func geomPt(x, y int64) geom.Point { return geom.Pt(x, y) }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// randomDevice generates an arbitrary (valid) device from a seed: a
+// random-but-wellformed netlist used for property-based round-trip tests.
+func randomDevice(seed uint64) *Device {
+	r := xrand.New(seed)
+	b := NewBuilder(fmt.Sprintf("fuzz_%d", seed))
+	flow := b.FlowLayer()
+	layers := []string{flow}
+	if r.Intn(2) == 0 {
+		layers = append(layers, b.ControlLayer())
+	}
+	nComps := 2 + r.Intn(10)
+	type portRef struct{ comp, port, layer string }
+	var ports []portRef
+	for i := 0; i < nComps; i++ {
+		id := fmt.Sprintf("c%d", i)
+		layer := layers[r.Intn(len(layers))]
+		switch r.Intn(3) {
+		case 0:
+			b.IOPort(id, layer, 100+int64(r.Intn(5))*50)
+			ports = append(ports, portRef{id, "port1", layer})
+		case 1:
+			b.TwoPort(id, EntityMixer, layer, 500+int64(r.Intn(20))*100, 400+int64(r.Intn(10))*100)
+			ports = append(ports, portRef{id, "port1", layer}, portRef{id, "port2", layer})
+		default:
+			x := 200 + int64(r.Intn(10))*100
+			y := 200 + int64(r.Intn(10))*100
+			b.Component(id, EntityChamber, []string{layer}, x, y,
+				Port{Label: "port1", Layer: layer, X: 0, Y: y / 2},
+				Port{Label: "port2", Layer: layer, X: x, Y: y / 2},
+				Port{Label: "port3", Layer: layer, X: x / 2, Y: 0},
+			)
+			ports = append(ports, portRef{id, "port1", layer},
+				portRef{id, "port2", layer}, portRef{id, "port3", layer})
+		}
+	}
+	nConns := 1 + r.Intn(8)
+	for i := 0; i < nConns; i++ {
+		src := ports[r.Intn(len(ports))]
+		var sinks []string
+		for k := 0; k < 1+r.Intn(3); k++ {
+			t := ports[r.Intn(len(ports))]
+			if t.layer == src.layer {
+				sinks = append(sinks, t.comp+"."+t.port)
+			}
+		}
+		if len(sinks) == 0 {
+			sinks = []string{src.comp + "." + src.port}
+		}
+		b.Connect(fmt.Sprintf("n%d", i), src.layer, src.comp+"."+src.port, sinks...)
+	}
+	if r.Intn(2) == 0 {
+		b.Param("channelWidth", float64(50+r.Intn(200)))
+	}
+	return b.MustBuild()
+}
+
+// TestQuickJSONRoundTrip: every generated device survives JSON losslessly.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		d := randomDevice(seed)
+		data, err := Marshal(d)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return Equal(d, back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCanonicalizeIdempotent: canonicalization is a fixed point.
+func TestQuickCanonicalizeIdempotent(t *testing.T) {
+	prop := func(seed uint64) bool {
+		d := randomDevice(seed)
+		d.Canonicalize()
+		once := d.Clone()
+		d.Canonicalize()
+		return Equal(once, d)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneEqual: clones are equal and independent.
+func TestQuickCloneEqual(t *testing.T) {
+	prop := func(seed uint64) bool {
+		d := randomDevice(seed)
+		c := d.Clone()
+		if !Equal(d, c) {
+			return false
+		}
+		// Mutating the clone must not affect the original.
+		if len(c.Components) > 0 {
+			c.Components[0].XSpan += 12345
+		}
+		return !Equal(d, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMarshalStability: marshal(unmarshal(marshal(d))) is
+// byte-identical to marshal(d).
+func TestQuickMarshalStability(t *testing.T) {
+	prop := func(seed uint64) bool {
+		d := randomDevice(seed)
+		b1, err := Marshal(d)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(b1)
+		if err != nil {
+			return false
+		}
+		b2, err := Marshal(back)
+		if err != nil {
+			return false
+		}
+		return string(b1) == string(b2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// v12Device builds a device carrying every v1.2 construct.
+func v12Device(t testing.TB) *Device {
+	t.Helper()
+	b := NewBuilder("v12")
+	flow := b.FlowLayer()
+	b.IOPort("in", flow, 200)
+	b.IOPort("out", flow, 200)
+	b.Component("v1", EntityValve, []string{flow}, 300, 300,
+		Port{Label: "port1", Layer: flow, X: 0, Y: 150},
+		Port{Label: "port2", Layer: flow, X: 300, Y: 150},
+	)
+	b.Connect("c1", flow, "in.port1", "v1.port1")
+	b.Connect("c2", flow, "v1.port2", "out.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Components[2].Params = Params{"rotation": 90}
+	d.Connections[0].Paths = []ChannelPath{{
+		Source:    geom.Pt(100, 100),
+		Sink:      geom.Pt(500, 300),
+		Waypoints: []geom.Point{geom.Pt(500, 100)},
+	}}
+	if err := d.SetValve("v1", "c1", ValveNormallyClosed); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestUsesV12(t *testing.T) {
+	plain := testDevice(t)
+	if plain.UsesV12() {
+		t.Error("v1 device claims v1.2 content")
+	}
+	if !v12Device(t).UsesV12() {
+		t.Error("v1.2 device not detected")
+	}
+	// Each v1.2 construct alone triggers detection.
+	d := testDevice(t)
+	d.Components[0].Params = Params{"x": 1}
+	if !d.UsesV12() {
+		t.Error("component params not detected")
+	}
+	d = testDevice(t)
+	d.Connections[0].Paths = []ChannelPath{{}}
+	if !d.UsesV12() {
+		t.Error("paths not detected")
+	}
+}
+
+func TestV12VersionEmission(t *testing.T) {
+	plain, err := Marshal(testDevice(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(plain), `"version": "1.0"`) {
+		t.Error("v1 device should emit version 1.0")
+	}
+	rich, err := Marshal(v12Device(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rich), `"version": "1.2"`) {
+		t.Error("v1.2 device should emit version 1.2")
+	}
+	for _, key := range []string{`"valveMap"`, `"valveTypeMap"`, `"paths"`, `"wayPoints"`, `"NORMALLY_CLOSED"`} {
+		if !strings.Contains(string(rich), key) {
+			t.Errorf("v1.2 output missing %s", key)
+		}
+	}
+}
+
+func TestV12RoundTrip(t *testing.T) {
+	d := v12Device(t)
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(d, back) {
+		t.Errorf("v1.2 round trip changed the device:\n%s", data)
+	}
+}
+
+func TestV12CloneDeep(t *testing.T) {
+	d := v12Device(t)
+	c := d.Clone()
+	if !Equal(d, c) {
+		t.Fatal("clone differs")
+	}
+	c.Components[2].Params["rotation"] = 180
+	c.Connections[0].Paths[0].Waypoints[0] = geom.Pt(9, 9)
+	c.ValveMap["v1"] = "c2"
+	c.ValveTypes["v1"] = ValveNormallyOpen
+	if d.Components[2].Params["rotation"] != 90 {
+		t.Error("clone shares component params")
+	}
+	if d.Connections[0].Paths[0].Waypoints[0] == geom.Pt(9, 9) {
+		t.Error("clone shares path waypoints")
+	}
+	if d.ValveMap["v1"] != "c1" || d.ValveTypes["v1"] != ValveNormallyClosed {
+		t.Error("clone shares valve maps")
+	}
+}
+
+func TestV12EqualDetectsChanges(t *testing.T) {
+	base := v12Device(t)
+	mutations := []struct {
+		name string
+		mut  func(d *Device)
+	}{
+		{"component param", func(d *Device) { d.Components[2].Params["rotation"] = 45 }},
+		{"path waypoint", func(d *Device) { d.Connections[0].Paths[0].Waypoints[0].X++ }},
+		{"path sink", func(d *Device) { d.Connections[0].Paths[0].Sink.Y++ }},
+		{"extra path", func(d *Device) {
+			d.Connections[0].Paths = append(d.Connections[0].Paths, ChannelPath{})
+		}},
+		{"valve map", func(d *Device) { d.ValveMap["v1"] = "c2" }},
+		{"valve type", func(d *Device) { d.ValveTypes["v1"] = ValveNormallyOpen }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := base.Clone()
+			m.mut(c)
+			if Equal(base, c) {
+				t.Error("mutation not detected")
+			}
+		})
+	}
+}
+
+func TestChannelPathGeometry(t *testing.T) {
+	p := ChannelPath{
+		Source:    geom.Pt(0, 0),
+		Sink:      geom.Pt(100, 50),
+		Waypoints: []geom.Point{geom.Pt(100, 0)},
+	}
+	pts := p.Points()
+	if len(pts) != 3 || pts[0] != geom.Pt(0, 0) || pts[2] != geom.Pt(100, 50) {
+		t.Errorf("Points = %v", pts)
+	}
+	if p.Length() != 150 {
+		t.Errorf("Length = %d, want 150", p.Length())
+	}
+	empty := ChannelPath{Source: geom.Pt(5, 5), Sink: geom.Pt(5, 5)}
+	if empty.Length() != 0 {
+		t.Errorf("degenerate Length = %d", empty.Length())
+	}
+}
+
+func TestSetValveErrors(t *testing.T) {
+	d := v12Device(t)
+	if err := d.SetValve("ghost", "c1", ValveNormallyOpen); err == nil {
+		t.Error("unknown valve should fail")
+	}
+	if err := d.SetValve("v1", "ghost", ValveNormallyOpen); err == nil {
+		t.Error("unknown connection should fail")
+	}
+}
+
+func TestPathsFromFeatures(t *testing.T) {
+	d := testDevice(t)
+	d.Features = []Feature{
+		// Two chained segments of c1 (corner), then one segment of c2.
+		{Kind: FeatureChannel, ID: "c1_seg0", Connection: "c1", Layer: "flow",
+			Width: 100, Source: geom.Pt(0, 0), Sink: geom.Pt(100, 0)},
+		{Kind: FeatureChannel, ID: "c1_seg1", Connection: "c1", Layer: "flow",
+			Width: 100, Source: geom.Pt(100, 0), Sink: geom.Pt(100, 200)},
+		{Kind: FeatureChannel, ID: "c2_seg0", Connection: "c2", Layer: "flow",
+			Width: 100, Source: geom.Pt(500, 0), Sink: geom.Pt(700, 0)},
+		// Disconnected second arm of c1: becomes a second path.
+		{Kind: FeatureChannel, ID: "c1_seg2", Connection: "c1", Layer: "flow",
+			Width: 100, Source: geom.Pt(300, 300), Sink: geom.Pt(400, 300)},
+	}
+	paths := d.PathsFromFeatures()
+	if len(paths["c1"]) != 2 {
+		t.Fatalf("c1 paths = %d, want 2", len(paths["c1"]))
+	}
+	first := paths["c1"][0]
+	if first.Source != geom.Pt(0, 0) || first.Sink != geom.Pt(100, 200) {
+		t.Errorf("chained path = %+v", first)
+	}
+	if len(first.Waypoints) != 1 || first.Waypoints[0] != geom.Pt(100, 0) {
+		t.Errorf("waypoints = %v", first.Waypoints)
+	}
+	if len(paths["c2"]) != 1 {
+		t.Errorf("c2 paths = %d", len(paths["c2"]))
+	}
+
+	n := d.AttachPaths()
+	if n != 2 {
+		t.Errorf("AttachPaths = %d connections, want 2", n)
+	}
+	ix := d.Index()
+	if len(ix.Connection("c1").Paths) != 2 {
+		t.Errorf("c1 connection paths = %d", len(ix.Connection("c1").Paths))
+	}
+	if !d.UsesV12() {
+		t.Error("device with paths should be v1.2")
+	}
+}

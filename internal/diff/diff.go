@@ -1,0 +1,304 @@
+// Package diff computes structural differences between two ParchMint
+// devices, keyed by element ID. When researchers exchange benchmark
+// revisions, the diff answers "what changed" at the netlist level —
+// added/removed/modified layers, components, connections, and features —
+// independent of element order or formatting.
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Kind classifies one difference.
+type Kind string
+
+// Difference kinds.
+const (
+	Added    Kind = "added"
+	Removed  Kind = "removed"
+	Modified Kind = "modified"
+)
+
+// Entry is one difference.
+type Entry struct {
+	Kind Kind
+	// Section is "layer", "component", "connection", "feature", "param",
+	// or "device".
+	Section string
+	// ID identifies the element within its section.
+	ID string
+	// Detail describes what changed for Modified entries.
+	Detail string
+}
+
+// String renders "kind section id (detail)".
+func (e Entry) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%s %s %s", e.Kind, e.Section, e.ID)
+	}
+	return fmt.Sprintf("%s %s %s: %s", e.Kind, e.Section, e.ID, e.Detail)
+}
+
+// Report is a full device comparison.
+type Report struct {
+	A, B    string // device names
+	Entries []Entry
+}
+
+// Same reports whether no differences were found.
+func (r *Report) Same() bool { return len(r.Entries) == 0 }
+
+// Count returns the number of entries of one kind.
+func (r *Report) Count(k Kind) int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the report, one entry per line.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "diff %q -> %q: %d difference(s)\n", r.A, r.B, len(r.Entries))
+	for _, e := range r.Entries {
+		sb.WriteString("  ")
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (r *Report) add(kind Kind, section, id, detail string) {
+	r.Entries = append(r.Entries, Entry{Kind: kind, Section: section, ID: id, Detail: detail})
+}
+
+// Devices compares two devices structurally by ID. Element order never
+// matters; two canonicalization-equal devices always diff empty.
+func Devices(a, b *core.Device) *Report {
+	r := &Report{A: a.Name, B: b.Name}
+	if a.Name != b.Name {
+		r.add(Modified, "device", "name", fmt.Sprintf("%q -> %q", a.Name, b.Name))
+	}
+
+	diffSection(r, "layer",
+		keysOf(a.Layers, func(l core.Layer) string { return l.ID }),
+		keysOf(b.Layers, func(l core.Layer) string { return l.ID }),
+		func(id string) string {
+			la, lb := layerByID(a, id), layerByID(b, id)
+			if *la != *lb {
+				return fmt.Sprintf("%+v -> %+v", *la, *lb)
+			}
+			return ""
+		})
+
+	diffSection(r, "component",
+		keysOf(a.Components, func(c core.Component) string { return c.ID }),
+		keysOf(b.Components, func(c core.Component) string { return c.ID }),
+		func(id string) string {
+			return describeComponentChange(a.Index().Component(id), b.Index().Component(id))
+		})
+
+	diffSection(r, "connection",
+		keysOf(a.Connections, func(c core.Connection) string { return c.ID }),
+		keysOf(b.Connections, func(c core.Connection) string { return c.ID }),
+		func(id string) string {
+			return describeConnectionChange(a.Index().Connection(id), b.Index().Connection(id))
+		})
+
+	diffSection(r, "feature",
+		featureKeys(a), featureKeys(b),
+		func(id string) string {
+			fa, fb := featureByKey(a, id), featureByKey(b, id)
+			if *fa != *fb {
+				return "geometry changed"
+			}
+			return ""
+		})
+
+	diffParams(r, a.Params, b.Params)
+	return r
+}
+
+// diffSection walks the union of IDs, emitting added/removed/modified.
+func diffSection(r *Report, section string, aIDs, bIDs []string, describe func(id string) string) {
+	inA := toSet(aIDs)
+	inB := toSet(bIDs)
+	for _, id := range aIDs {
+		if !inB[id] {
+			r.add(Removed, section, id, "")
+		} else if d := describe(id); d != "" {
+			r.add(Modified, section, id, d)
+		}
+	}
+	for _, id := range bIDs {
+		if !inA[id] {
+			r.add(Added, section, id, "")
+		}
+	}
+}
+
+func keysOf[T any](s []T, key func(T) string) []string {
+	out := make([]string, 0, len(s))
+	seen := map[string]bool{}
+	for _, v := range s {
+		k := key(v)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func toSet(s []string) map[string]bool {
+	m := make(map[string]bool, len(s))
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}
+
+func layerByID(d *core.Device, id string) *core.Layer {
+	for i := range d.Layers {
+		if d.Layers[i].ID == id {
+			return &d.Layers[i]
+		}
+	}
+	return nil
+}
+
+// featureKeys builds stable keys for features: id plus geometry for
+// channel segments (segment IDs alone may repeat across connections).
+func featureKeys(d *core.Device) []string {
+	out := make([]string, 0, len(d.Features))
+	seen := map[string]bool{}
+	for i := range d.Features {
+		k := featureKey(&d.Features[i])
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func featureKey(f *core.Feature) string {
+	if f.Kind == core.FeatureChannel {
+		return fmt.Sprintf("%s@%v-%v", f.ID, f.Source, f.Sink)
+	}
+	return f.ID
+}
+
+func featureByKey(d *core.Device, key string) *core.Feature {
+	for i := range d.Features {
+		if featureKey(&d.Features[i]) == key {
+			return &d.Features[i]
+		}
+	}
+	return nil
+}
+
+func describeComponentChange(a, b *core.Component) string {
+	if a == nil || b == nil {
+		return ""
+	}
+	var changes []string
+	if a.Entity != b.Entity {
+		changes = append(changes, fmt.Sprintf("entity %s -> %s", a.Entity, b.Entity))
+	}
+	if a.XSpan != b.XSpan || a.YSpan != b.YSpan {
+		changes = append(changes, fmt.Sprintf("spans %dx%d -> %dx%d", a.XSpan, a.YSpan, b.XSpan, b.YSpan))
+	}
+	if !equalStrings(a.Layers, b.Layers) {
+		changes = append(changes, fmt.Sprintf("layers %v -> %v", a.Layers, b.Layers))
+	}
+	if len(a.Ports) != len(b.Ports) {
+		changes = append(changes, fmt.Sprintf("ports %d -> %d", len(a.Ports), len(b.Ports)))
+	} else {
+		for i := range a.Ports {
+			if a.Ports[i] != b.Ports[i] {
+				changes = append(changes, fmt.Sprintf("port %s moved", a.Ports[i].Label))
+				break
+			}
+		}
+	}
+	if a.Name != b.Name {
+		changes = append(changes, fmt.Sprintf("name %q -> %q", a.Name, b.Name))
+	}
+	return strings.Join(changes, "; ")
+}
+
+func describeConnectionChange(a, b *core.Connection) string {
+	if a == nil || b == nil {
+		return ""
+	}
+	var changes []string
+	if a.Layer != b.Layer {
+		changes = append(changes, fmt.Sprintf("layer %s -> %s", a.Layer, b.Layer))
+	}
+	if a.Source != b.Source {
+		changes = append(changes, fmt.Sprintf("source %s -> %s", a.Source, b.Source))
+	}
+	if !equalTargets(a.Sinks, b.Sinks) {
+		changes = append(changes, fmt.Sprintf("sinks %v -> %v", a.Sinks, b.Sinks))
+	}
+	return strings.Join(changes, "; ")
+}
+
+func diffParams(r *Report, a, b core.Params) {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		av, inA := a[k]
+		bv, inB := b[k]
+		switch {
+		case !inA:
+			r.add(Added, "param", k, fmt.Sprintf("= %v", bv))
+		case !inB:
+			r.add(Removed, "param", k, "")
+		case av != bv:
+			r.add(Modified, "param", k, fmt.Sprintf("%v -> %v", av, bv))
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalTargets(a, b []core.Target) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func device(t testing.TB) *core.Device {
+	t.Helper()
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestIdenticalDevicesDiffEmpty(t *testing.T) {
+	a, b := device(t), device(t)
+	r := Devices(a, b)
+	if !r.Same() {
+		t.Errorf("identical devices differ:\n%s", r)
+	}
+	if !strings.Contains(r.String(), "0 difference(s)") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestOrderInsensitive(t *testing.T) {
+	a := device(t)
+	b := device(t)
+	// Reverse b's component and connection order.
+	for i, j := 0, len(b.Components)-1; i < j; i, j = i+1, j-1 {
+		b.Components[i], b.Components[j] = b.Components[j], b.Components[i]
+	}
+	for i, j := 0, len(b.Connections)-1; i < j; i, j = i+1, j-1 {
+		b.Connections[i], b.Connections[j] = b.Connections[j], b.Connections[i]
+	}
+	if r := Devices(a, b); !r.Same() {
+		t.Errorf("reordered device differs:\n%s", r)
+	}
+}
+
+func TestAddedRemoved(t *testing.T) {
+	a := device(t)
+	b := device(t)
+	b.Components = append(b.Components, core.Component{
+		ID: "extra", Entity: core.EntityChamber, Layers: []string{"flow"}, XSpan: 10, YSpan: 10,
+	})
+	b.Connections = b.Connections[:len(b.Connections)-1]
+	r := Devices(a, b)
+	if r.Count(Added) != 1 || r.Count(Removed) != 1 {
+		t.Errorf("added/removed = %d/%d:\n%s", r.Count(Added), r.Count(Removed), r)
+	}
+	found := false
+	for _, e := range r.Entries {
+		if e.Kind == Added && e.Section == "component" && e.ID == "extra" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added component not reported:\n%s", r)
+	}
+}
+
+func TestModifiedComponent(t *testing.T) {
+	a := device(t)
+	b := device(t)
+	ix := b.Index()
+	ix.Component("mix1").XSpan = 9999
+	ix.Component("v_in1").Entity = core.EntityPump
+	ix.Component("in1").Ports[0].X = 1
+	r := Devices(a, b)
+	if r.Count(Modified) != 3 {
+		t.Errorf("modified = %d:\n%s", r.Count(Modified), r)
+	}
+	joined := r.String()
+	for _, frag := range []string{"spans", "entity VALVE -> PUMP", "port port1 moved"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("missing %q in:\n%s", frag, joined)
+		}
+	}
+}
+
+func TestModifiedConnectionAndLayer(t *testing.T) {
+	a := device(t)
+	b := device(t)
+	b.Connections[0].Sinks = append(b.Connections[0].Sinks, core.Target{Component: "out"})
+	b.Layers[0].Type = core.LayerControl
+	r := Devices(a, b)
+	if r.Count(Modified) != 2 {
+		t.Errorf("modified = %d:\n%s", r.Count(Modified), r)
+	}
+}
+
+func TestDeviceNameChange(t *testing.T) {
+	a := device(t)
+	b := device(t)
+	b.Name = "renamed"
+	r := Devices(a, b)
+	if r.Count(Modified) != 1 || r.Entries[0].Section != "device" {
+		t.Errorf("name change = %+v", r.Entries)
+	}
+}
+
+func TestParamsDiff(t *testing.T) {
+	a := device(t)
+	b := device(t)
+	a.Params = core.Params{"keep": 1, "drop": 2, "change": 3}
+	b.Params = core.Params{"keep": 1, "change": 4, "new": 5}
+	r := Devices(a, b)
+	if r.Count(Added) != 1 || r.Count(Removed) != 1 || r.Count(Modified) != 1 {
+		t.Errorf("param diff = %+v", r.Entries)
+	}
+}
+
+func TestFeatureDiff(t *testing.T) {
+	a := device(t)
+	b := device(t)
+	a.Features = []core.Feature{
+		{Kind: core.FeatureComponent, ID: "mix1", Layer: "flow", Location: geom.Pt(0, 0), XSpan: 2000, YSpan: 1000},
+	}
+	b.Features = []core.Feature{
+		{Kind: core.FeatureComponent, ID: "mix1", Layer: "flow", Location: geom.Pt(500, 0), XSpan: 2000, YSpan: 1000},
+		{Kind: core.FeatureChannel, ID: "c1_seg0", Connection: "f_in1", Layer: "flow",
+			Width: 100, Source: geom.Pt(0, 0), Sink: geom.Pt(10, 0)},
+	}
+	r := Devices(a, b)
+	if r.Count(Modified) != 1 || r.Count(Added) != 1 {
+		t.Errorf("feature diff = %+v", r.Entries)
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{Kind: Added, Section: "component", ID: "x"}
+	if e.String() != "added component x" {
+		t.Errorf("String = %q", e.String())
+	}
+	e = Entry{Kind: Modified, Section: "param", ID: "w", Detail: "1 -> 2"}
+	if e.String() != "modified param w: 1 -> 2" {
+		t.Errorf("String = %q", e.String())
+	}
+}

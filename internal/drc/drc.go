@@ -1,0 +1,292 @@
+// Package drc implements physical design-rule checking for
+// feature-annotated ParchMint devices: the geometric layer of validation
+// that complements package validate's netlist rules. It checks minimum
+// channel width, channel-to-channel clearance, channel crossings, channel
+// incursions into unrelated components, and component-to-component
+// clearance — the rules a fabricated continuous-flow device must satisfy.
+package drc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Rule identifies a design rule.
+type Rule string
+
+// The rule set.
+const (
+	// RuleMinWidth: channel width below the process minimum.
+	RuleMinWidth Rule = "min-width"
+	// RuleSpacing: two channels of different nets closer than the minimum
+	// clearance.
+	RuleSpacing Rule = "channel-spacing"
+	// RuleCrossing: two channels of different nets overlapping on one layer.
+	RuleCrossing Rule = "channel-crossing"
+	// RuleIncursion: a channel running through a component it does not
+	// connect to.
+	RuleIncursion Rule = "component-incursion"
+	// RuleClearance: two placed components closer than the minimum
+	// clearance.
+	RuleClearance Rule = "component-clearance"
+)
+
+// Rules tunes the process design rules, in micrometers.
+type Rules struct {
+	// MinChannelWidth is the narrowest fabricable channel; 0 means 50.
+	MinChannelWidth int64
+	// MinChannelSpacing is the smallest channel-to-channel gap; 0 means 50.
+	MinChannelSpacing int64
+	// MinComponentClearance is the smallest component-to-component gap;
+	// 0 means 100.
+	MinComponentClearance int64
+}
+
+func (r Rules) minWidth() int64 {
+	if r.MinChannelWidth <= 0 {
+		return 50
+	}
+	return r.MinChannelWidth
+}
+
+func (r Rules) minSpacing() int64 {
+	if r.MinChannelSpacing <= 0 {
+		return 50
+	}
+	return r.MinChannelSpacing
+}
+
+func (r Rules) minClearance() int64 {
+	if r.MinComponentClearance <= 0 {
+		return 100
+	}
+	return r.MinComponentClearance
+}
+
+// Violation is one design-rule hit.
+type Violation struct {
+	Rule Rule
+	// A, B name the offending features (B empty for single-feature rules).
+	A, B string
+	// Layer is where the violation sits.
+	Layer string
+	// Message describes the measurement.
+	Message string
+}
+
+// String renders "rule [layer] A x B: message".
+func (v Violation) String() string {
+	who := v.A
+	if v.B != "" {
+		who += " x " + v.B
+	}
+	return fmt.Sprintf("%s [%s] %s: %s", v.Rule, v.Layer, who, v.Message)
+}
+
+// Report is the result of one DRC run.
+type Report struct {
+	Device     string
+	Violations []Violation
+}
+
+// Clean reports whether no rule fired.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// CountRule returns the number of violations of one rule.
+func (r *Report) CountRule(rule Rule) int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the report, one violation per line.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "drc %q: %d violation(s)\n", r.Device, len(r.Violations))
+	for _, v := range r.Violations {
+		sb.WriteString("  ")
+		sb.WriteString(v.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// thickSeg is a channel segment expanded to its physical extent.
+type thickSeg struct {
+	conn  string
+	layer string
+	id    string
+	box   geom.Rect
+}
+
+// Check runs the rule set over a device's features.
+func Check(d *core.Device, rules Rules) *Report {
+	rep := &Report{Device: d.Name}
+
+	// Channel segments as physical boxes.
+	var segs []thickSeg
+	var comps []*core.Feature
+	for i := range d.Features {
+		f := &d.Features[i]
+		switch f.Kind {
+		case core.FeatureChannel:
+			if f.Width < rules.minWidth() {
+				rep.add(Violation{
+					Rule: RuleMinWidth, A: f.ID, Layer: f.Layer,
+					Message: fmt.Sprintf("width %d um below minimum %d um", f.Width, rules.minWidth()),
+				})
+			}
+			segs = append(segs, thickSeg{
+				conn:  f.Connection,
+				layer: f.Layer,
+				id:    f.ID,
+				box:   f.Footprint().Inflate(f.Width / 2),
+			})
+		case core.FeatureComponent:
+			comps = append(comps, f)
+		}
+	}
+
+	checkChannelPairs(rep, d, segs, rules)
+	checkIncursions(rep, d, segs, comps)
+	checkClearance(rep, comps, rules)
+	sort.SliceStable(rep.Violations, func(i, j int) bool {
+		a, b := rep.Violations[i], rep.Violations[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return rep
+}
+
+func (r *Report) add(v Violation) { r.Violations = append(r.Violations, v) }
+
+// checkChannelPairs flags crossings (overlap) and spacing (gap below
+// minimum) between segments of different nets on the same layer. Nets
+// that terminate on a common component are exempt from pairwise checks:
+// their endpoints sit on adjacent ports of that component by design, and
+// flagging that proximity would bury real violations in noise.
+func checkChannelPairs(rep *Report, d *core.Device, segs []thickSeg, rules Rules) {
+	ends := make(map[string]map[string]bool, len(d.Connections))
+	for i := range d.Connections {
+		cn := &d.Connections[i]
+		set := make(map[string]bool, 1+len(cn.Sinks))
+		for _, t := range cn.Targets() {
+			set[t.Component] = true
+		}
+		ends[cn.ID] = set
+	}
+	adjacentNets := func(a, b string) bool {
+		ea, eb := ends[a], ends[b]
+		if len(eb) < len(ea) {
+			ea, eb = eb, ea
+		}
+		for c := range ea {
+			if eb[c] {
+				return true
+			}
+		}
+		return false
+	}
+	spacing := rules.minSpacing()
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			a, b := &segs[i], &segs[j]
+			if a.layer != b.layer || a.conn == b.conn {
+				continue
+			}
+			if adjacentNets(a.conn, b.conn) {
+				continue
+			}
+			if a.box.Overlaps(b.box) {
+				rep.add(Violation{
+					Rule: RuleCrossing, A: a.id, B: b.id, Layer: a.layer,
+					Message: fmt.Sprintf("nets %s and %s overlap", a.conn, b.conn),
+				})
+				continue
+			}
+			if a.box.Inflate(spacing).Overlaps(b.box) {
+				rep.add(Violation{
+					Rule: RuleSpacing, A: a.id, B: b.id, Layer: a.layer,
+					Message: fmt.Sprintf("nets %s and %s closer than %d um", a.conn, b.conn, spacing),
+				})
+			}
+		}
+	}
+}
+
+// checkIncursions flags channels running through components their net
+// does not terminate on.
+func checkIncursions(rep *Report, d *core.Device, segs []thickSeg, comps []*core.Feature) {
+	// Which components does each connection legitimately touch?
+	touches := make(map[string]map[string]bool, len(d.Connections))
+	for i := range d.Connections {
+		cn := &d.Connections[i]
+		set := make(map[string]bool, 1+len(cn.Sinks))
+		for _, t := range cn.Targets() {
+			set[t.Component] = true
+		}
+		touches[cn.ID] = set
+	}
+	for _, s := range segs {
+		for _, c := range comps {
+			if c.Layer != s.layer {
+				continue
+			}
+			if touches[s.conn][c.ID] {
+				continue // terminating at (or escaping from) this component
+			}
+			// Shrink the footprint slightly so a channel that merely kisses
+			// the boundary is not an incursion.
+			fp := c.Footprint().Inflate(-1)
+			if fp.Overlaps(s.box) {
+				rep.add(Violation{
+					Rule: RuleIncursion, A: s.id, B: c.ID, Layer: s.layer,
+					Message: fmt.Sprintf("net %s runs through component %s", s.conn, c.ID),
+				})
+			}
+		}
+	}
+}
+
+// checkClearance flags same-layer placed components with less than the
+// minimum gap between footprints.
+func checkClearance(rep *Report, comps []*core.Feature, rules Rules) {
+	clearance := rules.minClearance()
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			a, b := comps[i], comps[j]
+			if a.Layer != b.Layer {
+				continue
+			}
+			fa, fb := a.Footprint(), b.Footprint()
+			if fa.Overlaps(fb) {
+				// The semantic validator already errors on overlap; DRC
+				// reports it as a zero-gap clearance violation too.
+				rep.add(Violation{
+					Rule: RuleClearance, A: a.ID, B: b.ID, Layer: a.Layer,
+					Message: "footprints overlap",
+				})
+				continue
+			}
+			if fa.Inflate(clearance).Overlaps(fb) {
+				rep.add(Violation{
+					Rule: RuleClearance, A: a.ID, B: b.ID, Layer: a.Layer,
+					Message: fmt.Sprintf("gap below %d um", clearance),
+				})
+			}
+		}
+	}
+}

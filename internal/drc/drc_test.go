@@ -1,0 +1,225 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/place"
+	"repro/internal/pnr"
+	"repro/internal/route"
+)
+
+// scaffold builds a two-port device whose features the tests overwrite.
+func scaffold(t testing.TB) *core.Device {
+	t.Helper()
+	b := core.NewBuilder("drc-test")
+	flow := b.FlowLayer()
+	b.IOPort("a", flow, 200)
+	b.IOPort("bb", flow, 200)
+	b.IOPort("c", flow, 200)
+	b.IOPort("dd", flow, 200)
+	b.Connect("n1", flow, "a.port1", "bb.port1")
+	b.Connect("n2", flow, "c.port1", "dd.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func chanFeat(id, conn string, width int64, x0, y0, x1, y1 int64) core.Feature {
+	return core.Feature{
+		Kind: core.FeatureChannel, ID: id, Connection: conn, Layer: "flow",
+		Width: width, Depth: 10, Source: geom.Pt(x0, y0), Sink: geom.Pt(x1, y1),
+	}
+}
+
+func compFeat(id string, x, y, w, h int64) core.Feature {
+	return core.Feature{
+		Kind: core.FeatureComponent, ID: id, Layer: "flow",
+		Location: geom.Pt(x, y), XSpan: w, YSpan: h, Depth: 10,
+	}
+}
+
+func TestCleanDevice(t *testing.T) {
+	d := scaffold(t)
+	d.Features = []core.Feature{
+		compFeat("a", 0, 0, 200, 200),
+		compFeat("bb", 2000, 0, 200, 200),
+		chanFeat("n1_seg0", "n1", 100, 200, 100, 2000, 100),
+	}
+	r := Check(d, Rules{})
+	if !r.Clean() {
+		t.Errorf("clean layout flagged:\n%s", r)
+	}
+	if !strings.Contains(r.String(), "0 violation(s)") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestMinWidth(t *testing.T) {
+	d := scaffold(t)
+	d.Features = []core.Feature{chanFeat("s", "n1", 20, 0, 0, 1000, 0)}
+	r := Check(d, Rules{})
+	if r.CountRule(RuleMinWidth) != 1 {
+		t.Errorf("min-width = %d:\n%s", r.CountRule(RuleMinWidth), r)
+	}
+	// Explicit rule value.
+	r = Check(d, Rules{MinChannelWidth: 10})
+	if r.CountRule(RuleMinWidth) != 0 {
+		t.Errorf("relaxed min-width still fires:\n%s", r)
+	}
+}
+
+func TestCrossingAndSpacing(t *testing.T) {
+	d := scaffold(t)
+	// n1 horizontal at y=500; n2 vertical crossing it.
+	d.Features = []core.Feature{
+		chanFeat("n1_seg0", "n1", 100, 0, 500, 2000, 500),
+		chanFeat("n2_seg0", "n2", 100, 1000, 0, 1000, 1000),
+	}
+	r := Check(d, Rules{})
+	if r.CountRule(RuleCrossing) != 1 {
+		t.Errorf("crossing = %d:\n%s", r.CountRule(RuleCrossing), r)
+	}
+
+	// Parallel channels 120 µm apart (boxes 20 µm gap): spacing violation.
+	d.Features = []core.Feature{
+		chanFeat("n1_seg0", "n1", 100, 0, 500, 2000, 500),
+		chanFeat("n2_seg0", "n2", 100, 0, 620, 2000, 620),
+	}
+	r = Check(d, Rules{})
+	if r.CountRule(RuleSpacing) != 1 || r.CountRule(RuleCrossing) != 0 {
+		t.Errorf("spacing/crossing = %d/%d:\n%s",
+			r.CountRule(RuleSpacing), r.CountRule(RuleCrossing), r)
+	}
+
+	// 300 µm apart: clean.
+	d.Features = []core.Feature{
+		chanFeat("n1_seg0", "n1", 100, 0, 500, 2000, 500),
+		chanFeat("n2_seg0", "n2", 100, 0, 800, 2000, 800),
+	}
+	if r := Check(d, Rules{}); !r.Clean() {
+		t.Errorf("separated channels flagged:\n%s", r)
+	}
+}
+
+func TestSameNetSegmentsExempt(t *testing.T) {
+	d := scaffold(t)
+	// Two touching segments of one net: an L corner.
+	d.Features = []core.Feature{
+		chanFeat("n1_seg0", "n1", 100, 0, 0, 1000, 0),
+		chanFeat("n1_seg1", "n1", 100, 1000, 0, 1000, 1000),
+	}
+	if r := Check(d, Rules{}); !r.Clean() {
+		t.Errorf("same-net corner flagged:\n%s", r)
+	}
+}
+
+func TestAdjacentNetsExempt(t *testing.T) {
+	// Nets sharing a terminating component may legitimately run close by.
+	b := core.NewBuilder("adj")
+	flow := b.FlowLayer()
+	b.IOPort("a", flow, 200)
+	b.IOPort("z", flow, 200)
+	b.TwoPort("m", core.EntityMixer, flow, 1000, 500)
+	b.Connect("n1", flow, "a.port1", "m.port1")
+	b.Connect("n2", flow, "m.port2", "z.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Features = []core.Feature{
+		chanFeat("n1_seg0", "n1", 100, 0, 100, 1000, 100),
+		chanFeat("n2_seg0", "n2", 100, 0, 150, 1000, 150), // overlapping, but adjacent nets
+	}
+	if r := Check(d, Rules{}); r.CountRule(RuleCrossing) != 0 {
+		t.Errorf("adjacent nets flagged:\n%s", r)
+	}
+}
+
+func TestIncursion(t *testing.T) {
+	d := scaffold(t)
+	d.Features = []core.Feature{
+		compFeat("c", 500, 0, 200, 200),
+		// n1 does not terminate on c but runs straight through it.
+		chanFeat("n1_seg0", "n1", 100, 0, 100, 2000, 100),
+	}
+	r := Check(d, Rules{})
+	if r.CountRule(RuleIncursion) != 1 {
+		t.Errorf("incursion = %d:\n%s", r.CountRule(RuleIncursion), r)
+	}
+	// The same geometry for a net that terminates on the component is fine.
+	d.Features[1] = chanFeat("n2_seg0", "n2", 100, 0, 100, 2000, 100)
+	// n2 connects c -> dd, so running through c is legal.
+	r = Check(d, Rules{})
+	if r.CountRule(RuleIncursion) != 0 {
+		t.Errorf("terminating net flagged:\n%s", r)
+	}
+}
+
+func TestClearance(t *testing.T) {
+	d := scaffold(t)
+	d.Features = []core.Feature{
+		compFeat("a", 0, 0, 200, 200),
+		compFeat("bb", 250, 0, 200, 200), // 50 µm gap < 100 µm clearance
+	}
+	r := Check(d, Rules{})
+	if r.CountRule(RuleClearance) != 1 {
+		t.Errorf("clearance = %d:\n%s", r.CountRule(RuleClearance), r)
+	}
+	// Overlapping components are also clearance violations.
+	d.Features[1] = compFeat("bb", 100, 0, 200, 200)
+	r = Check(d, Rules{})
+	if r.CountRule(RuleClearance) != 1 {
+		t.Errorf("overlap clearance = %d:\n%s", r.CountRule(RuleClearance), r)
+	}
+	// Wide spacing is clean.
+	d.Features[1] = compFeat("bb", 500, 0, 200, 200)
+	if r := Check(d, Rules{}); !r.Clean() {
+		t.Errorf("separated components flagged:\n%s", r)
+	}
+	// Different layers never interact.
+	d.Features[1] = compFeat("bb", 100, 0, 200, 200)
+	d.Features[1].Layer = "other"
+	if r := Check(d, Rules{}); r.CountRule(RuleClearance) != 0 {
+		t.Errorf("cross-layer clearance flagged:\n%s", r)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: RuleSpacing, A: "s1", B: "s2", Layer: "flow", Message: "too close"}
+	if got := v.String(); got != "channel-spacing [flow] s1 x s2: too close" {
+		t.Errorf("String = %q", got)
+	}
+	v.B = ""
+	if !strings.HasPrefix(v.String(), "channel-spacing [flow] s1:") {
+		t.Errorf("single String = %q", v.String())
+	}
+}
+
+func TestRoutedBenchmarkIsMostlyClean(t *testing.T) {
+	// The pnr flow's output should not cross channels (hard-blocked grid)
+	// nor run channels through unrelated components.
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pnr.Run(b.Build(), pnr.Options{
+		Placer: place.Annealer{},
+		Router: route.AStar{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Check(res.Device, Rules{})
+	if n := r.CountRule(RuleCrossing); n != 0 {
+		t.Errorf("routed device has %d crossings:\n%s", n, r)
+	}
+	if n := r.CountRule(RuleClearance); n != 0 {
+		t.Errorf("placed device has %d clearance violations:\n%s", n, r)
+	}
+}

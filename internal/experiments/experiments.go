@@ -1,0 +1,442 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the systems in this repository. Each experiment returns
+// a renderable artifact (stats.Table or stats.Figure) so the same code
+// backs the parchmint-bench command, the testing.B benchmarks, and
+// EXPERIMENTS.md. The experiment IDs follow DESIGN.md's per-experiment
+// index.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mint"
+	"repro/internal/mutate"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/validate"
+)
+
+// Seed is the fixed seed all randomized experiment stages use, so every
+// regeneration of a table or figure is byte-identical.
+const Seed = 2018 // the paper's publication year
+
+// Table1 characterizes the benchmark suite: the per-device size and
+// topology statistics of the paper's suite-overview table.
+func Table1() *stats.Table {
+	t := stats.NewTable(
+		"Table 1: ParchMint benchmark suite characterization",
+		"benchmark", "class", "layers", "components", "connections",
+		"io-ports", "valves+pumps", "multi-sink", "avg-deg", "max-deg", "diameter",
+	)
+	for _, b := range bench.Suite() {
+		d := b.Build()
+		p := stats.ProfileDevice(d, string(b.Class))
+		t.AddRow(p.Name, p.Class, stats.Itoa(p.Layers), stats.Itoa(p.Components),
+			stats.Itoa(p.Connections), stats.Itoa(p.Ports), stats.Itoa(p.Valves),
+			stats.Itoa(p.MultiSink), stats.F2(p.AvgDegree), stats.Itoa(p.MaxDegree),
+			stats.Itoa(p.Diameter))
+	}
+	return t
+}
+
+// Table2 reports the component entity distribution of each benchmark.
+func Table2() *stats.Table {
+	suite := bench.Suite()
+	// Column per entity actually present in the suite, in vocabulary order.
+	present := map[string]bool{}
+	devices := make([]*core.Device, len(suite))
+	for i, b := range suite {
+		devices[i] = b.Build()
+		for _, c := range devices[i].Components {
+			present[c.Entity] = true
+		}
+	}
+	var entities []string
+	for _, e := range core.KnownEntities() {
+		if present[e] {
+			entities = append(entities, e)
+		}
+	}
+	cols := append([]string{"benchmark"}, entities...)
+	t := stats.NewTable("Table 2: component entity distribution", cols...)
+	for i, b := range suite {
+		row := []string{b.Name}
+		for _, e := range entities {
+			row = append(row, stats.Itoa(devices[i].CountEntity(e)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table3Trials is the per-class injection count for Table 3.
+const Table3Trials = 25
+
+// Table3 measures validator coverage: for every mutation class, the
+// fraction of injections (across all benchmarks and seeds) the expected
+// rule detects.
+func Table3() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Table 3: validator fault-injection coverage (%d seeds x 12 benchmarks)", Table3Trials),
+		"mutation-class", "expected-rule", "applicable", "detected", "rate",
+	)
+	suite := bench.Suite()
+	for _, m := range mutate.Classes() {
+		applicable, detected := 0, 0
+		for _, b := range suite {
+			d := b.Build()
+			for seed := uint64(0); seed < Table3Trials; seed++ {
+				res := mutate.Trial(d, m, Seed+seed)
+				if res.Applicable {
+					applicable++
+					if res.Detected {
+						detected++
+					}
+				}
+			}
+		}
+		rate := 1.0
+		if applicable > 0 {
+			rate = float64(detected) / float64(applicable)
+		}
+		t.AddRow(string(m.Class), string(m.Expect),
+			stats.Itoa(applicable), stats.Itoa(detected), stats.Pct(rate))
+	}
+	return t
+}
+
+// Fig2 is the netlist degree distribution across the whole suite: one
+// series per class, x = degree, y = component count.
+func Fig2() *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Fig 2: component degree distribution across the suite",
+		XLabel: "degree",
+		YLabel: "components",
+	}
+	hist := map[string]map[int]int{}
+	for _, b := range bench.Suite() {
+		g := netlist.Build(b.Build())
+		class := string(b.Class)
+		if hist[class] == nil {
+			hist[class] = map[int]int{}
+		}
+		for deg, n := range g.Degrees().Histogram {
+			hist[class][deg] += n
+		}
+	}
+	for _, class := range []string{string(bench.Assay), string(bench.Synthetic)} {
+		h := hist[class]
+		degrees := make([]int, 0, len(h))
+		for d := range h {
+			degrees = append(degrees, d)
+		}
+		sort.Ints(degrees)
+		s := stats.Series{Name: class}
+		for _, d := range degrees {
+			s.X = append(s.X, float64(d))
+			s.Y = append(s.Y, float64(h[d]))
+		}
+		f.Add(s)
+	}
+	return f
+}
+
+// Fig3 compares placement engines on every benchmark: HPWL normalized to
+// the greedy baseline (series per engine) plus an absolute-area table
+// companion. x indexes benchmarks in suite order.
+func Fig3() (*stats.Figure, *stats.Table) {
+	return Fig3On(bench.Suite())
+}
+
+// Fig3On runs the placement comparison on a subset of the suite.
+func Fig3On(benchmarks []bench.Benchmark) (*stats.Figure, *stats.Table) {
+	f := &stats.Figure{
+		Title:  "Fig 3: placement quality, HPWL normalized to greedy baseline",
+		XLabel: "benchmark index (suite order)",
+		YLabel: "HPWL / greedy HPWL",
+	}
+	t := stats.NewTable(
+		"Fig 3 companion: absolute placement metrics",
+		"benchmark", "engine", "hpwl(um)", "area(mm2)",
+	)
+	engines := place.Engines()
+	series := make([]stats.Series, len(engines))
+	for i, eng := range engines {
+		series[i].Name = eng.Name()
+	}
+	for bi, b := range benchmarks {
+		d := b.Build()
+		var greedyHPWL int64
+		for ei, eng := range engines {
+			p, err := eng.Place(d, place.Options{Seed: Seed})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: placement %s/%s: %v", b.Name, eng.Name(), err))
+			}
+			m := place.Evaluate(p)
+			if ei == 0 {
+				greedyHPWL = m.HPWL
+			}
+			norm := 1.0
+			if greedyHPWL > 0 {
+				norm = float64(m.HPWL) / float64(greedyHPWL)
+			}
+			series[ei].X = append(series[ei].X, float64(bi))
+			series[ei].Y = append(series[ei].Y, norm)
+			t.AddRow(b.Name, eng.Name(), stats.I64(m.HPWL),
+				stats.F2(float64(m.Area)/1e6))
+		}
+	}
+	for _, s := range series {
+		f.Add(s)
+	}
+	return f, t
+}
+
+// Fig4 compares routing engines on every benchmark (on the annealed
+// placement): completion rate, total channel length, and node expansions.
+func Fig4() *stats.Table {
+	return Fig4On(bench.Suite())
+}
+
+// Fig4On runs the routing comparison on a subset of the suite.
+func Fig4On(benchmarks []bench.Benchmark) *stats.Table {
+	t := stats.NewTable(
+		"Fig 4: routing quality per engine (annealed placements)",
+		"benchmark", "router", "routed", "total", "completion",
+		"length(um)", "expansions",
+	)
+	for _, b := range benchmarks {
+		d := b.Build()
+		p, err := (place.Annealer{}).Place(d, place.Options{Seed: Seed})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: placement %s: %v", b.Name, err))
+		}
+		for _, router := range route.Engines() {
+			report, err := route.RouteAll(p, router, route.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: routing %s/%s: %v", b.Name, router.Name(), err))
+			}
+			t.AddRow(b.Name, router.Name(),
+				stats.Itoa(report.Routed()), stats.Itoa(report.Total()),
+				stats.Pct(report.CompletionRate()),
+				stats.I64(report.TotalLength()),
+				stats.Itoa(report.TotalExpansions()))
+		}
+	}
+	return t
+}
+
+// Fig5Points is the number of sweep sizes in the runtime-scaling figure:
+// 10, 20, 40, 80, 160 components.
+const Fig5Points = 5
+
+// Fig5 measures runtime scaling: wall-clock time of each pipeline stage
+// (parse, validate, place, route) against netlist size on a synthetic
+// sweep doubling from 10 components.
+func Fig5() *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Fig 5: pipeline runtime scaling on the synthetic sweep",
+		XLabel: "components",
+		YLabel: "milliseconds",
+	}
+	parse := stats.Series{Name: "parse"}
+	val := stats.Series{Name: "validate"}
+	pl := stats.Series{Name: "place"}
+	rt := stats.Series{Name: "route"}
+	for _, pt := range bench.Sweep(10, Fig5Points, Seed) {
+		x := float64(pt.Device.Stats().Components)
+		data, err := core.Marshal(pt.Device)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if _, err := core.Unmarshal(data); err != nil {
+			panic(err)
+		}
+		parse.X = append(parse.X, x)
+		parse.Y = append(parse.Y, ms(time.Since(start)))
+
+		start = time.Now()
+		validate.Validate(pt.Device)
+		val.X = append(val.X, x)
+		val.Y = append(val.Y, ms(time.Since(start)))
+
+		start = time.Now()
+		placed, err := (place.Annealer{}).Place(pt.Device, place.Options{Seed: Seed})
+		if err != nil {
+			panic(err)
+		}
+		pl.X = append(pl.X, x)
+		pl.Y = append(pl.Y, ms(time.Since(start)))
+
+		start = time.Now()
+		if _, err := route.RouteAll(placed, route.AStar{}, route.Options{}); err != nil {
+			panic(err)
+		}
+		rt.X = append(rt.X, x)
+		rt.Y = append(rt.Y, ms(time.Since(start)))
+	}
+	f.Add(parse)
+	f.Add(val)
+	f.Add(pl)
+	f.Add(rt)
+	return f
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Fig6 measures interchange fidelity across the suite: JSON round-trip
+// losslessness and size, and MINT conversion losslessness (assay
+// benchmarks use multi-layer valves and fanout outside the MINT subset, so
+// their conversions degrade with notes; synthetics convert cleanly).
+func Fig6() *stats.Table {
+	t := stats.NewTable(
+		"Fig 6: interchange fidelity per benchmark",
+		"benchmark", "json-bytes", "json-lossless", "mint-lossless", "mint-notes",
+	)
+	for _, b := range bench.Suite() {
+		d := b.Build()
+		data, err := core.Marshal(d)
+		if err != nil {
+			panic(err)
+		}
+		back, err := core.Unmarshal(data)
+		if err != nil {
+			panic(err)
+		}
+		jsonLossless := core.Equal(d, back)
+
+		mintLossless := false
+		notes := 0
+		if f, fid, err := mint.FromDevice(d); err == nil {
+			notes = len(fid.Notes)
+			if d2, fid2, err := mint.ToDevice(f); err == nil {
+				notes += len(fid2.Notes)
+				c1, c2 := d.Clone(), d2
+				c1.Canonicalize()
+				c2.Canonicalize()
+				mintLossless = fid.Lossless() && fid2.Lossless() && core.Equal(c1, c2)
+			}
+		}
+		t.AddRow(b.Name, stats.Itoa(len(data)),
+			boolCell(jsonLossless), boolCell(mintLossless), stats.Itoa(notes))
+	}
+	return t
+}
+
+func boolCell(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}
+
+// ExtGradient is an extension experiment beyond the paper: the hydraulic
+// simulator's dilution profile across the molecular gradient generator's
+// six outlets. A correct generator yields a monotone profile from 1.0 on
+// the species side to 0.0 on the buffer side — functional evidence that
+// an exchanged benchmark behaves like the device it models.
+func ExtGradient() *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Ext: simulated dilution profile of molecular_gradients",
+		XLabel: "outlet index",
+		YLabel: "steady-state concentration",
+	}
+	b, err := bench.ByName("molecular_gradients")
+	if err != nil {
+		panic(err)
+	}
+	d := b.Build()
+	network, err := sim.Build(d, sim.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: gradient network: %v", err))
+	}
+	bcs := []sim.BC{
+		{Node: "inA.port1", Pressure: 10000},
+		{Node: "inB.port1", Pressure: 10000},
+	}
+	for i := 1; i <= 6; i++ {
+		bcs = append(bcs, sim.BC{Node: sim.NodeID(fmt.Sprintf("out%d.port1", i))})
+	}
+	sol, err := network.Solve(bcs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: gradient solve: %v", err))
+	}
+	conc, err := network.Concentrations(sol, map[sim.NodeID]float64{
+		"inA.port1": 1,
+		"inB.port1": 0,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: gradient transport: %v", err))
+	}
+	s := stats.Series{Name: "profile"}
+	for i := 1; i <= 6; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, conc[sim.NodeID(fmt.Sprintf("out%d.port1", i))])
+	}
+	f.Add(s)
+	return f
+}
+
+// All runs every experiment and returns (id, rendered artifact) pairs in
+// DESIGN.md order.
+func All() []Artifact {
+	fig3, fig3t := Fig3()
+	return []Artifact{
+		{"table1", Table1().Render()},
+		{"table2", Table2().Render()},
+		{"table3", Table3().Render()},
+		{"fig2", Fig2().Render()},
+		{"fig3", fig3.Render() + "\n" + fig3t.Render()},
+		{"fig4", Fig4().Render()},
+		{"fig5", Fig5().Render()},
+		{"fig6", Fig6().Render()},
+		{"ext-gradient", ExtGradient().Render()},
+	}
+}
+
+// Artifact is one rendered experiment output.
+type Artifact struct {
+	ID   string
+	Text string
+}
+
+// IDs lists the experiment identifiers in DESIGN.md order, the paper's
+// eight plus the extension experiments.
+func IDs() []string {
+	return []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "ext-gradient"}
+}
+
+// Run renders a single experiment by ID.
+func Run(id string) (string, error) {
+	switch id {
+	case "table1":
+		return Table1().Render(), nil
+	case "table2":
+		return Table2().Render(), nil
+	case "table3":
+		return Table3().Render(), nil
+	case "fig2":
+		return Fig2().Render(), nil
+	case "fig3":
+		f, t := Fig3()
+		return f.Render() + "\n" + t.Render(), nil
+	case "fig4":
+		return Fig4().Render(), nil
+	case "fig5":
+		return Fig5().Render(), nil
+	case "fig6":
+		return Fig6().Render(), nil
+	case "ext-gradient":
+		return ExtGradient().Render(), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+}

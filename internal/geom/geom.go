@@ -1,0 +1,195 @@
+// Package geom provides the planar geometry primitives shared by every
+// subsystem in the repository: integer points, rectangles, spans, Manhattan
+// metrics, and the occupancy grids used by the maze routers.
+//
+// ParchMint devices express all physical quantities in micrometers (µm).
+// Following the format, coordinates are kept as int64 micrometers so that
+// round-tripping a device through JSON is exact.
+package geom
+
+import "fmt"
+
+// Point is a location on a device layer, in micrometers.
+type Point struct {
+	X int64 `json:"x"`
+	Y int64 `json:"y"`
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y int64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) int64 {
+	return abs64(p.X-q.X) + abs64(p.Y-q.Y)
+}
+
+// String renders the point as "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. Min is inclusive, Max is exclusive,
+// mirroring image.Rectangle semantics so that Dx/Dy are the spans.
+type Rect struct {
+	Min Point `json:"min"`
+	Max Point `json:"max"`
+}
+
+// R constructs the rectangle with corners (x0,y0) and (x1,y1), normalizing
+// the corner order so Min ≤ Max on both axes.
+func R(x0, y0, x1, y1 int64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
+}
+
+// RectAt returns the rectangle whose top-left corner is at origin with the
+// given spans. Negative spans are treated as zero.
+func RectAt(origin Point, xSpan, ySpan int64) Rect {
+	if xSpan < 0 {
+		xSpan = 0
+	}
+	if ySpan < 0 {
+		ySpan = 0
+	}
+	return Rect{Min: origin, Max: Point{origin.X + xSpan, origin.Y + ySpan}}
+}
+
+// Dx returns the width of r.
+func (r Rect) Dx() int64 { return r.Max.X - r.Min.X }
+
+// Dy returns the height of r.
+func (r Rect) Dy() int64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r in µm².
+func (r Rect) Area() int64 { return r.Dx() * r.Dy() }
+
+// Empty reports whether r encloses no area.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Center returns the midpoint of r (rounded toward Min).
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (Min inclusive, Max exclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// ContainsClosed reports whether p lies inside r with both bounds inclusive.
+// Ports sit on component boundaries, so boundary points count as inside.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Overlaps reports whether r and s share any interior area.
+func (r Rect) Overlaps(s Rect) bool {
+	return !r.Empty() && !s.Empty() &&
+		r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and s. An empty
+// rectangle is the identity.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Min: Point{min64(r.Min.X, s.Min.X), min64(r.Min.Y, s.Min.Y)},
+		Max: Point{max64(r.Max.X, s.Max.X), max64(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Intersect returns the largest rectangle contained in both r and s; if they
+// do not overlap the result is empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Min: Point{max64(r.Min.X, s.Min.X), max64(r.Min.Y, s.Min.Y)},
+		Max: Point{min64(r.Max.X, s.Max.X), min64(r.Max.Y, s.Max.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Inflate grows r by d on every side (shrinks when d is negative). The
+// result is clamped to an empty rectangle rather than turning inside out.
+func (r Rect) Inflate(d int64) Rect {
+	out := Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+	if out.Empty() {
+		return Rect{Min: out.Min, Max: out.Min}
+	}
+	return out
+}
+
+// Translate returns r shifted by delta.
+func (r Rect) Translate(delta Point) Rect {
+	return Rect{Min: r.Min.Add(delta), Max: r.Max.Add(delta)}
+}
+
+// String renders the rectangle as "[(x0,y0) (x1,y1)]".
+func (r Rect) String() string { return fmt.Sprintf("[%v %v]", r.Min, r.Max) }
+
+// BoundingBox returns the smallest rectangle containing every point in pts.
+// The zero Rect is returned for an empty slice.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = min64(r.Min.X, p.X)
+		r.Min.Y = min64(r.Min.Y, p.Y)
+		r.Max.X = max64(r.Max.X, p.X)
+		r.Max.Y = max64(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// HPWL returns the half-perimeter wire length of pts: the semi-perimeter of
+// their bounding box, the standard placement wirelength estimate.
+func HPWL(pts []Point) int64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	bb := BoundingBox(pts)
+	return bb.Dx() + bb.Dy()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

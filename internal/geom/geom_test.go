@@ -1,0 +1,223 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, -4)
+	q := Pt(10, 2)
+	if got := p.Add(q); got != Pt(13, -2) {
+		t.Errorf("Add = %v, want (13,-2)", got)
+	}
+	if got := q.Sub(p); got != Pt(7, 6) {
+		t.Errorf("Sub = %v, want (7,6)", got)
+	}
+	if got := p.Manhattan(q); got != 13 {
+		t.Errorf("Manhattan = %d, want 13", got)
+	}
+	if got := p.Manhattan(p); got != 0 {
+		t.Errorf("Manhattan self = %d, want 0", got)
+	}
+}
+
+func TestManhattanProperties(t *testing.T) {
+	// Symmetry and non-negativity over arbitrary points.
+	sym := func(ax, ay, bx, by int32) bool {
+		p, q := Pt(int64(ax), int64(ay)), Pt(int64(bx), int64(by))
+		d := p.Manhattan(q)
+		return d >= 0 && d == q.Manhattan(p)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	// Triangle inequality.
+	tri := func(ax, ay, bx, by, cx, cy int16) bool {
+		p, q, r := Pt(int64(ax), int64(ay)), Pt(int64(bx), int64(by)), Pt(int64(cx), int64(cy))
+		return p.Manhattan(r) <= p.Manhattan(q)+q.Manhattan(r)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 20, 2, 5)
+	if r.Min != Pt(2, 5) || r.Max != Pt(10, 20) {
+		t.Errorf("R did not normalize corners: %v", r)
+	}
+	if r.Dx() != 8 || r.Dy() != 15 {
+		t.Errorf("spans = %d,%d want 8,15", r.Dx(), r.Dy())
+	}
+	if r.Area() != 120 {
+		t.Errorf("Area = %d, want 120", r.Area())
+	}
+}
+
+func TestRectAtClampsNegativeSpans(t *testing.T) {
+	r := RectAt(Pt(5, 5), -3, 10)
+	if !r.Empty() {
+		t.Errorf("rect with negative x-span should be empty, got %v", r)
+	}
+	if r.Dx() != 0 {
+		t.Errorf("Dx = %d, want 0", r.Dx())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p          Point
+		open, shut bool // Contains, ContainsClosed
+	}{
+		{Pt(0, 0), true, true},
+		{Pt(9, 9), true, true},
+		{Pt(10, 10), false, true}, // boundary: closed only
+		{Pt(10, 5), false, true},
+		{Pt(11, 5), false, false},
+		{Pt(-1, 0), false, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.open {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.open)
+		}
+		if got := r.ContainsClosed(c.p); got != c.shut {
+			t.Errorf("ContainsClosed(%v) = %v, want %v", c.p, got, c.shut)
+		}
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{R(5, 5, 15, 15), true},
+		{R(10, 0, 20, 10), false}, // touching edges do not overlap
+		{R(0, 10, 10, 20), false},
+		{R(-5, -5, 1, 1), true},
+		{R(3, 3, 3, 8), false}, // degenerate: empty never overlaps
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps is asymmetric for %v", c.b)
+		}
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 20, 8)
+	u := a.Union(b)
+	if u != R(0, 0, 20, 10) {
+		t.Errorf("Union = %v", u)
+	}
+	i := a.Intersect(b)
+	if i != R(5, 5, 10, 8) {
+		t.Errorf("Intersect = %v", i)
+	}
+	if got := a.Intersect(R(50, 50, 60, 60)); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+	// Empty rect is the identity for Union.
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty Union = %v, want %v", got, a)
+	}
+}
+
+func TestRectUnionProperties(t *testing.T) {
+	mk := func(x0, y0, x1, y1 int16) Rect {
+		return R(int64(x0), int64(y0), int64(x1), int64(y1))
+	}
+	containsBoth := func(x0, y0, x1, y1, x2, y2, x3, y3 int16) bool {
+		a, b := mk(x0, y0, x1, y1), mk(x2, y2, x3, y3)
+		u := a.Union(b)
+		// Union must contain both inputs' corners (when non-empty).
+		if !a.Empty() && (!u.ContainsClosed(a.Min) || !u.ContainsClosed(a.Max)) {
+			return false
+		}
+		if !b.Empty() && (!u.ContainsClosed(b.Min) || !u.ContainsClosed(b.Max)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(containsBoth, nil); err != nil {
+		t.Error(err)
+	}
+	commutes := func(x0, y0, x1, y1, x2, y2, x3, y3 int16) bool {
+		a, b := mk(x0, y0, x1, y1), mk(x2, y2, x3, y3)
+		return a.Union(b) == b.Union(a)
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectInflate(t *testing.T) {
+	r := R(10, 10, 20, 20)
+	if got := r.Inflate(5); got != R(5, 5, 25, 25) {
+		t.Errorf("Inflate(5) = %v", got)
+	}
+	if got := r.Inflate(-3); got != R(13, 13, 17, 17) {
+		t.Errorf("Inflate(-3) = %v", got)
+	}
+	// Over-shrinking collapses to empty instead of inverting.
+	if got := r.Inflate(-6); !got.Empty() {
+		t.Errorf("Inflate(-6) = %v, want empty", got)
+	}
+}
+
+func TestRectTranslateCenter(t *testing.T) {
+	r := R(0, 0, 10, 4)
+	if got := r.Translate(Pt(5, 7)); got != R(5, 7, 15, 11) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := r.Center(); got != Pt(5, 2) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestBoundingBoxAndHPWL(t *testing.T) {
+	if got := BoundingBox(nil); got != (Rect{}) {
+		t.Errorf("BoundingBox(nil) = %v", got)
+	}
+	pts := []Point{Pt(3, 7), Pt(-2, 4), Pt(10, 5)}
+	bb := BoundingBox(pts)
+	if bb.Min != Pt(-2, 4) || bb.Max != Pt(10, 7) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if got := HPWL(pts); got != 12+3 {
+		t.Errorf("HPWL = %d, want 15", got)
+	}
+	if got := HPWL(pts[:1]); got != 0 {
+		t.Errorf("HPWL of one point = %d, want 0", got)
+	}
+	// Two-point HPWL equals Manhattan distance.
+	prop := func(ax, ay, bx, by int32) bool {
+		p, q := Pt(int64(ax), int64(ay)), Pt(int64(bx), int64(by))
+		return HPWL([]Point{p, q}) == p.Manhattan(q)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := Pt(1, 2).String(); got != "(1,2)" {
+		t.Errorf("Point.String = %q", got)
+	}
+	if got := R(0, 0, 1, 1).String(); got != "[(0,0) (1,1)]" {
+		t.Errorf("Rect.String = %q", got)
+	}
+	if got := (Cell{3, 4}).String(); got != "c3r4" {
+		t.Errorf("Cell.String = %q", got)
+	}
+}

@@ -1,0 +1,179 @@
+package mint
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// File is a parsed MINT source file.
+type File struct {
+	// DeviceName is the name after the DEVICE keyword.
+	DeviceName string
+	// Layers holds the layer blocks in source order.
+	Layers []LayerBlock
+}
+
+// LayerBlock is one LAYER ... END LAYER region.
+type LayerBlock struct {
+	// Type is FLOW or CONTROL.
+	Type core.LayerType
+	// Components holds the component declarations in source order.
+	Components []ComponentStmt
+	// Channels holds the CHANNEL statements in source order.
+	Channels []ChannelStmt
+}
+
+// ComponentStmt declares one or more components of a single entity:
+//
+//	MIXER m1, m2 w=2000 h=1000 ;
+type ComponentStmt struct {
+	// Entity is the MINT entity keyword phrase, e.g. "MIXER" or
+	// "ROTARY PUMP" (already joined with a single space).
+	Entity string
+	// IDs lists the declared instance names.
+	IDs []string
+	// Params holds the numeric key=value parameters.
+	Params map[string]int64
+	// Line is the source line of the statement head.
+	Line int
+}
+
+// ChannelStmt declares a channel:
+//
+//	CHANNEL c1 from m1 2 to out 1 w=100 ;
+type ChannelStmt struct {
+	ID     string
+	From   Ref
+	To     Ref
+	Params map[string]int64
+	Line   int
+}
+
+// Ref is a channel endpoint: a component and an optional 1-based port
+// number (0 means "any port").
+type Ref struct {
+	Component string
+	PortNum   int
+}
+
+// entityWords is the two-level lookup the parser uses to greedily match
+// multi-word entities ("ROTARY PUMP", "DIAMOND CHAMBER", "CELL TRAP")
+// before single-word ones.
+var twoWordEntities = map[string]string{
+	"ROTARY PUMP":     core.EntityRotaryPump,
+	"DIAMOND CHAMBER": core.EntityDiamondChamber,
+	"CELL TRAP":       core.EntityCellTrap,
+}
+
+var oneWordEntities = map[string]string{
+	"PORT":       core.EntityPort,
+	"MIXER":      core.EntityMixer,
+	"VALVE":      core.EntityValve,
+	"VALVE3D":    core.EntityValve3D,
+	"PUMP":       core.EntityPump,
+	"MUX":        core.EntityMux,
+	"TREE":       core.EntityTree,
+	"GRADIENT":   core.EntityGradient,
+	"CHAMBER":    core.EntityChamber,
+	"TRANSPOSER": core.EntityTransposer,
+	"NODE":       core.EntityNode,
+}
+
+// EntityKeyword returns the MINT keyword phrase for a core entity. Every
+// suite entity has a MINT spelling (the identity mapping, upper-cased).
+func EntityKeyword(entity string) string { return entity }
+
+// sortedParamKeys returns a statement's parameter keys in canonical order:
+// the conventional w, h, r, in, out first, the rest alphabetically.
+func sortedParamKeys(params map[string]int64) []string {
+	preferred := []string{"w", "h", "r", "in", "out"}
+	keys := make([]string, 0, len(params))
+	for _, p := range preferred {
+		if _, ok := params[p]; ok {
+			keys = append(keys, p)
+		}
+	}
+	var rest []string
+	for k := range params {
+		if !contains(preferred, k) {
+			rest = append(rest, k)
+		}
+	}
+	sort.Strings(rest)
+	return append(keys, rest...)
+}
+
+// normalizeComponentParams copies params, dropping in=1/out=1 (the
+// defaults) so explicit and implicit defaults canonicalize identically.
+func normalizeComponentParams(params map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(params))
+	for k, v := range params {
+		if (k == "in" || k == "out") && v == 1 {
+			continue
+		}
+		out[k] = v
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// normalizeChannelParams copies params, materializing the default channel
+// width so "no w=" and "w=<default>" canonicalize identically.
+func normalizeChannelParams(params map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(params)+1)
+	for k, v := range params {
+		out[k] = v
+	}
+	if _, ok := out["w"]; !ok {
+		out["w"] = DefaultChannelWidth
+	}
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonicalize rewrites the file into a deterministic normal form: grouped
+// component statements ("PORT a, b r=100;") are exploded into one statement
+// per instance, component statements are sorted by entity then ID, and
+// channels are sorted by ID. Printing a canonicalized file yields
+// byte-stable text, which is what the interchange-fidelity experiment
+// compares.
+func (f *File) Canonicalize() {
+	for li := range f.Layers {
+		l := &f.Layers[li]
+		exploded := make([]ComponentStmt, 0, len(l.Components))
+		for _, stmt := range l.Components {
+			for _, id := range stmt.IDs {
+				single := stmt
+				single.IDs = []string{id}
+				single.Params = normalizeComponentParams(stmt.Params)
+				exploded = append(exploded, single)
+			}
+		}
+		l.Components = exploded
+		for ci := range l.Channels {
+			l.Channels[ci].Params = normalizeChannelParams(l.Channels[ci].Params)
+		}
+		sort.SliceStable(l.Components, func(i, j int) bool {
+			a, b := l.Components[i], l.Components[j]
+			if a.Entity != b.Entity {
+				return a.Entity < b.Entity
+			}
+			return strings.Join(a.IDs, ",") < strings.Join(b.IDs, ",")
+		})
+		sort.SliceStable(l.Channels, func(i, j int) bool {
+			return l.Channels[i].ID < l.Channels[j].ID
+		})
+	}
+}

@@ -1,0 +1,186 @@
+// Package mint implements a reader, writer, and ParchMint converter for the
+// MINT hardware description language — the textual netlist format of the
+// Fluigi CAD flow from which the ParchMint suite's synthetic benchmarks
+// originate. The package supports the structural subset of MINT needed for
+// interchange: device/layer blocks, component declarations with numeric
+// parameters, and CHANNEL statements.
+//
+//	DEVICE demo
+//
+//	LAYER FLOW
+//	    PORT in, out r=100 ;
+//	    MIXER m1 w=2000 h=1000 ;
+//	    CHANNEL c1 from in 1 to m1 1 w=100 ;
+//	    CHANNEL c2 from m1 2 to out 1 w=100 ;
+//	END LAYER
+//
+// Comments run from '#' to end of line. Keywords are case-insensitive;
+// identifiers are case-sensitive.
+package mint
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokSemi
+	tokEq
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokEq:
+		return "'='"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("%q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	default:
+		return t.kind.String()
+	}
+}
+
+// Error is a MINT syntax error with a line number.
+type Error struct {
+	Line    int
+	Message string
+}
+
+// Error renders "mint: line N: message".
+func (e *Error) Error() string { return fmt.Sprintf("mint: line %d: %s", e.Line, e.Message) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Message: fmt.Sprintf(format, args...)}
+}
+
+// lexer tokenizes MINT source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, line: l.line}, nil
+	case c == ';':
+		l.pos++
+		return token{kind: tokSemi, line: l.line}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, line: l.line}, nil
+	case c >= '0' && c <= '9' || c == '-':
+		return l.lexNumber()
+	case isIdentStart(rune(c)):
+		return l.lexIdent(), nil
+	default:
+		return token{}, errf(l.line, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] < '0' || l.src[l.pos] > '9' {
+			return token{}, errf(l.line, "'-' not followed by digits")
+		}
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	var n int64
+	neg := false
+	for i, ch := range text {
+		if i == 0 && ch == '-' {
+			neg = true
+			continue
+		}
+		n = n*10 + int64(ch-'0')
+		if n < 0 {
+			return token{}, errf(l.line, "number %s overflows", text)
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return token{kind: tokNumber, num: n, line: l.line}, nil
+}
+
+func (l *lexer) lexIdent() token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// isKeyword reports whether an identifier equals the keyword,
+// case-insensitively, so "from", "FROM" and "From" all parse.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

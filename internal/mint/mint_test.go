@@ -1,0 +1,436 @@
+package mint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/validate"
+)
+
+const sample = `# A small two-layer device.
+DEVICE demo
+
+LAYER FLOW
+    PORT in, out r=100 ;
+    MIXER m1 w=2000 h=1000 ;
+    TREE t1 w=1500 h=1500 in=1 out=4 ;
+    CHANNEL c1 from in 1 to m1 1 w=120 ;
+    CHANNEL c2 from m1 2 to t1 1 w=120 ;
+    CHANNEL c3 from t1 2 to out 1 ;
+END LAYER
+
+LAYER CONTROL
+    PORT cp r=100 ;
+    VALVE v1 w=300 h=300 ;
+    CHANNEL cc1 from cp 1 to v1 1 w=80 ;
+END LAYER
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.DeviceName != "demo" {
+		t.Errorf("DeviceName = %q", f.DeviceName)
+	}
+	if len(f.Layers) != 2 {
+		t.Fatalf("layers = %d", len(f.Layers))
+	}
+	flow := f.Layers[0]
+	if flow.Type != core.LayerFlow || len(flow.Components) != 3 || len(flow.Channels) != 3 {
+		t.Errorf("flow block = %+v", flow)
+	}
+	// Grouped declaration keeps both IDs.
+	if got := flow.Components[0].IDs; len(got) != 2 || got[0] != "in" || got[1] != "out" {
+		t.Errorf("grouped PORT ids = %v", got)
+	}
+	if flow.Components[0].Params["r"] != 100 {
+		t.Errorf("PORT params = %v", flow.Components[0].Params)
+	}
+	tree := flow.Components[2]
+	if tree.Entity != core.EntityTree || tree.Params["out"] != 4 {
+		t.Errorf("TREE stmt = %+v", tree)
+	}
+	c1 := flow.Channels[0]
+	if c1.From != (Ref{Component: "in", PortNum: 1}) || c1.To != (Ref{Component: "m1", PortNum: 1}) {
+		t.Errorf("c1 = %+v", c1)
+	}
+	if c1.Params["w"] != 120 {
+		t.Errorf("c1 width = %v", c1.Params)
+	}
+	// c3 has no params.
+	if f.Layers[0].Channels[2].Params != nil {
+		t.Errorf("c3 params = %v", f.Layers[0].Channels[2].Params)
+	}
+	ctrl := f.Layers[1]
+	if ctrl.Type != core.LayerControl || len(ctrl.Components) != 2 {
+		t.Errorf("control block = %+v", ctrl)
+	}
+}
+
+func TestParseTwoWordEntity(t *testing.T) {
+	src := `DEVICE d
+LAYER FLOW
+    ROTARY PUMP rp1 w=1200 h=1200 ;
+    DIAMOND CHAMBER dc1 ;
+    CELL TRAP ct1, ct2 ;
+END LAYER
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	comps := f.Layers[0].Components
+	if comps[0].Entity != core.EntityRotaryPump {
+		t.Errorf("entity = %q", comps[0].Entity)
+	}
+	if comps[1].Entity != core.EntityDiamondChamber || comps[1].IDs[0] != "dc1" {
+		t.Errorf("diamond = %+v", comps[1])
+	}
+	if comps[2].Entity != core.EntityCellTrap || len(comps[2].IDs) != 2 {
+		t.Errorf("cell trap = %+v", comps[2])
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	src := "device d\nlayer flow\n  port p1 r=50 ;\n  channel c from p1 To p1 ;\nend layer\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.DeviceName != "d" || len(f.Layers[0].Channels) != 1 {
+		t.Errorf("parsed = %+v", f)
+	}
+}
+
+func TestParseAnyPortRef(t *testing.T) {
+	src := "DEVICE d\nLAYER FLOW\nPORT a, b r=50 ;\nCHANNEL c from a to b ;\nEND LAYER\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ch := f.Layers[0].Channels[0]
+	if ch.From.PortNum != 0 || ch.To.PortNum != 0 {
+		t.Errorf("any-port refs = %+v", ch)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"missing DEVICE", "LAYER FLOW\nEND LAYER", "DEVICE"},
+		{"no layers", "DEVICE d\n", "no LAYER blocks"},
+		{"bad layer type", "DEVICE d\nLAYER SIDEWAYS\nEND LAYER", "FLOW or CONTROL"},
+		{"unterminated layer", "DEVICE d\nLAYER FLOW\nPORT p r=10 ;", "END LAYER"},
+		{"unknown entity", "DEVICE d\nLAYER FLOW\nWIDGET w1 ;\nEND LAYER", "unknown entity"},
+		{"missing semi", "DEVICE d\nLAYER FLOW\nPORT p r=10\nEND LAYER", "end of statement"},
+		{"bad param", "DEVICE d\nLAYER FLOW\nPORT p r ;\nEND LAYER", "'='"},
+		{"dup param", "DEVICE d\nLAYER FLOW\nPORT p r=1 r=2 ;\nEND LAYER", "duplicate parameter"},
+		{"zero port num", "DEVICE d\nLAYER FLOW\nPORT a,b r=1 ;\nCHANNEL c from a 0 to b ;\nEND LAYER", "1-based"},
+		{"missing to", "DEVICE d\nLAYER FLOW\nPORT a,b r=1 ;\nCHANNEL c from a 1 b 1 ;\nEND LAYER", "to"},
+		{"bad char", "DEVICE d\nLAYER FLOW\nPORT p r=1 @ ;\nEND LAYER", "unexpected character"},
+		{"dangling minus", "DEVICE d\nLAYER FLOW\nPORT p r=- ;\nEND LAYER", "digits"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("DEVICE d\nLAYER FLOW\nWIDGET w1 ;\nEND LAYER")
+	var me *Error
+	if !errors.As(err, &me) {
+		t.Fatalf("error type = %T", err)
+	}
+	if me.Line != 3 {
+		t.Errorf("error line = %d, want 3", me.Line)
+	}
+}
+
+func TestToDevice(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, fid, err := ToDevice(f)
+	if err != nil {
+		t.Fatalf("ToDevice: %v", err)
+	}
+	if !fid.Lossless() {
+		t.Errorf("sample should convert losslessly: %v", fid.Notes)
+	}
+	if d.Name != "demo" || len(d.Layers) != 2 {
+		t.Errorf("device = %+v", d)
+	}
+	if got := d.Stats(); got.Components != 6 || got.Connections != 4 {
+		t.Errorf("Stats = %+v", got)
+	}
+	ix := d.Index()
+	// r=100 becomes a 200x200 PORT with a centered port.
+	in := ix.Component("in")
+	if in.XSpan != 200 || in.YSpan != 200 {
+		t.Errorf("in spans = %dx%d", in.XSpan, in.YSpan)
+	}
+	if p := in.Ports[0]; p.Label != "port1" || p.X != 100 || p.Y != 100 {
+		t.Errorf("in port = %+v", p)
+	}
+	// TREE in=1 out=4 gets 5 convention ports.
+	tree := ix.Component("t1")
+	if len(tree.Ports) != 5 {
+		t.Fatalf("tree ports = %d", len(tree.Ports))
+	}
+	if tree.Ports[0].X != 0 || tree.Ports[0].Y != 750 {
+		t.Errorf("tree in port = %+v", tree.Ports[0])
+	}
+	if tree.Ports[1].X != 1500 || tree.Ports[1].Y != 300 {
+		t.Errorf("tree out port1 = %+v", tree.Ports[1])
+	}
+	// Channel widths preserved via namespaced params.
+	if w := d.Params.GetDefault("channelWidth.c1", 0); w != 120 {
+		t.Errorf("c1 width param = %v", w)
+	}
+	// Default widths are not recorded: absent param means the default.
+	if _, ok := d.Params.Get("channelWidth.c3"); ok {
+		t.Error("default-width channel should not get a param entry")
+	}
+	// The converted device must validate cleanly.
+	r := validate.Validate(d)
+	if !r.OK() {
+		t.Errorf("converted device invalid:\n%s", r)
+	}
+}
+
+func TestToDeviceErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"bad radius", "DEVICE d\nLAYER FLOW\nPORT p r=0 ;\nEND LAYER", "radius"},
+		{"bad footprint", "DEVICE d\nLAYER FLOW\nMIXER m w=0 h=10 ;\nEND LAYER", "footprint"},
+		{"bad ports", "DEVICE d\nLAYER FLOW\nMIXER m in=0 out=0 ;\nEND LAYER", "port counts"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if _, _, err := ToDevice(f); err == nil || !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("ToDevice error = %v, want mention of %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestToDeviceDropsUnknownParams(t *testing.T) {
+	f, err := Parse("DEVICE d\nLAYER FLOW\nMIXER m w=10 h=10 bogus=3 ;\nCHANNEL c from m 1 to m 2 q=1 ;\nEND LAYER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fid, err := ToDevice(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.Lossless() || len(fid.Notes) != 2 {
+		t.Errorf("Notes = %v", fid.Notes)
+	}
+}
+
+func TestToDeviceRepeatedLayers(t *testing.T) {
+	src := "DEVICE d\nLAYER FLOW\nPORT a r=50 ;\nEND LAYER\nLAYER FLOW\nPORT b r=50 ;\nEND LAYER"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := ToDevice(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layers[0].ID != "flow" || d.Layers[1].ID != "flow2" {
+		t.Errorf("layer ids = %v", d.Layers)
+	}
+}
+
+func TestMintRoundTripThroughDevice(t *testing.T) {
+	// MINT -> Device -> MINT must be canonically byte-identical for files
+	// inside the subset.
+	f1, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, fid, err := ToDevice(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fid.Lossless() {
+		t.Fatalf("forward notes: %v", fid.Notes)
+	}
+	f2, fid2, err := FromDevice(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fid2.Lossless() {
+		t.Fatalf("backward notes: %v", fid2.Notes)
+	}
+	f1.Canonicalize()
+	f2.Canonicalize()
+	t1, t2 := Print(f1), Print(f2)
+	if t1 != t2 {
+		t.Errorf("round trip text differs:\n--- original\n%s\n--- round trip\n%s", t1, t2)
+	}
+}
+
+func TestDeviceRoundTripThroughMint(t *testing.T) {
+	// Device -> MINT -> Device must reproduce the device for in-subset
+	// devices built with the convention helpers.
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _, err := ToDevice(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, fid, err := FromDevice(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fid.Lossless() {
+		t.Fatalf("FromDevice notes: %v", fid.Notes)
+	}
+	d2, _, err := ToDevice(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Canonicalize()
+	d2.Canonicalize()
+	if !core.Equal(d1, d2) {
+		a, _ := core.Marshal(d1)
+		b, _ := core.Marshal(d2)
+		t.Errorf("device round trip differs:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func TestFromDeviceDegradations(t *testing.T) {
+	b := core.NewBuilder("odd")
+	flow := b.FlowLayer()
+	ctrl := b.ControlLayer()
+	// Multi-layer valve with an off-convention control port.
+	b.Component("v1", core.EntityValve, []string{flow, ctrl}, 300, 300,
+		core.Port{Label: "port1", Layer: flow, X: 0, Y: 150},
+		core.Port{Label: "port2", Layer: flow, X: 300, Y: 150},
+		core.Port{Label: "ctl", Layer: ctrl, X: 150, Y: 0},
+	)
+	b.IOPort("in", flow, 200)
+	// Multi-sink connection and a symbolic port label.
+	b.Connect("n1", flow, "in.port1", "v1.port1", "v1.port2")
+	b.Connect("n2", ctrl, "v1.ctl", "in.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, fid, err := FromDevice(d)
+	if err != nil {
+		t.Fatalf("FromDevice: %v", err)
+	}
+	if fid.Lossless() {
+		t.Fatal("off-subset device should produce notes")
+	}
+	joined := strings.Join(fid.Notes, "\n")
+	for _, frag := range []string{"spans 2 layers", "fanout 2", "port geometry", "not numeric"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("notes missing %q:\n%s", frag, joined)
+		}
+	}
+	// Output still parses.
+	if _, err := Parse(Print(m)); err != nil {
+		t.Errorf("degraded output does not re-parse: %v\n%s", err, Print(m))
+	}
+}
+
+func TestFromDeviceErrors(t *testing.T) {
+	if _, _, err := FromDevice(&core.Device{Name: "bare"}); err == nil {
+		t.Error("device without layers should fail")
+	}
+}
+
+func TestFromDeviceUnknownEntity(t *testing.T) {
+	d := &core.Device{
+		Name:   "d",
+		Layers: []core.Layer{{ID: "flow", Name: "flow", Type: core.LayerFlow}},
+		Components: []core.Component{{
+			ID: "x", Entity: "CUSTOM THING", Layers: []string{"flow"}, XSpan: 10, YSpan: 10,
+		}},
+	}
+	m, fid, err := FromDevice(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.Lossless() {
+		t.Error("unknown entity should be noted")
+	}
+	if m.Layers[0].Components[0].Entity != core.EntityChamber {
+		t.Errorf("fallback entity = %q", m.Layers[0].Components[0].Entity)
+	}
+}
+
+func TestPrintIsStableAndReparses(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Canonicalize()
+	text := Print(f)
+	f2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("printed text does not parse: %v\n%s", err, text)
+	}
+	f2.Canonicalize()
+	if Print(f2) != text {
+		t.Error("print -> parse -> print is not a fixed point")
+	}
+}
+
+func TestCanonicalizeExplodesGroups(t *testing.T) {
+	f, err := Parse("DEVICE d\nLAYER FLOW\nPORT b, a r=10 ;\nEND LAYER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Canonicalize()
+	comps := f.Layers[0].Components
+	if len(comps) != 2 || comps[0].IDs[0] != "a" || comps[1].IDs[0] != "b" {
+		t.Errorf("canonical components = %+v", comps)
+	}
+}
+
+func TestConventionPorts(t *testing.T) {
+	ports := ConventionPorts(core.EntityMux, "flow", 1000, 900, 2, 3)
+	if len(ports) != 5 {
+		t.Fatalf("port count = %d", len(ports))
+	}
+	// Inputs on west edge at 1/3 and 2/3 height.
+	if ports[0] != (core.Port{Label: "port1", Layer: "flow", X: 0, Y: 300}) {
+		t.Errorf("port1 = %+v", ports[0])
+	}
+	if ports[1] != (core.Port{Label: "port2", Layer: "flow", X: 0, Y: 600}) {
+		t.Errorf("port2 = %+v", ports[1])
+	}
+	// Outputs on east edge at 1/4, 2/4, 3/4.
+	if ports[2] != (core.Port{Label: "port3", Layer: "flow", X: 1000, Y: 225}) {
+		t.Errorf("port3 = %+v", ports[2])
+	}
+	if ports[4].Label != "port5" || ports[4].Y != 675 {
+		t.Errorf("port5 = %+v", ports[4])
+	}
+}

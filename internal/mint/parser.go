@@ -1,0 +1,259 @@
+package mint
+
+import (
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Parse parses MINT source text into a File.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseFile()
+}
+
+type parser struct {
+	lex *lexer
+	tok token // current token
+}
+
+// isReserved reports whether a token is a structural keyword that can never
+// start a parameter; param parsing stops there so a missing semicolon is
+// reported at the statement boundary rather than swallowing the keyword.
+func isReserved(t token) bool {
+	for _, kw := range [...]string{"DEVICE", "LAYER", "END", "CHANNEL", "from", "to"} {
+		if isKeyword(t, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, errf(p.tok.line, "expected %s (%s), got %s", kind, what, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// expectKeyword consumes the given case-insensitive keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !isKeyword(p.tok, kw) {
+		return errf(p.tok.line, "expected keyword %s, got %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseFile() (*File, error) {
+	if err := p.expectKeyword("DEVICE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "device name")
+	if err != nil {
+		return nil, err
+	}
+	f := &File{DeviceName: name.text}
+	for p.tok.kind != tokEOF {
+		layer, err := p.parseLayer()
+		if err != nil {
+			return nil, err
+		}
+		f.Layers = append(f.Layers, layer)
+	}
+	if len(f.Layers) == 0 {
+		return nil, errf(p.tok.line, "device %q has no LAYER blocks", f.DeviceName)
+	}
+	return f, nil
+}
+
+func (p *parser) parseLayer() (LayerBlock, error) {
+	var block LayerBlock
+	if err := p.expectKeyword("LAYER"); err != nil {
+		return block, err
+	}
+	switch {
+	case isKeyword(p.tok, "FLOW"):
+		block.Type = core.LayerFlow
+	case isKeyword(p.tok, "CONTROL"):
+		block.Type = core.LayerControl
+	default:
+		return block, errf(p.tok.line, "expected FLOW or CONTROL after LAYER, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return block, err
+	}
+	for {
+		switch {
+		case isKeyword(p.tok, "END"):
+			if err := p.advance(); err != nil {
+				return block, err
+			}
+			if err := p.expectKeyword("LAYER"); err != nil {
+				return block, err
+			}
+			return block, nil
+		case p.tok.kind == tokEOF:
+			return block, errf(p.tok.line, "unexpected end of input inside LAYER block (missing END LAYER)")
+		case isKeyword(p.tok, "CHANNEL"):
+			ch, err := p.parseChannel()
+			if err != nil {
+				return block, err
+			}
+			block.Channels = append(block.Channels, ch)
+		default:
+			comp, err := p.parseComponent()
+			if err != nil {
+				return block, err
+			}
+			block.Components = append(block.Components, comp)
+		}
+	}
+}
+
+// parseComponent parses "ENTITY [ENTITY2] id(, id)* (key=value)* ;".
+func (p *parser) parseComponent() (ComponentStmt, error) {
+	var stmt ComponentStmt
+	stmt.Line = p.tok.line
+	head, err := p.expect(tokIdent, "entity keyword")
+	if err != nil {
+		return stmt, err
+	}
+	first := strings.ToUpper(head.text)
+	// Greedy two-word entity match: "ROTARY PUMP p1 ..." — the second word
+	// must combine with the first into a known phrase, otherwise it is the
+	// instance name.
+	if p.tok.kind == tokIdent {
+		phrase := first + " " + strings.ToUpper(p.tok.text)
+		if entity, ok := twoWordEntities[phrase]; ok {
+			stmt.Entity = entity
+			if err := p.advance(); err != nil {
+				return stmt, err
+			}
+		}
+	}
+	if stmt.Entity == "" {
+		entity, ok := oneWordEntities[first]
+		if !ok {
+			return stmt, errf(head.line, "unknown entity keyword %q", head.text)
+		}
+		stmt.Entity = entity
+	}
+	// Instance names.
+	for {
+		id, err := p.expect(tokIdent, "component name")
+		if err != nil {
+			return stmt, err
+		}
+		stmt.IDs = append(stmt.IDs, id.text)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return stmt, err
+		}
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return stmt, err
+	}
+	stmt.Params = params
+	_, err = p.expect(tokSemi, "end of statement")
+	return stmt, err
+}
+
+// parseChannel parses "CHANNEL id from ref to ref (key=value)* ;".
+func (p *parser) parseChannel() (ChannelStmt, error) {
+	var stmt ChannelStmt
+	stmt.Line = p.tok.line
+	if err := p.expectKeyword("CHANNEL"); err != nil {
+		return stmt, err
+	}
+	id, err := p.expect(tokIdent, "channel name")
+	if err != nil {
+		return stmt, err
+	}
+	stmt.ID = id.text
+	if err := p.expectKeyword("from"); err != nil {
+		return stmt, err
+	}
+	if stmt.From, err = p.parseRef(); err != nil {
+		return stmt, err
+	}
+	if err := p.expectKeyword("to"); err != nil {
+		return stmt, err
+	}
+	if stmt.To, err = p.parseRef(); err != nil {
+		return stmt, err
+	}
+	if stmt.Params, err = p.parseParams(); err != nil {
+		return stmt, err
+	}
+	_, err = p.expect(tokSemi, "end of statement")
+	return stmt, err
+}
+
+// parseRef parses "component [portnumber]".
+func (p *parser) parseRef() (Ref, error) {
+	comp, err := p.expect(tokIdent, "component reference")
+	if err != nil {
+		return Ref{}, err
+	}
+	ref := Ref{Component: comp.text}
+	if p.tok.kind == tokNumber {
+		if p.tok.num <= 0 {
+			return ref, errf(p.tok.line, "port numbers are 1-based, got %d", p.tok.num)
+		}
+		ref.PortNum = int(p.tok.num)
+		if err := p.advance(); err != nil {
+			return ref, err
+		}
+	}
+	return ref, nil
+}
+
+// parseParams parses zero or more "key=value" pairs. A nil map is returned
+// when there are none.
+func (p *parser) parseParams() (map[string]int64, error) {
+	var params map[string]int64
+	for p.tok.kind == tokIdent && !isReserved(p.tok) {
+		key := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokEq {
+			return nil, errf(key.line, "expected '=' after parameter %q, got %s", key.text, p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.expect(tokNumber, "parameter value")
+		if err != nil {
+			return nil, err
+		}
+		if params == nil {
+			params = make(map[string]int64)
+		}
+		if _, dup := params[key.text]; dup {
+			return nil, errf(key.line, "duplicate parameter %q", key.text)
+		}
+		params[key.text] = val.num
+	}
+	return params, nil
+}

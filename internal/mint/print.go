@@ -1,0 +1,52 @@
+package mint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Print renders the file as MINT source text. Printing a canonicalized
+// file is byte-stable; Parse(Print(f)) reproduces f up to statement
+// grouping (see Canonicalize).
+func Print(f *File) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DEVICE %s\n", f.DeviceName)
+	for _, block := range f.Layers {
+		sb.WriteByte('\n')
+		kind := "FLOW"
+		if block.Type == core.LayerControl {
+			kind = "CONTROL"
+		}
+		fmt.Fprintf(&sb, "LAYER %s\n", kind)
+		for _, c := range block.Components {
+			sb.WriteString("    ")
+			sb.WriteString(EntityKeyword(c.Entity))
+			sb.WriteByte(' ')
+			sb.WriteString(strings.Join(c.IDs, ", "))
+			writeParams(&sb, c.Params)
+			sb.WriteString(" ;\n")
+		}
+		for _, ch := range block.Channels {
+			fmt.Fprintf(&sb, "    CHANNEL %s from %s to %s", ch.ID, refString(ch.From), refString(ch.To))
+			writeParams(&sb, ch.Params)
+			sb.WriteString(" ;\n")
+		}
+		sb.WriteString("END LAYER\n")
+	}
+	return sb.String()
+}
+
+func writeParams(sb *strings.Builder, params map[string]int64) {
+	for _, k := range sortedParamKeys(params) {
+		fmt.Fprintf(sb, " %s=%d", k, params[k])
+	}
+}
+
+func refString(r Ref) string {
+	if r.PortNum > 0 {
+		return fmt.Sprintf("%s %d", r.Component, r.PortNum)
+	}
+	return r.Component
+}

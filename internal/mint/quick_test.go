@@ -1,0 +1,108 @@
+package mint
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// randomMintDevice builds a random device inside the MINT subset: single
+// layer per component, convention ports, single-sink channels.
+func randomMintDevice(seed uint64) *core.Device {
+	r := xrand.New(seed*31 + 7)
+	b := core.NewBuilder(fmt.Sprintf("mintfuzz_%d", seed))
+	flow := b.FlowLayer()
+	entities := []string{core.EntityMixer, core.EntityChamber, core.EntityTree, core.EntityMux}
+
+	type sig struct{ comp, port string }
+	var outs []sig // unconsumed output ports
+	var ins []sig  // unconsumed input ports
+	nComps := 2 + r.Intn(8)
+	for i := 0; i < nComps; i++ {
+		id := fmt.Sprintf("u%d", i)
+		if r.Intn(3) == 0 {
+			size := int64(100+r.Intn(5)*50) * 2 // even for r= encoding
+			b.IOPort(id, flow, size)
+			outs = append(outs, sig{id, "port1"})
+			ins = append(ins, sig{id, "port1"})
+			continue
+		}
+		entity := entities[r.Intn(len(entities))]
+		in := 1 + r.Intn(3)
+		out := 1 + r.Intn(3)
+		x := int64(600 + r.Intn(15)*100)
+		y := int64(400 + r.Intn(10)*100)
+		b.Component(id, entity, []string{flow}, x, y,
+			ConventionPorts(entity, flow, x, y, in, out)...)
+		for k := 1; k <= in; k++ {
+			ins = append(ins, sig{id, fmt.Sprintf("port%d", k)})
+		}
+		for k := 1; k <= out; k++ {
+			outs = append(outs, sig{id, fmt.Sprintf("port%d", in+k)})
+		}
+	}
+	nConns := 1 + r.Intn(6)
+	for i := 0; i < nConns && len(ins) > 0 && len(outs) > 0; i++ {
+		src := outs[r.Intn(len(outs))]
+		dst := ins[r.Intn(len(ins))]
+		b.Connect(fmt.Sprintf("w%d", i), flow,
+			src.comp+"."+src.port, dst.comp+"."+dst.port)
+	}
+	return b.MustBuild()
+}
+
+// TestQuickDeviceMintRoundTrip: in-subset devices survive
+// Device -> MINT -> Device losslessly.
+func TestQuickDeviceMintRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		d1 := randomMintDevice(seed)
+		f, fid, err := FromDevice(d1)
+		if err != nil || !fid.Lossless() {
+			t.Logf("seed %d: FromDevice err=%v notes=%v", seed, err, fid.Notes)
+			return false
+		}
+		d2, fid2, err := ToDevice(f)
+		if err != nil || !fid2.Lossless() {
+			t.Logf("seed %d: ToDevice err=%v notes=%v", seed, err, fid2.Notes)
+			return false
+		}
+		a, b := d1.Clone(), d2
+		a.Canonicalize()
+		b.Canonicalize()
+		if !core.Equal(a, b) {
+			t.Logf("seed %d: devices differ", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrintParseFixedPoint: canonical print -> parse -> print is a
+// fixed point for generated files.
+func TestQuickPrintParseFixedPoint(t *testing.T) {
+	prop := func(seed uint64) bool {
+		d := randomMintDevice(seed)
+		f, _, err := FromDevice(d)
+		if err != nil {
+			return false
+		}
+		f.Canonicalize()
+		text := Print(f)
+		f2, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: reparse failed: %v\n%s", seed, err, text)
+			return false
+		}
+		f2.Canonicalize()
+		return Print(f2) == text
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

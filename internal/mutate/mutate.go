@@ -1,0 +1,298 @@
+// Package mutate injects classified faults into ParchMint devices. Each
+// mutation class breaks exactly one well-formedness property, paired with
+// the validator rule code expected to catch it; the Table 3 experiment
+// applies every class to every benchmark across many seeds and reports
+// per-class detection rates.
+package mutate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/validate"
+	"repro/internal/xrand"
+)
+
+// Class names one fault class.
+type Class string
+
+// The mutation classes.
+const (
+	// DropComponent deletes a connected component, leaving dangling
+	// connection endpoints.
+	DropComponent Class = "drop-component"
+	// DuplicateID renames a component to collide with another.
+	DuplicateID Class = "duplicate-id"
+	// RenamePort renames a referenced port, breaking the reference.
+	RenamePort Class = "rename-port"
+	// SwapConnectionLayer moves a connection to a different layer than its
+	// ports.
+	SwapConnectionLayer Class = "swap-connection-layer"
+	// NegateSpan makes a component footprint non-positive.
+	NegateSpan Class = "negate-span"
+	// DisplacePort moves a port outside its component's footprint.
+	DisplacePort Class = "displace-port"
+	// EmptyNet removes all sinks from a connection.
+	EmptyNet Class = "empty-net"
+	// DropLayer deletes a layer that components still occupy.
+	DropLayer Class = "drop-layer"
+)
+
+// Mutation pairs a class with the validator code expected to flag it.
+type Mutation struct {
+	Class Class
+	// Expect is the diagnostic code the validator must raise.
+	Expect validate.Code
+	// Description says what the mutation breaks.
+	Description string
+}
+
+// Classes lists every mutation class with its expected detection code.
+func Classes() []Mutation {
+	return []Mutation{
+		{DropComponent, validate.CodeMissingRef, "delete a connected component"},
+		{DuplicateID, validate.CodeDupID, "collide two component IDs"},
+		{RenamePort, validate.CodeMissingRef, "rename a referenced port"},
+		{SwapConnectionLayer, validate.CodeLayerMismatch, "move a connection across layers"},
+		{NegateSpan, validate.CodeBadGeometry, "zero a component span"},
+		{DisplacePort, validate.CodeBadGeometry, "push a port off its footprint"},
+		{EmptyNet, validate.CodeEmptyNet, "strip a connection's sinks"},
+		{DropLayer, validate.CodeMissingRef, "delete an occupied layer"},
+	}
+}
+
+// ErrNotApplicable reports that a device has no site where the requested
+// mutation class can be injected.
+type ErrNotApplicable struct {
+	Class  Class
+	Device string
+}
+
+// Error renders the condition.
+func (e *ErrNotApplicable) Error() string {
+	return fmt.Sprintf("mutate: class %q not applicable to device %q", e.Class, e.Device)
+}
+
+// Apply returns a mutated deep copy of d carrying one fault of the given
+// class, selected pseudo-randomly by seed. The input device is never
+// modified. It returns ErrNotApplicable when the device offers no
+// injection site for the class.
+func Apply(d *core.Device, class Class, seed uint64) (*core.Device, error) {
+	out := d.Clone()
+	r := xrand.New(seed ^ 0xFAB1_0000)
+	var ok bool
+	switch class {
+	case DropComponent:
+		ok = dropComponent(out, r)
+	case DuplicateID:
+		ok = duplicateID(out, r)
+	case RenamePort:
+		ok = renamePort(out, r)
+	case SwapConnectionLayer:
+		ok = swapConnectionLayer(out, r)
+	case NegateSpan:
+		ok = negateSpan(out, r)
+	case DisplacePort:
+		ok = displacePort(out, r)
+	case EmptyNet:
+		ok = emptyNet(out, r)
+	case DropLayer:
+		ok = dropLayer(out, r)
+	default:
+		return nil, fmt.Errorf("mutate: unknown class %q", class)
+	}
+	if !ok {
+		return nil, &ErrNotApplicable{Class: class, Device: d.Name}
+	}
+	return out, nil
+}
+
+// connectedComponentIDs returns the IDs touched by at least one connection.
+func connectedComponentIDs(d *core.Device) []string {
+	touched := map[string]bool{}
+	for i := range d.Connections {
+		touched[d.Connections[i].Source.Component] = true
+		for _, s := range d.Connections[i].Sinks {
+			touched[s.Component] = true
+		}
+	}
+	var out []string
+	for i := range d.Components {
+		if touched[d.Components[i].ID] {
+			out = append(out, d.Components[i].ID)
+		}
+	}
+	return out
+}
+
+func dropComponent(d *core.Device, r *xrand.Source) bool {
+	victims := connectedComponentIDs(d)
+	if len(victims) == 0 {
+		return false
+	}
+	id := victims[r.Intn(len(victims))]
+	for i := range d.Components {
+		if d.Components[i].ID == id {
+			d.Components = append(d.Components[:i], d.Components[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func duplicateID(d *core.Device, r *xrand.Source) bool {
+	if len(d.Components) < 2 {
+		return false
+	}
+	i := r.Intn(len(d.Components))
+	j := r.Intn(len(d.Components) - 1)
+	if j >= i {
+		j++
+	}
+	d.Components[j].ID = d.Components[i].ID
+	return true
+}
+
+func renamePort(d *core.Device, r *xrand.Source) bool {
+	// Collect (component, port) pairs actually referenced by connections.
+	type ref struct{ comp, port string }
+	var refs []ref
+	for i := range d.Connections {
+		for _, t := range d.Connections[i].Targets() {
+			if t.Port != "" {
+				refs = append(refs, ref{t.Component, t.Port})
+			}
+		}
+	}
+	if len(refs) == 0 {
+		return false
+	}
+	pick := refs[r.Intn(len(refs))]
+	ix := d.Index()
+	c := ix.Component(pick.comp)
+	if c == nil {
+		return false
+	}
+	for i := range c.Ports {
+		if c.Ports[i].Label == pick.port {
+			c.Ports[i].Label = pick.port + "_broken"
+			return true
+		}
+	}
+	return false
+}
+
+func swapConnectionLayer(d *core.Device, r *xrand.Source) bool {
+	if len(d.Layers) < 2 || len(d.Connections) == 0 {
+		return false
+	}
+	// Choose a connection with at least one resolvable, port-named
+	// endpoint so the layer mismatch is actually observable.
+	ix := d.Index()
+	order := r.Intn(len(d.Connections))
+	for k := 0; k < len(d.Connections); k++ {
+		cn := &d.Connections[(order+k)%len(d.Connections)]
+		resolvable := false
+		for _, t := range cn.Targets() {
+			if _, _, ok := ix.ResolveTarget(t); ok && t.Port != "" {
+				resolvable = true
+				break
+			}
+		}
+		if !resolvable {
+			continue
+		}
+		for _, l := range d.Layers {
+			if l.ID != cn.Layer {
+				cn.Layer = l.ID
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func negateSpan(d *core.Device, r *xrand.Source) bool {
+	if len(d.Components) == 0 {
+		return false
+	}
+	c := &d.Components[r.Intn(len(d.Components))]
+	if r.Intn(2) == 0 {
+		c.XSpan = 0
+	} else {
+		c.YSpan = -c.YSpan
+	}
+	return true
+}
+
+func displacePort(d *core.Device, r *xrand.Source) bool {
+	var candidates []*core.Component
+	for i := range d.Components {
+		if len(d.Components[i].Ports) > 0 && d.Components[i].XSpan > 0 && d.Components[i].YSpan > 0 {
+			candidates = append(candidates, &d.Components[i])
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	c := candidates[r.Intn(len(candidates))]
+	p := &c.Ports[r.Intn(len(c.Ports))]
+	p.X = c.XSpan + 1 + r.Int63n(1000)
+	return true
+}
+
+func emptyNet(d *core.Device, r *xrand.Source) bool {
+	if len(d.Connections) == 0 {
+		return false
+	}
+	d.Connections[r.Intn(len(d.Connections))].Sinks = nil
+	return true
+}
+
+func dropLayer(d *core.Device, r *xrand.Source) bool {
+	// Only layers that some component occupies make the fault observable.
+	occupied := map[string]bool{}
+	for i := range d.Components {
+		for _, l := range d.Components[i].Layers {
+			occupied[l] = true
+		}
+	}
+	var candidates []int
+	for i := range d.Layers {
+		if occupied[d.Layers[i].ID] {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	i := candidates[r.Intn(len(candidates))]
+	d.Layers = append(d.Layers[:i], d.Layers[i+1:]...)
+	return true
+}
+
+// Detection is the outcome of one injection trial.
+type Detection struct {
+	Class    Class
+	Expected validate.Code
+	// Applicable is false when the device had no injection site.
+	Applicable bool
+	// Detected is true when validation raised the expected code.
+	Detected bool
+	// ErrorsRaised is the total error-severity diagnostics raised.
+	ErrorsRaised int
+}
+
+// Trial injects one fault and validates the result.
+func Trial(d *core.Device, m Mutation, seed uint64) Detection {
+	out := Detection{Class: m.Class, Expected: m.Expect}
+	mutated, err := Apply(d, m.Class, seed)
+	if err != nil {
+		return out
+	}
+	out.Applicable = true
+	report := validate.Validate(mutated)
+	out.Detected = report.HasCode(m.Expect)
+	out.ErrorsRaised = report.Errors()
+	return out
+}

@@ -1,0 +1,198 @@
+package mutate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/validate"
+)
+
+func device(t testing.TB) *core.Device {
+	t.Helper()
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestClassesComplete(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 8 {
+		t.Fatalf("classes = %d, want 8", len(cs))
+	}
+	seen := map[Class]bool{}
+	for _, m := range cs {
+		if seen[m.Class] {
+			t.Errorf("duplicate class %q", m.Class)
+		}
+		seen[m.Class] = true
+		if m.Expect == "" || m.Description == "" {
+			t.Errorf("class %q incomplete", m.Class)
+		}
+	}
+}
+
+func TestApplyNeverMutatesInput(t *testing.T) {
+	d := device(t)
+	ref := d.Clone()
+	for _, m := range Classes() {
+		for seed := uint64(0); seed < 5; seed++ {
+			if _, err := Apply(d, m.Class, seed); err != nil {
+				var na *ErrNotApplicable
+				if !errors.As(err, &na) {
+					t.Fatalf("Apply(%s): %v", m.Class, err)
+				}
+			}
+		}
+	}
+	if !core.Equal(d, ref) {
+		t.Error("Apply mutated its input device")
+	}
+}
+
+func TestApplyChangesDevice(t *testing.T) {
+	d := device(t)
+	for _, m := range Classes() {
+		t.Run(string(m.Class), func(t *testing.T) {
+			mut, err := Apply(d, m.Class, 1)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if core.Equal(d, mut) {
+				t.Error("mutation produced an identical device")
+			}
+		})
+	}
+}
+
+func TestApplyUnknownClass(t *testing.T) {
+	if _, err := Apply(device(t), Class("bogus"), 1); err == nil {
+		t.Error("unknown class should error")
+	} else if !strings.Contains(err.Error(), "unknown class") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	d := device(t)
+	for _, m := range Classes() {
+		a, errA := Apply(d, m.Class, 42)
+		b, errB := Apply(d, m.Class, 42)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("class %s: nondeterministic applicability", m.Class)
+		}
+		if errA == nil && !core.Equal(a, b) {
+			t.Errorf("class %s: same seed produced different mutants", m.Class)
+		}
+	}
+}
+
+// TestEveryClassDetectedOnEveryBenchmark is the Table 3 invariant: each
+// mutation class, wherever applicable, must be caught by its expected
+// validator rule on every benchmark.
+func TestEveryClassDetectedOnEveryBenchmark(t *testing.T) {
+	for _, b := range bench.Suite() {
+		d := b.Build()
+		for _, m := range Classes() {
+			applicable, detected := 0, 0
+			for seed := uint64(0); seed < 10; seed++ {
+				res := Trial(d, m, seed)
+				if res.Applicable {
+					applicable++
+					if res.Detected {
+						detected++
+					}
+				}
+			}
+			if applicable == 0 && m.Class != SwapConnectionLayer {
+				// Only layer swaps can be inapplicable (single-layer synthetics
+				// still have 1 layer... they have exactly one layer).
+				t.Errorf("%s/%s: never applicable", b.Name, m.Class)
+			}
+			if detected != applicable {
+				t.Errorf("%s/%s: detected %d of %d injections",
+					b.Name, m.Class, detected, applicable)
+			}
+		}
+	}
+}
+
+func TestNotApplicable(t *testing.T) {
+	// A device with one layer cannot host a layer swap.
+	b := core.NewBuilder("single")
+	flow := b.FlowLayer()
+	b.IOPort("a", flow, 100)
+	b.IOPort("z", flow, 100)
+	b.Connect("c", flow, "a.port1", "z.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Apply(d, SwapConnectionLayer, 1)
+	var na *ErrNotApplicable
+	if !errors.As(err, &na) {
+		t.Fatalf("err = %v, want ErrNotApplicable", err)
+	}
+	if na.Class != SwapConnectionLayer || na.Device != "single" {
+		t.Errorf("ErrNotApplicable fields = %+v", na)
+	}
+	if !strings.Contains(na.Error(), "swap-connection-layer") {
+		t.Errorf("Error() = %q", na.Error())
+	}
+}
+
+func TestNotApplicableEmptyDevice(t *testing.T) {
+	d := &core.Device{Name: "empty"}
+	for _, m := range Classes() {
+		if _, err := Apply(d, m.Class, 1); err == nil {
+			t.Errorf("class %s applicable to empty device", m.Class)
+		}
+	}
+}
+
+func TestTrialFields(t *testing.T) {
+	d := device(t)
+	m := Mutation{Class: EmptyNet, Expect: validate.CodeEmptyNet}
+	res := Trial(d, m, 3)
+	if !res.Applicable || !res.Detected {
+		t.Errorf("Trial = %+v", res)
+	}
+	if res.ErrorsRaised == 0 {
+		t.Error("expected at least one error raised")
+	}
+	if res.Class != EmptyNet || res.Expected != validate.CodeEmptyNet {
+		t.Errorf("Trial metadata = %+v", res)
+	}
+}
+
+func TestTrialNotApplicable(t *testing.T) {
+	d := &core.Device{Name: "empty"}
+	res := Trial(d, Mutation{Class: EmptyNet, Expect: validate.CodeEmptyNet}, 1)
+	if res.Applicable || res.Detected {
+		t.Errorf("Trial on empty device = %+v", res)
+	}
+}
+
+func TestSeedsCoverDifferentSites(t *testing.T) {
+	// Across seeds the injector should hit different victims.
+	d := device(t)
+	distinct := map[string]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		mut, err := Apply(d, NegateSpan, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range mut.Components {
+			if mut.Components[i].XSpan <= 0 || mut.Components[i].YSpan <= 0 {
+				distinct[mut.Components[i].ID] = true
+			}
+		}
+	}
+	if len(distinct) < 3 {
+		t.Errorf("20 seeds hit only %d distinct components", len(distinct))
+	}
+}

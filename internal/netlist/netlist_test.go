@@ -1,0 +1,395 @@
+package netlist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// chainDevice builds in -> a -> b -> out plus a multi-sink net a -> {b, out}.
+func chainDevice(t testing.TB) *core.Device {
+	t.Helper()
+	b := core.NewBuilder("chain")
+	flow := b.FlowLayer()
+	b.IOPort("in", flow, 100)
+	b.IOPort("out", flow, 100)
+	b.TwoPort("a", core.EntityMixer, flow, 1000, 500)
+	b.Component("bb", core.EntityChamber, []string{flow}, 1000, 500,
+		core.Port{Label: "port1", Layer: flow, X: 0, Y: 250},
+		core.Port{Label: "port2", Layer: flow, X: 1000, Y: 250},
+		core.Port{Label: "port3", Layer: flow, X: 500, Y: 0},
+	)
+	b.Connect("n1", flow, "in.port1", "a.port1")
+	b.Connect("n2", flow, "a.port2", "bb.port1")
+	b.Connect("n3", flow, "bb.port2", "out.port1")
+	b.Connect("n4", flow, "a.port2", "bb.port3", "out.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildCounts(t *testing.T) {
+	g := Build(chainDevice(t))
+	if g.NumNodes() != 4 || g.NumNets() != 4 {
+		t.Errorf("graph = %v, want 4 nodes 4 nets", g)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := Build(chainDevice(t))
+	// in: n1 source = 1. a: n1 sink + n2 source + n4 source = 3.
+	// bb: n2 sink + n3 source + n4 sink = 3. out: n3 sink + n4 sink = 2.
+	want := map[string]int{"in": 1, "a": 3, "bb": 3, "out": 2}
+	for id, deg := range want {
+		if got := g.Degree(id); got != deg {
+			t.Errorf("Degree(%s) = %d, want %d", id, got, deg)
+		}
+	}
+	if g.Degree("ghost") != 0 {
+		t.Error("unknown component should have degree 0")
+	}
+	s := g.Degrees()
+	if s.Min != 1 || s.Max != 3 {
+		t.Errorf("Degrees = %+v", s)
+	}
+	if s.Mean != (1+3+3+2)/4.0 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Histogram[3] != 2 || s.Histogram[1] != 1 || s.Histogram[2] != 1 {
+		t.Errorf("Histogram = %v", s.Histogram)
+	}
+}
+
+func TestDegreesEmptyGraph(t *testing.T) {
+	g := Build(&core.Device{})
+	s := g.Degrees()
+	if s.Min != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Errorf("empty Degrees = %+v", s)
+	}
+	f := g.Fanouts()
+	if f.Max != 0 || f.Mean != 0 {
+		t.Errorf("empty Fanouts = %+v", f)
+	}
+	if !g.IsConnected() {
+		t.Error("empty graph counts as connected")
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	g := Build(chainDevice(t))
+	f := g.Fanouts()
+	if f.Max != 2 {
+		t.Errorf("Max fanout = %d, want 2", f.Max)
+	}
+	if f.MultiSink != 1 {
+		t.Errorf("MultiSink = %d, want 1", f.MultiSink)
+	}
+	if f.Mean != (1+1+1+2)/4.0 {
+		t.Errorf("Mean fanout = %v", f.Mean)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := Build(chainDevice(t))
+	nb := g.Neighbors("a")
+	want := map[string]bool{"in": true, "bb": true, "out": true}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(a) = %v", nb)
+	}
+	for _, n := range nb {
+		if !want[n] {
+			t.Errorf("unexpected neighbor %q", n)
+		}
+	}
+	// Adjacency deduplicates: bb and a touch via n2 and n4 but appear once.
+	count := 0
+	for _, n := range g.Neighbors("bb") {
+		if n == "a" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("a appears %d times in Neighbors(bb)", count)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	g := Build(chainDevice(t))
+	n := g.Node("a")
+	if n == nil || n.Entity != core.EntityMixer {
+		t.Fatalf("Node(a) = %+v", n)
+	}
+	if len(n.Nets) != 3 {
+		t.Errorf("a touches %d nets, want 3", len(n.Nets))
+	}
+	if g.Node("ghost") != nil {
+		t.Error("unknown node should be nil")
+	}
+}
+
+func TestNetPins(t *testing.T) {
+	g := Build(chainDevice(t))
+	var n4 *Net
+	for i := range g.Nets() {
+		if g.Nets()[i].ID == "n4" {
+			n4 = &g.Nets()[i]
+		}
+	}
+	if n4 == nil {
+		t.Fatal("n4 missing")
+	}
+	if len(n4.Pins) != 3 || n4.Pins[0] != "a" || n4.Fanout != 2 {
+		t.Errorf("n4 = %+v", n4)
+	}
+	if n4.Layer != "flow" {
+		t.Errorf("n4 layer = %q", n4.Layer)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	d := chainDevice(t)
+	// Add a disconnected island: x -> y.
+	d.Components = append(d.Components,
+		core.Component{ID: "x", Entity: core.EntityPort, Layers: []string{"flow"}, XSpan: 100, YSpan: 100,
+			Ports: []core.Port{{Label: "port1", Layer: "flow", X: 50, Y: 50}}},
+		core.Component{ID: "y", Entity: core.EntityPort, Layers: []string{"flow"}, XSpan: 100, YSpan: 100,
+			Ports: []core.Port{{Label: "port1", Layer: "flow", X: 50, Y: 50}}},
+		core.Component{ID: "z", Entity: core.EntityPort, Layers: []string{"flow"}, XSpan: 100, YSpan: 100},
+	)
+	d.Connections = append(d.Connections, core.Connection{
+		ID: "island", Layer: "flow",
+		Source: core.Target{Component: "x", Port: "port1"},
+		Sinks:  []core.Target{{Component: "y", Port: "port1"}},
+	})
+	g := Build(d)
+	classes := g.ConnectedComponents()
+	if len(classes) != 3 {
+		t.Fatalf("classes = %v, want 3", classes)
+	}
+	if g.IsConnected() {
+		t.Error("graph with islands reported connected")
+	}
+	// Classes ordered by smallest member: [a bb in out], [x y], [z].
+	if classes[0][0] != "a" || classes[1][0] != "x" || classes[2][0] != "z" {
+		t.Errorf("class order = %v", classes)
+	}
+	if len(classes[2]) != 1 {
+		t.Errorf("isolated z should be singleton: %v", classes[2])
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Build(chainDevice(t))
+	p := g.ShortestPath("in", "out")
+	// in-a (n1), a-out direct via n4: path length 3.
+	if len(p) != 3 || p[0] != "in" || p[1] != "a" || p[2] != "out" {
+		t.Errorf("ShortestPath = %v", p)
+	}
+	if p := g.ShortestPath("in", "in"); len(p) != 1 || p[0] != "in" {
+		t.Errorf("self path = %v", p)
+	}
+	if g.ShortestPath("in", "ghost") != nil {
+		t.Error("path to unknown node should be nil")
+	}
+	if g.ShortestPath("ghost", "in") != nil {
+		t.Error("path from unknown node should be nil")
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	d := chainDevice(t)
+	d.Components = append(d.Components, core.Component{ID: "solo", Layers: []string{"flow"}, XSpan: 1, YSpan: 1})
+	g := Build(d)
+	if g.ShortestPath("in", "solo") != nil {
+		t.Error("unreachable path should be nil")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := Build(chainDevice(t))
+	// Longest shortest path: in -> a -> {bb,out} = 2 hops.
+	if got := g.Diameter(); got != 2 {
+		t.Errorf("Diameter = %d, want 2", got)
+	}
+	if got := Build(&core.Device{}).Diameter(); got != 0 {
+		t.Errorf("empty Diameter = %d", got)
+	}
+}
+
+func TestEntityCounts(t *testing.T) {
+	g := Build(chainDevice(t))
+	ec := g.EntityCounts()
+	if ec[core.EntityPort] != 2 || ec[core.EntityMixer] != 1 || ec[core.EntityChamber] != 1 {
+		t.Errorf("EntityCounts = %v", ec)
+	}
+}
+
+func TestSelfLoopNet(t *testing.T) {
+	b := core.NewBuilder("loop")
+	flow := b.FlowLayer()
+	b.TwoPort("m", core.EntityMixer, flow, 100, 100)
+	b.Connect("n", flow, "m.port1", "m.port2")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(d)
+	// Self loop: degree counts both endpoints, adjacency stays empty.
+	if g.Degree("m") != 2 {
+		t.Errorf("self-loop degree = %d, want 2", g.Degree("m"))
+	}
+	if len(g.Neighbors("m")) != 0 {
+		t.Errorf("self loop should not create adjacency: %v", g.Neighbors("m"))
+	}
+	if !g.IsConnected() {
+		t.Error("single-node graph is connected")
+	}
+}
+
+func TestDanglingPinsTolerated(t *testing.T) {
+	d := &core.Device{
+		Layers:     []core.Layer{{ID: "flow", Name: "flow", Type: core.LayerFlow}},
+		Components: []core.Component{{ID: "a", Layers: []string{"flow"}, XSpan: 1, YSpan: 1}},
+		Connections: []core.Connection{{
+			ID: "n", Layer: "flow",
+			Source: core.Target{Component: "a"},
+			Sinks:  []core.Target{{Component: "ghost"}},
+		}},
+	}
+	g := Build(d) // must not panic
+	if g.Degree("a") != 1 {
+		t.Errorf("Degree(a) = %d", g.Degree("a"))
+	}
+	if g.NumNets() != 1 {
+		t.Errorf("NumNets = %d", g.NumNets())
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := Build(chainDevice(t))
+	if got := g.String(); got != "netlist{4 components, 4 nets}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	// chainDevice: in - a - bb - out with an extra a->{bb,out} net.
+	// Removing a disconnects in; removing bb disconnects nothing (a-out
+	// edge exists via n4). So: only "a" is an articulation point.
+	g := Build(chainDevice(t))
+	if got := g.ArticulationPoints(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("ArticulationPoints = %v, want [a]", got)
+	}
+}
+
+func TestArticulationPointsChain(t *testing.T) {
+	// Pure chain p1 - m - p2: the middle is a cut vertex.
+	b := core.NewBuilder("chain3")
+	flow := b.FlowLayer()
+	b.IOPort("p1", flow, 100)
+	b.IOPort("p2", flow, 100)
+	b.TwoPort("m", core.EntityMixer, flow, 100, 100)
+	b.Connect("n1", flow, "p1.port1", "m.port1")
+	b.Connect("n2", flow, "m.port2", "p2.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(d)
+	if got := g.ArticulationPoints(); len(got) != 1 || got[0] != "m" {
+		t.Errorf("ArticulationPoints = %v, want [m]", got)
+	}
+}
+
+func TestArticulationPointsCycle(t *testing.T) {
+	// A ring has no cut vertices.
+	b := core.NewBuilder("ring")
+	flow := b.FlowLayer()
+	for i := 0; i < 4; i++ {
+		b.Component(fmt.Sprintf("r%d", i), core.EntityNode, []string{flow}, 100, 100,
+			core.Port{Label: "port1", Layer: flow, X: 0, Y: 50},
+			core.Port{Label: "port2", Layer: flow, X: 100, Y: 50},
+		)
+	}
+	for i := 0; i < 4; i++ {
+		b.Connect(fmt.Sprintf("e%d", i), flow,
+			fmt.Sprintf("r%d.port2", i), fmt.Sprintf("r%d.port1", (i+1)%4))
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(d)
+	if got := g.ArticulationPoints(); len(got) != 0 {
+		t.Errorf("ring ArticulationPoints = %v, want none", got)
+	}
+}
+
+func TestArticulationPointsDisconnected(t *testing.T) {
+	// Two disjoint chains: each middle is a cut vertex; the islands do not
+	// confuse the root handling.
+	b := core.NewBuilder("two")
+	flow := b.FlowLayer()
+	for _, grp := range []string{"x", "y"} {
+		b.IOPort(grp+"1", flow, 100)
+		b.IOPort(grp+"2", flow, 100)
+		b.TwoPort(grp+"m", core.EntityMixer, flow, 100, 100)
+		b.Connect(grp+"n1", flow, grp+"1.port1", grp+"m.port1")
+		b.Connect(grp+"n2", flow, grp+"m.port2", grp+"2.port1")
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(d)
+	got := g.ArticulationPoints()
+	if len(got) != 2 || got[0] != "xm" || got[1] != "ym" {
+		t.Errorf("ArticulationPoints = %v, want [xm ym]", got)
+	}
+}
+
+func TestArticulationPointsSuiteSanity(t *testing.T) {
+	// The gradient lattice is 2-connected in its interior but the inlets
+	// funnel through the top mixers: some articulation points must exist,
+	// and removing any reported one must actually disconnect the graph.
+	bm, err := bench.ByName("molecular_gradients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bm.Build()
+	g := Build(d)
+	arts := g.ArticulationPoints()
+	if len(arts) == 0 {
+		t.Fatal("expected articulation points in the gradient generator")
+	}
+	for _, art := range arts {
+		reduced := d.Clone()
+		kept := reduced.Components[:0]
+		for _, c := range reduced.Components {
+			if c.ID != art {
+				kept = append(kept, c)
+			}
+		}
+		reduced.Components = kept
+		conns := reduced.Connections[:0]
+		for _, cn := range reduced.Connections {
+			touches := cn.Source.Component == art
+			for _, s := range cn.Sinks {
+				if s.Component == art {
+					touches = true
+				}
+			}
+			if !touches {
+				conns = append(conns, cn)
+			}
+		}
+		reduced.Connections = conns
+		if Build(reduced).IsConnected() {
+			t.Errorf("removing %q does not disconnect the device", art)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package place
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Annealer is the simulated-annealing engine. Starting from the greedy
+// placement, it explores displacement and swap moves under a geometric
+// cooling schedule, minimizing HPWL plus an overlap penalty, and finishes
+// with shelf legalization. This mirrors the placer of the Fluigi CAD flow
+// the paper's benchmarks were designed to exercise.
+type Annealer struct{}
+
+// Name identifies the engine.
+func (Annealer) Name() string { return "anneal" }
+
+// Default annealing parameters; Options may override each.
+const (
+	defaultCoolingRate   = 0.95
+	defaultInitialAccept = 0.8
+	defaultFinalTemp     = 0.1
+	// overlapWeight converts overlapped µm of bounding-box intrusion into
+	// cost units comparable with HPWL µm.
+	overlapWeight = 4
+)
+
+// annealState carries the incremental cost bookkeeping.
+type annealState struct {
+	device *core.Device
+	ix     *core.Index
+	comps  []*core.Component
+	// netHPWL caches each connection's current HPWL.
+	netHPWL []int64
+	// netsOf maps component ID to indices of nets touching it.
+	netsOf map[string][]int
+	place  *Placement
+	cost   float64
+	rng    *xrand.Source
+	// window bounds displacement proposals around a component's current
+	// position; adapted per temperature level.
+	window int64
+}
+
+// Place runs the annealing schedule and returns a legalized placement.
+func (Annealer) Place(d *core.Device, opts Options) (*Placement, error) {
+	die := DieFor(d, opts.utilization())
+	start, err := greedyPlace(d, die)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Components) < 2 {
+		return start, nil
+	}
+
+	st := newAnnealState(d, start, opts.Seed)
+	cooling := opts.CoolingRate
+	if cooling <= 0 || cooling >= 1 {
+		cooling = defaultCoolingRate
+	}
+	movesPerTemp := opts.MovesPerTemp
+	if movesPerTemp <= 0 {
+		n := len(d.Components)
+		movesPerTemp = 10 * n
+	}
+	initialAccept := opts.InitialAccept
+	if initialAccept <= 0 || initialAccept >= 1 {
+		initialAccept = defaultInitialAccept
+	}
+
+	temp := st.calibrateTemperature(initialAccept)
+	// Displacement window shrinks adaptively (VPR-style): target ~44%%
+	// acceptance by narrowing proposals as the schedule cools.
+	st.window = die.Dx()
+	best := st.place.Clone()
+	bestCost := st.cost
+	for temp > defaultFinalTemp {
+		accepted := 0
+		for m := 0; m < movesPerTemp; m++ {
+			if st.tryMove(temp) {
+				accepted++
+			}
+			if st.cost < bestCost {
+				bestCost = st.cost
+				best = st.place.Clone()
+			}
+		}
+		rate := float64(accepted) / float64(movesPerTemp)
+		if rate < 0.44 {
+			st.window = st.window * 9 / 10
+		} else {
+			st.window = st.window * 11 / 10
+		}
+		if st.window < 4*Spacing {
+			st.window = 4 * Spacing
+		}
+		if st.window > die.Dx() {
+			st.window = die.Dx()
+		}
+		temp *= cooling
+	}
+
+	legal := Legalize(best)
+	if err := CheckLegal(legal); err != nil {
+		return nil, err
+	}
+	// Legalization can cost back some of the annealer's gains; never
+	// return a result worse than the legal greedy start.
+	if Evaluate(legal).HPWL >= Evaluate(start).HPWL {
+		return start, nil
+	}
+	return legal, nil
+}
+
+func newAnnealState(d *core.Device, start *Placement, seed uint64) *annealState {
+	st := &annealState{
+		device: d,
+		ix:     d.Index(),
+		place:  start.Clone(),
+		netsOf: make(map[string][]int),
+		rng:    xrand.New(seed ^ 0x5A5A_1234),
+	}
+	st.comps = make([]*core.Component, len(d.Components))
+	for i := range d.Components {
+		st.comps[i] = &d.Components[i]
+	}
+	st.netHPWL = make([]int64, len(d.Connections))
+	for i := range d.Connections {
+		cn := &d.Connections[i]
+		st.netHPWL[i] = geom.HPWL(netPins(st.place, st.ix, cn))
+		for _, t := range cn.Targets() {
+			st.netsOf[t.Component] = append(st.netsOf[t.Component], i)
+		}
+	}
+	st.cost = st.fullCost()
+	return st
+}
+
+// fullCost recomputes cost from scratch: total HPWL + overlap penalty.
+func (st *annealState) fullCost() float64 {
+	var hpwl int64
+	for _, h := range st.netHPWL {
+		hpwl += h
+	}
+	return float64(hpwl) + overlapWeight*float64(st.totalOverlap())
+}
+
+// totalOverlap sums pairwise footprint intrusion depth, in µm.
+func (st *annealState) totalOverlap() int64 {
+	var total int64
+	for i := 0; i < len(st.comps); i++ {
+		ri, ok := st.place.Footprint(st.comps[i])
+		if !ok {
+			continue
+		}
+		ri = ri.Inflate(Spacing / 2)
+		for j := i + 1; j < len(st.comps); j++ {
+			rj, ok := st.place.Footprint(st.comps[j])
+			if !ok {
+				continue
+			}
+			total += intrusion(ri, rj.Inflate(Spacing/2))
+		}
+	}
+	return total
+}
+
+// overlapWith sums the intrusion of component k against all others.
+func (st *annealState) overlapWith(k int) int64 {
+	rk, ok := st.place.Footprint(st.comps[k])
+	if !ok {
+		return 0
+	}
+	rk = rk.Inflate(Spacing / 2)
+	var total int64
+	for j := range st.comps {
+		if j == k {
+			continue
+		}
+		rj, ok := st.place.Footprint(st.comps[j])
+		if !ok {
+			continue
+		}
+		total += intrusion(rk, rj.Inflate(Spacing/2))
+	}
+	return total
+}
+
+// intrusion measures how deeply two rectangles interpenetrate: the
+// semi-perimeter of their intersection. Unlike raw intersection area it
+// keeps gradients meaningful for thin slivers.
+func intrusion(a, b geom.Rect) int64 {
+	x := a.Intersect(b)
+	if x.Empty() {
+		return 0
+	}
+	return x.Dx() + x.Dy()
+}
+
+// calibrateTemperature samples random moves to find the cost-delta scale,
+// then sets T0 so the target fraction of uphill moves is accepted.
+func (st *annealState) calibrateTemperature(accept float64) float64 {
+	const samples = 50
+	var sum float64
+	n := 0
+	for i := 0; i < samples; i++ {
+		k := st.rng.Intn(len(st.comps))
+		old := st.place.Origins[st.comps[k].ID]
+		delta := st.applyDisplace(k, st.randomOrigin(st.comps[k]))
+		if delta > 0 {
+			sum += delta
+			n++
+		}
+		// Undo.
+		st.applyDisplace(k, old)
+	}
+	if n == 0 {
+		return 1000
+	}
+	meanUp := sum / float64(n)
+	return -meanUp / math.Log(accept)
+}
+
+// randomOrigin proposes a new origin for c within the current displacement
+// window of its present position, clamped to the die.
+func (st *annealState) randomOrigin(c *core.Component) geom.Point {
+	die := st.place.Die
+	w := st.window
+	if w <= 0 {
+		w = die.Dx()
+	}
+	cur := st.place.Origins[c.ID]
+	x := cur.X + st.rng.Int63n(2*w+1) - w
+	y := cur.Y + st.rng.Int63n(2*w+1) - w
+	maxX := die.Max.X - c.XSpan
+	maxY := die.Max.Y - c.YSpan
+	if x < die.Min.X {
+		x = die.Min.X
+	}
+	if y < die.Min.Y {
+		y = die.Min.Y
+	}
+	if x > maxX {
+		x = maxX
+	}
+	if y > maxY {
+		y = maxY
+	}
+	return geom.Pt(x, y)
+}
+
+// applyDisplace moves component k to origin o, updates the incremental
+// cost, and returns the cost delta.
+func (st *annealState) applyDisplace(k int, o geom.Point) float64 {
+	c := st.comps[k]
+	beforeOverlap := st.overlapWith(k)
+	var beforeHPWL int64
+	for _, ni := range st.netsOf[c.ID] {
+		beforeHPWL += st.netHPWL[ni]
+	}
+	st.place.Origins[c.ID] = o
+	afterOverlap := st.overlapWith(k)
+	var afterHPWL int64
+	for _, ni := range st.netsOf[c.ID] {
+		h := geom.HPWL(netPins(st.place, st.ix, &st.device.Connections[ni]))
+		st.netHPWL[ni] = h
+		afterHPWL += h
+	}
+	delta := float64(afterHPWL-beforeHPWL) + overlapWeight*float64(afterOverlap-beforeOverlap)
+	st.cost += delta
+	return delta
+}
+
+// applySwap exchanges the origins of components a and b and returns the
+// cost delta.
+func (st *annealState) applySwap(a, b int) float64 {
+	oa := st.place.Origins[st.comps[a].ID]
+	ob := st.place.Origins[st.comps[b].ID]
+	d1 := st.applyDisplace(a, ob)
+	d2 := st.applyDisplace(b, oa)
+	return d1 + d2
+}
+
+// tryMove proposes one move and keeps it per the Metropolis criterion,
+// reporting whether the move was accepted.
+func (st *annealState) tryMove(temp float64) bool {
+	if st.rng.Intn(2) == 0 {
+		k := st.rng.Intn(len(st.comps))
+		old := st.place.Origins[st.comps[k].ID]
+		delta := st.applyDisplace(k, st.randomOrigin(st.comps[k]))
+		if !st.accept(delta, temp) {
+			st.applyDisplace(k, old)
+			return false
+		}
+		return true
+	}
+	a := st.rng.Intn(len(st.comps))
+	b := st.rng.Intn(len(st.comps) - 1)
+	if b >= a {
+		b++
+	}
+	delta := st.applySwap(a, b)
+	if !st.accept(delta, temp) {
+		st.applySwap(a, b)
+		return false
+	}
+	return true
+}
+
+func (st *annealState) accept(delta, temp float64) bool {
+	if delta <= 0 {
+		return true
+	}
+	return st.rng.Float64() < math.Exp(-delta/temp)
+}

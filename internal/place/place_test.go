@@ -1,0 +1,349 @@
+package place
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func benchDevice(t testing.TB, name string) *core.Device {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestDieFor(t *testing.T) {
+	d := benchDevice(t, "aquaflex_3b")
+	die := DieFor(d, 0.35)
+	if die.Empty() {
+		t.Fatal("die is empty")
+	}
+	// Die must fit the padded component area at the utilization.
+	var total int64
+	for i := range d.Components {
+		c := &d.Components[i]
+		total += (c.XSpan + Spacing) * (c.YSpan + Spacing)
+	}
+	if die.Area() < total {
+		t.Errorf("die area %d smaller than padded component area %d", die.Area(), total)
+	}
+	// Higher utilization means a smaller die.
+	tight := DieFor(d, 0.9)
+	if tight.Area() >= die.Area() {
+		t.Errorf("utilization 0.9 die (%d) not smaller than 0.35 die (%d)", tight.Area(), die.Area())
+	}
+	// Empty device still gets a non-empty die.
+	if DieFor(&core.Device{}, 0.5).Empty() {
+		t.Error("empty device die should not be empty")
+	}
+}
+
+func TestEnginesProduceLegalPlacements(t *testing.T) {
+	for _, devName := range []string{"aquaflex_3b", "molecular_gradients", "planar_synthetic_1"} {
+		d := benchDevice(t, devName)
+		for _, eng := range Engines() {
+			t.Run(devName+"/"+eng.Name(), func(t *testing.T) {
+				p, err := eng.Place(d, Options{Seed: 1})
+				if err != nil {
+					t.Fatalf("Place: %v", err)
+				}
+				if err := CheckLegal(p); err != nil {
+					t.Fatal(err)
+				}
+				m := Evaluate(p)
+				if m.Placed != len(d.Components) {
+					t.Errorf("placed %d of %d", m.Placed, len(d.Components))
+				}
+				if m.HPWL <= 0 {
+					t.Errorf("HPWL = %d", m.HPWL)
+				}
+				if m.Area <= 0 {
+					t.Errorf("Area = %d", m.Area)
+				}
+			})
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range Engines() {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"greedy", "force", "anneal"} {
+		if !names[want] {
+			t.Errorf("engine %q missing", want)
+		}
+	}
+}
+
+func TestAnnealImprovesOnGreedy(t *testing.T) {
+	// The headline claim of Fig. 3: annealing beats the greedy baseline on
+	// wirelength for every benchmark it is given.
+	for _, devName := range []string{"aquaflex_5a", "planar_synthetic_2"} {
+		d := benchDevice(t, devName)
+		gp, err := Greedy{}.Place(d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := Annealer{}.Place(d, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, am := Evaluate(gp), Evaluate(ap)
+		if am.HPWL >= gm.HPWL {
+			t.Errorf("%s: anneal HPWL %d not better than greedy %d", devName, am.HPWL, gm.HPWL)
+		}
+	}
+}
+
+func TestPlacementDeterminism(t *testing.T) {
+	d := benchDevice(t, "rotary_pcr")
+	for _, eng := range Engines() {
+		a, err := eng.Place(d, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eng.Place(d, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Origins) != len(b.Origins) {
+			t.Fatalf("%s: differing placement sizes", eng.Name())
+		}
+		for id, o := range a.Origins {
+			if b.Origins[id] != o {
+				t.Errorf("%s: %s moved between identical runs", eng.Name(), id)
+				break
+			}
+		}
+	}
+}
+
+func TestAnnealSeedsDiffer(t *testing.T) {
+	// Use a benchmark where annealing genuinely improves on the greedy
+	// start; on near-chain devices both seeds may legally fall back to the
+	// identical greedy placement.
+	d := benchDevice(t, "planar_synthetic_2")
+	a, err := Annealer{}.Place(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Annealer{}.Place(d, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for id, o := range a.Origins {
+		if b.Origins[id] != o {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical annealed placements")
+	}
+}
+
+func TestSingleComponentDevice(t *testing.T) {
+	b := core.NewBuilder("one")
+	flow := b.FlowLayer()
+	b.IOPort("p", flow, 100)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range Engines() {
+		p, err := eng.Place(d, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if len(p.Origins) != 1 {
+			t.Errorf("%s: origins = %v", eng.Name(), p.Origins)
+		}
+	}
+}
+
+func TestLegalizeRemovesOverlaps(t *testing.T) {
+	d := benchDevice(t, "aquaflex_3b")
+	// Pile everything on one spot.
+	p := &Placement{Device: d, Die: DieFor(d, 0.35), Origins: map[string]geom.Point{}}
+	for i := range d.Components {
+		p.Origins[d.Components[i].ID] = geom.Pt(0, 0)
+	}
+	if Evaluate(p).Overlaps == 0 {
+		t.Fatal("expected overlaps before legalization")
+	}
+	legal := Legalize(p)
+	if err := CheckLegal(legal); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegalizeHandlesMissingOrigins(t *testing.T) {
+	d := benchDevice(t, "rotary_pcr")
+	p := &Placement{Device: d, Origins: map[string]geom.Point{}}
+	legal := Legalize(p) // no origins at all: everything defaults to (0,0)
+	if err := CheckLegal(legal); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateOverlapsCount(t *testing.T) {
+	b := core.NewBuilder("d")
+	flow := b.FlowLayer()
+	b.IOPort("a", flow, 100)
+	b.IOPort("bb", flow, 100)
+	b.Connect("n", flow, "a.port1", "bb.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Placement{Device: d, Origins: map[string]geom.Point{
+		"a":  geom.Pt(0, 0),
+		"bb": geom.Pt(50, 50),
+	}}
+	m := Evaluate(p)
+	if m.Overlaps != 1 {
+		t.Errorf("Overlaps = %d, want 1", m.Overlaps)
+	}
+	// HPWL between port centers: (50,50)->(100,100) manhattan = 100.
+	if m.HPWL != 100 {
+		t.Errorf("HPWL = %d, want 100", m.HPWL)
+	}
+}
+
+func TestPortPosition(t *testing.T) {
+	d := benchDevice(t, "aquaflex_3b")
+	ix := d.Index()
+	c := ix.Component("mix1")
+	p := &Placement{Device: d, Origins: map[string]geom.Point{"mix1": geom.Pt(1000, 2000)}}
+	pos, ok := p.PortPosition(c, c.Ports[0])
+	if !ok {
+		t.Fatal("PortPosition failed")
+	}
+	want := geom.Pt(1000+c.Ports[0].X, 2000+c.Ports[0].Y)
+	if pos != want {
+		t.Errorf("PortPosition = %v, want %v", pos, want)
+	}
+	if _, ok := p.PortPosition(ix.Component("in1"), core.Port{}); ok {
+		t.Error("unplaced component should not resolve")
+	}
+}
+
+func TestToFeatures(t *testing.T) {
+	d := benchDevice(t, "rotary_pcr")
+	p, err := Greedy{}.Place(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := ToFeatures(p)
+	if len(feats) != len(d.Components) {
+		t.Fatalf("features = %d, want %d", len(feats), len(d.Components))
+	}
+	ix := d.Index()
+	for _, f := range feats {
+		if f.Kind != core.FeatureComponent {
+			t.Errorf("feature %s kind = %v", f.ID, f.Kind)
+		}
+		c := ix.Component(f.ID)
+		if c == nil {
+			t.Errorf("feature %s matches no component", f.ID)
+			continue
+		}
+		if f.XSpan != c.XSpan || f.YSpan != c.YSpan {
+			t.Errorf("feature %s spans %dx%d != component %dx%d",
+				f.ID, f.XSpan, f.YSpan, c.XSpan, c.YSpan)
+		}
+		if f.Layer != c.Layers[0] {
+			t.Errorf("feature %s layer %q", f.ID, f.Layer)
+		}
+	}
+}
+
+func TestCheckLegalReportsProblems(t *testing.T) {
+	d := benchDevice(t, "rotary_pcr")
+	p := &Placement{Device: d, Origins: map[string]geom.Point{}}
+	if err := CheckLegal(p); err == nil {
+		t.Error("unplaced device should fail CheckLegal")
+	}
+	for i := range d.Components {
+		p.Origins[d.Components[i].ID] = geom.Pt(0, 0)
+	}
+	if err := CheckLegal(p); err == nil {
+		t.Error("overlapping placement should fail CheckLegal")
+	}
+}
+
+func TestOrderedComponentsCoversDevice(t *testing.T) {
+	d := benchDevice(t, "general_purpose_mfd")
+	order := orderedComponents(d)
+	if len(order) != len(d.Components) {
+		t.Fatalf("order covers %d of %d components", len(order), len(d.Components))
+	}
+	seen := map[string]bool{}
+	for _, c := range order {
+		if seen[c.ID] {
+			t.Errorf("component %s appears twice", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestIntrusion(t *testing.T) {
+	a := geom.R(0, 0, 10, 10)
+	if got := intrusion(a, geom.R(20, 20, 30, 30)); got != 0 {
+		t.Errorf("disjoint intrusion = %d", got)
+	}
+	if got := intrusion(a, geom.R(5, 5, 15, 15)); got != 10 {
+		t.Errorf("corner intrusion = %d, want 10", got)
+	}
+}
+
+func TestQuickLegalizeAlwaysLegal(t *testing.T) {
+	// Property: legalization repairs arbitrary (even absurd) placements.
+	d := benchDevice(t, "aquaflex_5a")
+	prop := func(seed uint64) bool {
+		r := xrand.New(seed)
+		p := &Placement{Device: d, Die: DieFor(d, 0.35), Origins: map[string]geom.Point{}}
+		for i := range d.Components {
+			p.Origins[d.Components[i].ID] = geom.Pt(
+				r.Int63n(20000)-10000, r.Int63n(20000)-10000)
+		}
+		legal := Legalize(p)
+		return CheckLegal(legal) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLegalizeIdempotentOnLegal(t *testing.T) {
+	// Property: legalizing a legal placement never makes it illegal, and
+	// HPWL does not explode (position preservation).
+	d := benchDevice(t, "rotary_pcr")
+	prop := func(seed uint64) bool {
+		p, err := (Annealer{}).Place(d, Options{Seed: seed % 16})
+		if err != nil {
+			return false
+		}
+		again := Legalize(p)
+		if CheckLegal(again) != nil {
+			return false
+		}
+		before := Evaluate(p).HPWL
+		after := Evaluate(again).HPWL
+		// Re-legalization of an already legal layout must stay within 2x.
+		return after <= 2*before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Package pnr combines placement and routing into the end-to-end physical
+// design flow for ParchMint devices: place the components, route the
+// channels, and write the resulting geometry back into the device as
+// ParchMint features. This is the algorithmic consumer the benchmark suite
+// exists to exercise.
+package pnr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// Options configures the flow.
+type Options struct {
+	// Placer is the placement engine; nil means the annealer.
+	Placer place.Placer
+	// Router is the routing engine; nil means A*.
+	Router route.Router
+	// Place and Route tune the respective stages.
+	Place place.Options
+	Route route.Options
+	// SkipPaths suppresses the ParchMint v1.2 connection paths normally
+	// derived from the routed segments.
+	SkipPaths bool
+	// SkipValveMap suppresses the ParchMint v1.2 valve map normally
+	// synthesized for the device's valves and pumps.
+	SkipValveMap bool
+}
+
+// Result is the outcome of one flow run.
+type Result struct {
+	// Device is a copy of the input with physical features attached.
+	Device *core.Device
+	// Placement is the legal placement used.
+	Placement *place.Placement
+	// PlaceMetrics are the placement quality numbers.
+	PlaceMetrics place.Metrics
+	// RouteReport is the routing outcome.
+	RouteReport *route.Report
+}
+
+// Run executes place-then-route on a device and returns a feature-annotated
+// copy. The input device is not modified.
+func Run(d *core.Device, opts Options) (*Result, error) {
+	placer := opts.Placer
+	if placer == nil {
+		placer = place.Annealer{}
+	}
+	router := opts.Router
+	if router == nil {
+		router = route.AStar{}
+	}
+	p, err := placer.Place(d, opts.Place)
+	if err != nil {
+		return nil, fmt.Errorf("pnr: placement (%s): %w", placer.Name(), err)
+	}
+	report, err := route.RouteAll(p, router, opts.Route)
+	if err != nil {
+		return nil, fmt.Errorf("pnr: routing (%s): %w", router.Name(), err)
+	}
+	out := d.Clone()
+	out.Features = append(place.ToFeatures(p), report.Features()...)
+	if !opts.SkipPaths {
+		out.AttachPaths()
+	}
+	if !opts.SkipValveMap {
+		attachValveMap(out)
+	}
+	return &Result{
+		Device:       out,
+		Placement:    p,
+		PlaceMetrics: place.Evaluate(p),
+		RouteReport:  report,
+	}, nil
+}
+
+// attachValveMap synthesizes the v1.2 valve map: each valve or pump is
+// recorded as actuating the connection feeding its first flow port.
+// Monolithic membrane valves are normally open (actuation closes them).
+func attachValveMap(d *core.Device) {
+	// Connection arriving at each (component, port).
+	feeds := make(map[string]string)
+	for i := range d.Connections {
+		cn := &d.Connections[i]
+		for _, t := range cn.Sinks {
+			key := t.Component + "\x00" + t.Port
+			if _, ok := feeds[key]; !ok {
+				feeds[key] = cn.ID
+			}
+		}
+	}
+	for i := range d.Components {
+		c := &d.Components[i]
+		if !core.IsControlEntity(c.Entity) {
+			continue
+		}
+		for _, port := range c.Ports {
+			if cn, ok := feeds[c.ID+"\x00"+port.Label]; ok {
+				// SetValve validates both references; ignore failures on
+				// malformed devices (the validator reports them).
+				_ = d.SetValve(c.ID, cn, core.ValveNormallyOpen)
+				break
+			}
+		}
+	}
+}

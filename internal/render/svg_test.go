@@ -1,0 +1,148 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/place"
+	"repro/internal/pnr"
+	"repro/internal/route"
+)
+
+func annotated(t testing.TB) *core.Device {
+	t.Helper()
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pnr.Run(b.Build(), pnr.Options{
+		Placer: place.Greedy{},
+		Router: route.AStar{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Device
+}
+
+func TestSVGRendersAnnotatedDevice(t *testing.T) {
+	d := annotated(t)
+	svg, err := SVG(d, Options{})
+	if err != nil {
+		t.Fatalf("SVG: %v", err)
+	}
+	if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("output is not an SVG document")
+	}
+	// One rect per component feature (+1 background), one line per segment.
+	rects := strings.Count(svg, "<rect ")
+	lines := strings.Count(svg, "<line ")
+	comps, chans := 0, 0
+	for _, f := range d.Features {
+		if f.Kind == core.FeatureComponent {
+			comps++
+		} else {
+			chans++
+		}
+	}
+	if rects != comps+1 {
+		t.Errorf("rects = %d, want %d components + background", rects, comps)
+	}
+	if lines != chans {
+		t.Errorf("lines = %d, want %d segments", lines, chans)
+	}
+	if !strings.Contains(svg, "<title>rotary_pcr</title>") {
+		t.Error("device title missing")
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	d := annotated(t)
+	a, err := SVG(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SVG(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("rendering is nondeterministic")
+	}
+}
+
+func TestSVGLabels(t *testing.T) {
+	d := annotated(t)
+	plain, _ := SVG(d, Options{})
+	labeled, err := SVG(d, Options{ShowLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(plain, "<text ") != 0 {
+		t.Error("labels drawn without ShowLabels")
+	}
+	if strings.Count(labeled, "<text ") == 0 {
+		t.Error("ShowLabels drew no labels")
+	}
+	if !strings.Contains(labeled, ">rotary1</text>") {
+		t.Error("expected rotary1 label")
+	}
+}
+
+func TestSVGLayerFilter(t *testing.T) {
+	d := annotated(t)
+	flowOnly, err := SVG(d, Options{Layers: []string{"flow"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := SVG(d, Options{})
+	if strings.Count(flowOnly, "<line ") >= strings.Count(all, "<line ") {
+		t.Error("layer filter did not reduce channel count")
+	}
+	if _, err := SVG(d, Options{Layers: []string{"ghost"}}); err == nil {
+		t.Error("empty layer selection should error")
+	}
+}
+
+func TestSVGScale(t *testing.T) {
+	d := annotated(t)
+	small, _ := SVG(d, Options{Scale: 0.01})
+	big, _ := SVG(d, Options{Scale: 0.1})
+	if small == big {
+		t.Error("scale has no effect")
+	}
+}
+
+func TestSVGErrorsWithoutFeatures(t *testing.T) {
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SVG(b.Build(), Options{}); err == nil {
+		t.Error("logical-only device should error")
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	d := &core.Device{
+		Name:   `evil<>&"device`,
+		Layers: []core.Layer{{ID: "flow", Name: "flow", Type: core.LayerFlow}},
+		Features: []core.Feature{{
+			Kind: core.FeatureComponent, ID: "c<1>", Layer: "flow",
+			Location: geom.Pt(0, 0), XSpan: 100, YSpan: 100,
+		}},
+	}
+	svg, err := SVG(d, Options{ShowLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "evil<>") || strings.Contains(svg, "c<1>") {
+		t.Error("unescaped text in SVG output")
+	}
+	if !strings.Contains(svg, "evil&lt;&gt;&amp;&quot;device") {
+		t.Error("escaped title missing")
+	}
+}

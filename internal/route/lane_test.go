@@ -1,0 +1,201 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/place"
+)
+
+func laneGrid(t *testing.T) *geom.Grid {
+	t.Helper()
+	g, err := geom.NewGrid(geom.R(0, 0, 1000, 1000), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEscapeLaneBoundaryPort(t *testing.T) {
+	g := laneGrid(t)
+	// Component at (200,200)-(500,500); port on the west edge midpoint.
+	fp := geom.R(200, 200, 500, 500)
+	lane := escapeLane(g, geom.Pt(200, 350), fp)
+	// West is nearest: the pin cell (col 2) plus the first outside cell
+	// (col 1).
+	if len(lane) != 2 {
+		t.Fatalf("lane = %v", lane)
+	}
+	if lane[0] != (geom.Cell{Col: 2, Row: 3}) || lane[1] != (geom.Cell{Col: 1, Row: 3}) {
+		t.Errorf("lane cells = %v", lane)
+	}
+}
+
+func TestEscapeLaneInteriorPort(t *testing.T) {
+	g := laneGrid(t)
+	// Square component; port at its center must tunnel to the nearest edge.
+	fp := geom.R(200, 200, 600, 600)
+	lane := escapeLane(g, geom.Pt(400, 400), fp)
+	if len(lane) < 3 {
+		t.Fatalf("interior lane too short: %v", lane)
+	}
+	// The lane ends outside the footprint.
+	last := g.CenterOf(lane[len(lane)-1])
+	if fp.Contains(last) {
+		t.Errorf("lane does not exit the footprint: ends at %v", last)
+	}
+	// All lane cells form a straight run.
+	for i := 1; i < len(lane); i++ {
+		dc := lane[i].Col - lane[i-1].Col
+		dr := lane[i].Row - lane[i-1].Row
+		if dc*dc+dr*dr != 1 {
+			t.Errorf("lane not contiguous at %d: %v", i, lane)
+		}
+	}
+}
+
+func TestEscapeLanePicksNearestEdge(t *testing.T) {
+	g := laneGrid(t)
+	// Wide component; port near the east edge must exit east, not west.
+	fp := geom.R(0, 400, 900, 600)
+	lane := escapeLane(g, geom.Pt(850, 500), fp)
+	last := lane[len(lane)-1]
+	if last.Col <= g.CellOf(geom.Pt(850, 500)).Col {
+		t.Errorf("lane went the wrong way: %v", lane)
+	}
+}
+
+func TestEscapeLaneClampsAtGridEdge(t *testing.T) {
+	g := laneGrid(t)
+	// Footprint flush against the grid's west edge; port on that edge.
+	fp := geom.R(0, 0, 300, 300)
+	lane := escapeLane(g, geom.Pt(0, 150), fp)
+	// Must terminate without leaving the grid (no panic, bounded length).
+	for _, c := range lane {
+		if !g.InBounds(c) {
+			t.Errorf("lane cell %v out of bounds", c)
+		}
+	}
+}
+
+// TestLicenseDoesNotUnblockForeignPaths reproduces the crossing bug the
+// static-license rule fixed: a net whose escape lane's outside cell is
+// later occupied by another net's path must not route through that path.
+func TestLicenseDoesNotUnblockForeignPaths(t *testing.T) {
+	// Two nets: A routes first and occupies the corridor cell right
+	// outside B's port; B must detour around it, not through it.
+	b := core.NewBuilder("license")
+	flow := b.FlowLayer()
+	b.IOPort("a1", flow, 200)
+	b.IOPort("a2", flow, 200)
+	b.IOPort("b1", flow, 200)
+	b.IOPort("b2", flow, 200)
+	b.Connect("na", flow, "a1.port1", "a2.port1")
+	b.Connect("nb", flow, "b1.port1", "b2.port1")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := (place.Greedy{}).Place(d, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RouteAll(p, AStar{}, Options{Ordering: OrderAsGiven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both nets routed, and their segments never overlap cell-wise.
+	if rep.Routed() != 2 {
+		t.Fatalf("routed %d/2", rep.Routed())
+	}
+	occupied := map[geom.Cell]string{}
+	g, err := geom.NewGrid(p.Die, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		for _, seg := range res.Segments {
+			// Walk the segment cell by cell.
+			a, bb := g.CellOf(seg.Source), g.CellOf(seg.Sink)
+			dc, dr := sign(bb.Col-a.Col), sign(bb.Row-a.Row)
+			for c := a; ; c = (geom.Cell{Col: c.Col + dc, Row: c.Row + dr}) {
+				if owner, taken := occupied[c]; taken && owner != res.Net {
+					// Shared endpoint cells at distinct ports are the only
+					// tolerated overlap; these nets share no component, so
+					// any overlap is a real crossing.
+					t.Fatalf("nets %s and %s share cell %v", owner, res.Net, c)
+				}
+				occupied[c] = res.Net
+				if c == bb {
+					break
+				}
+			}
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func TestOrderJobs(t *testing.T) {
+	mk := func(id string, hpwl int64) netJob {
+		return netJob{conn: &core.Connection{ID: id}, hpwl: hpwl}
+	}
+	jobs := []netJob{mk("long", 300), mk("short", 100), mk("mid", 200)}
+
+	shortFirst := append([]netJob(nil), jobs...)
+	orderJobs(shortFirst, OrderShortFirst)
+	if shortFirst[0].conn.ID != "short" || shortFirst[2].conn.ID != "long" {
+		t.Errorf("short-first order: %v %v %v",
+			shortFirst[0].conn.ID, shortFirst[1].conn.ID, shortFirst[2].conn.ID)
+	}
+
+	longFirst := append([]netJob(nil), jobs...)
+	orderJobs(longFirst, OrderLongFirst)
+	if longFirst[0].conn.ID != "long" {
+		t.Errorf("long-first head = %s", longFirst[0].conn.ID)
+	}
+
+	asGiven := append([]netJob(nil), jobs...)
+	orderJobs(asGiven, OrderAsGiven)
+	if asGiven[0].conn.ID != "long" || asGiven[1].conn.ID != "short" {
+		t.Error("as-given must not reorder")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.pitch() != 100 {
+		t.Errorf("default pitch = %d", o.pitch())
+	}
+	if o.ordering() != OrderShortFirst {
+		t.Errorf("default ordering = %s", o.ordering())
+	}
+	if o.rounds() != 3 {
+		t.Errorf("default rounds = %d", o.rounds())
+	}
+	if (Options{RipupRounds: -1}).rounds() != 1 {
+		t.Error("negative rip-up rounds should mean one round")
+	}
+	if (Options{RipupRounds: 5}).rounds() != 5 {
+		t.Error("explicit rounds ignored")
+	}
+	if o.maxRipups(400) != 100 {
+		t.Errorf("maxRipups(400) = %d", o.maxRipups(400))
+	}
+	if o.maxRipups(10) != 20 {
+		t.Errorf("maxRipups floor = %d", o.maxRipups(10))
+	}
+	if (Options{MaxRipups: 3}).maxRipups(400) != 3 {
+		t.Error("explicit MaxRipups ignored")
+	}
+}

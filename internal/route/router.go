@@ -1,0 +1,285 @@
+// Package route implements channel routing for placed ParchMint devices:
+// three grid maze routers (Lee breadth-first, A*, and Hadlock detour-count)
+// behind one interface, a sequential multi-terminal net router with
+// configurable net ordering, and history-cost rip-up-and-reroute. Routed
+// nets become ParchMint channel features; completion rate, total channel
+// length, and node expansions are the quality metrics the router-comparison
+// experiment (Fig. 4) reports.
+package route
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+)
+
+// Router finds a path on an occupancy grid from any of a set of source
+// cells (the already-routed tree of the net) to a target cell.
+type Router interface {
+	// Name identifies the engine in experiment output.
+	Name() string
+	// Search returns the path from one source to the target (inclusive on
+	// both ends), and the number of node expansions performed. ok is false
+	// when no path exists; the expansion count is still meaningful.
+	Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) (path []geom.Cell, expansions int, ok bool)
+}
+
+// Engines returns the three routers in comparison order.
+func Engines() []Router {
+	return []Router{Lee{}, AStar{}, Hadlock{}}
+}
+
+// searchState is the per-search scratch shared by the three engines.
+type searchState struct {
+	g       *geom.Grid
+	parent  []int32 // cell index -> predecessor cell index, -1 unset, -2 root
+	scratch []geom.Cell
+}
+
+func newSearchState(g *geom.Grid) *searchState {
+	st := &searchState{g: g, parent: make([]int32, g.NumCells())}
+	for i := range st.parent {
+		st.parent[i] = -1
+	}
+	return st
+}
+
+func (st *searchState) index(c geom.Cell) int32 { return int32(c.Row*st.g.Cols() + c.Col) }
+
+func (st *searchState) cell(i int32) geom.Cell {
+	cols := st.g.Cols()
+	return geom.Cell{Col: int(i) % cols, Row: int(i) / cols}
+}
+
+// unwind rebuilds the path from a root to the target.
+func (st *searchState) unwind(target geom.Cell) []geom.Cell {
+	var rev []geom.Cell
+	for i := st.index(target); i != -2; i = st.parent[i] {
+		rev = append(rev, st.cell(i))
+	}
+	out := make([]geom.Cell, len(rev))
+	for i, c := range rev {
+		out[len(rev)-1-i] = c
+	}
+	return out
+}
+
+// passable reports whether the router may enter cell c while hunting for
+// target: blocked cells are closed except the target itself (targets are
+// ports sitting on component boundaries, whose cells are blocked by the
+// component footprint).
+func passable(g *geom.Grid, c, target geom.Cell) bool {
+	return c == target || !g.Blocked(c)
+}
+
+// Lee is the classic breadth-first maze router: uniform wavefront
+// expansion, guaranteed shortest path, maximal expansions.
+type Lee struct{}
+
+// Name identifies the engine.
+func (Lee) Name() string { return "lee" }
+
+// Search runs breadth-first wavefront expansion.
+func (Lee) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
+	st := newSearchState(g)
+	queue := make([]geom.Cell, 0, len(sources))
+	for _, s := range sources {
+		if !g.InBounds(s) {
+			continue
+		}
+		if st.parent[st.index(s)] == -1 {
+			st.parent[st.index(s)] = -2
+			queue = append(queue, s)
+		}
+	}
+	expansions := 0
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		expansions++
+		if cur == target {
+			return st.unwind(cur), expansions, true
+		}
+		st.scratch = g.Neighbors4(st.scratch[:0], cur)
+		for _, nb := range st.scratch {
+			if !passable(g, nb, target) {
+				continue
+			}
+			if i := st.index(nb); st.parent[i] == -1 {
+				st.parent[i] = st.index(cur)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return nil, expansions, false
+}
+
+// pqItem is one frontier entry of the best-first engines.
+type pqItem struct {
+	cell geom.Cell
+	prio int64
+	g    int64 // cost so far
+	seq  int64 // FIFO tiebreak for determinism
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int { return len(q) }
+func (q priorityQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q priorityQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// AStar is best-first search with the Manhattan-distance heuristic:
+// shortest paths like Lee, with far fewer expansions on open dies.
+type AStar struct{}
+
+// Name identifies the engine.
+func (AStar) Name() string { return "astar" }
+
+// Search runs A* from the source set toward the target.
+func (AStar) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
+	st := newSearchState(g)
+	dist := make([]int64, g.NumCells())
+	for i := range dist {
+		dist[i] = -1
+	}
+	h := func(c geom.Cell) int64 {
+		dx := int64(c.Col - target.Col)
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := int64(c.Row - target.Row)
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	var q priorityQueue
+	var seq int64
+	for _, s := range sources {
+		if !g.InBounds(s) {
+			continue
+		}
+		if i := st.index(s); dist[i] == -1 {
+			dist[i] = 0
+			st.parent[i] = -2
+			heap.Push(&q, pqItem{cell: s, prio: h(s), g: 0, seq: seq})
+			seq++
+		}
+	}
+	expansions := 0
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		i := st.index(it.cell)
+		if it.g > dist[i] {
+			continue // stale entry
+		}
+		expansions++
+		if it.cell == target {
+			return st.unwind(it.cell), expansions, true
+		}
+		st.scratch = g.Neighbors4(st.scratch[:0], it.cell)
+		for _, nb := range st.scratch {
+			if !passable(g, nb, target) {
+				continue
+			}
+			ni := st.index(nb)
+			ng := it.g + 1 + int64(g.Cost(nb))
+			if dist[ni] == -1 || ng < dist[ni] {
+				dist[ni] = ng
+				st.parent[ni] = i
+				heap.Push(&q, pqItem{cell: nb, prio: ng + h(nb), g: ng, seq: seq})
+				seq++
+			}
+		}
+	}
+	return nil, expansions, false
+}
+
+// Hadlock is detour-count best-first search: priority is the number of
+// moves made away from the target. It expands fewer cells than Lee while
+// still guaranteeing shortest paths on uniform grids; implemented as 0-1
+// BFS over the detour metric.
+type Hadlock struct{}
+
+// Name identifies the engine.
+func (Hadlock) Name() string { return "hadlock" }
+
+// Search runs 0-1 breadth-first search on detour counts.
+func (Hadlock) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
+	st := newSearchState(g)
+	detour := make([]int32, g.NumCells())
+	for i := range detour {
+		detour[i] = -1
+	}
+	manhattan := func(c geom.Cell) int {
+		dx := c.Col - target.Col
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := c.Row - target.Row
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	// Level queues for 0-1 BFS over the detour count: toward-moves stay in
+	// the current level, away-moves wait in the next one.
+	current := make([]geom.Cell, 0, 64)
+	next := make([]geom.Cell, 0, 64)
+	for _, s := range sources {
+		if !g.InBounds(s) {
+			continue
+		}
+		if i := st.index(s); detour[i] == -1 {
+			detour[i] = 0
+			st.parent[i] = -2
+			current = append(current, s)
+		}
+	}
+	expansions := 0
+	for len(current) > 0 {
+		for head := 0; head < len(current); head++ {
+			cur := current[head]
+			ci := st.index(cur)
+			expansions++
+			if cur == target {
+				return st.unwind(cur), expansions, true
+			}
+			st.scratch = g.Neighbors4(st.scratch[:0], cur)
+			for _, nb := range st.scratch {
+				if !passable(g, nb, target) {
+					continue
+				}
+				ni := st.index(nb)
+				away := int32(0)
+				if manhattan(nb) > manhattan(cur) {
+					away = 1
+				}
+				nd := detour[ci] + away
+				if detour[ni] == -1 || nd < detour[ni] {
+					detour[ni] = nd
+					st.parent[ni] = ci
+					if away == 0 {
+						current = append(current, nb)
+					} else {
+						next = append(next, nb)
+					}
+				}
+			}
+		}
+		current, next = next, current[:0]
+	}
+	return nil, expansions, false
+}

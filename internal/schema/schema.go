@@ -1,0 +1,405 @@
+// Package schema performs structural validation of raw ParchMint JSON —
+// the checks a JSON-Schema document would express — before the bytes are
+// decoded into the typed model. It catches the class of interchange errors
+// the typed decoder either tolerates silently (missing required keys become
+// zero values) or reports poorly (a type error half-way through a stream).
+//
+// Structural checks run on the generic JSON tree, so they can report every
+// problem in a file at once with a JSON-pointer-like path to each.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Issue is one structural problem in a ParchMint document.
+type Issue struct {
+	// Path is a JSON-pointer-like location, e.g. "/components/3/x-span".
+	Path string
+	// Message says what is wrong there.
+	Message string
+}
+
+// String renders "path: message".
+func (i Issue) String() string { return i.Path + ": " + i.Message }
+
+// Result collects the issues found in one document.
+type Result struct {
+	Issues []Issue
+}
+
+// OK reports whether the document is structurally valid.
+func (r *Result) OK() bool { return len(r.Issues) == 0 }
+
+// String renders all issues, one per line.
+func (r *Result) String() string {
+	if r.OK() {
+		return "schema: ok"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schema: %d issue(s)\n", len(r.Issues))
+	for _, i := range r.Issues {
+		sb.WriteString("  ")
+		sb.WriteString(i.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (r *Result) addf(path, format string, args ...any) {
+	r.Issues = append(r.Issues, Issue{Path: path, Message: fmt.Sprintf(format, args...)})
+}
+
+// Check parses data as JSON and validates it against the ParchMint v1
+// structure. A parse failure is reported as a single issue at "/".
+func Check(data []byte) *Result {
+	r := &Result{}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		r.addf("/", "not valid JSON: %v", err)
+		return r
+	}
+	root, ok := doc.(map[string]any)
+	if !ok {
+		r.addf("/", "document must be a JSON object, got %s", typeName(doc))
+		return r
+	}
+	c := checker{result: r}
+	c.checkRoot(root)
+	return r
+}
+
+type checker struct {
+	result *Result
+}
+
+// knownRootKeys are the keys a v1 document may carry.
+var knownRootKeys = map[string]bool{
+	"name": true, "layers": true, "components": true, "connections": true,
+	"features": true, "params": true, "version": true,
+	"valveMap": true, "valveTypeMap": true,
+}
+
+func (c *checker) checkRoot(root map[string]any) {
+	c.requireString(root, "/", "name")
+	for _, key := range []string{"layers", "components", "connections"} {
+		if _, ok := root[key]; !ok {
+			c.result.addf("/"+key, "required array is missing")
+		}
+	}
+	for key := range root {
+		if !knownRootKeys[key] {
+			c.result.addf("/"+key, "unknown top-level key")
+		}
+	}
+	c.eachObject(root, "layers", c.checkLayer)
+	c.eachObject(root, "components", c.checkComponent)
+	c.eachObject(root, "connections", c.checkConnection)
+	c.eachObject(root, "features", c.checkFeature)
+	if v, ok := root["params"]; ok {
+		c.checkParams("/params", v)
+	}
+	if v, ok := root["valveMap"]; ok {
+		c.checkStringMap("/valveMap", v, nil)
+	}
+	if v, ok := root["valveTypeMap"]; ok {
+		c.checkStringMap("/valveTypeMap", v, map[string]bool{
+			"NORMALLY_OPEN": true, "NORMALLY_CLOSED": true,
+		})
+	}
+}
+
+// checkStringMap demands an object with string values, optionally drawn
+// from an allowed set.
+func (c *checker) checkStringMap(path string, v any, allowed map[string]bool) {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		c.result.addf(path, "must be an object, got %s", typeName(v))
+		return
+	}
+	for k, mv := range obj {
+		s, isStr := mv.(string)
+		if !isStr {
+			c.result.addf(path+"/"+k, "must be a string, got %s", typeName(mv))
+			continue
+		}
+		if allowed != nil && !allowed[s] {
+			c.result.addf(path+"/"+k, "unknown value %q", s)
+		}
+	}
+}
+
+// eachObject applies fn to each element of root[key] when that key is an
+// array; non-array and non-object elements are reported.
+func (c *checker) eachObject(root map[string]any, key string, fn func(path string, obj map[string]any)) {
+	v, ok := root[key]
+	if !ok {
+		return
+	}
+	arr, ok := v.([]any)
+	if !ok {
+		c.result.addf("/"+key, "must be an array, got %s", typeName(v))
+		return
+	}
+	for i, el := range arr {
+		path := fmt.Sprintf("/%s/%d", key, i)
+		obj, ok := el.(map[string]any)
+		if !ok {
+			c.result.addf(path, "must be an object, got %s", typeName(el))
+			continue
+		}
+		fn(path, obj)
+	}
+}
+
+func (c *checker) checkLayer(path string, obj map[string]any) {
+	c.requireString(obj, path, "id")
+	c.requireString(obj, path, "name")
+	if t, ok := obj["type"]; ok {
+		if s, isStr := t.(string); !isStr {
+			c.result.addf(path+"/type", "must be a string, got %s", typeName(t))
+		} else if s != "FLOW" && s != "CONTROL" {
+			c.result.addf(path+"/type", "should be FLOW or CONTROL, got %q", s)
+		}
+	}
+}
+
+func (c *checker) checkComponent(path string, obj map[string]any) {
+	c.requireString(obj, path, "id")
+	c.requireString(obj, path, "name")
+	c.requireString(obj, path, "entity")
+	c.requireStringArray(obj, path, "layers")
+	c.requireInteger(obj, path, "x-span")
+	c.requireInteger(obj, path, "y-span")
+	if v, ok := obj["params"]; ok {
+		c.checkParams(path+"/params", v)
+	}
+	ports, ok := obj["ports"]
+	if !ok {
+		c.result.addf(path+"/ports", "required array is missing")
+		return
+	}
+	arr, ok := ports.([]any)
+	if !ok {
+		c.result.addf(path+"/ports", "must be an array, got %s", typeName(ports))
+		return
+	}
+	for i, el := range arr {
+		ppath := fmt.Sprintf("%s/ports/%d", path, i)
+		p, ok := el.(map[string]any)
+		if !ok {
+			c.result.addf(ppath, "must be an object, got %s", typeName(el))
+			continue
+		}
+		c.requireString(p, ppath, "label")
+		c.requireString(p, ppath, "layer")
+		c.requireInteger(p, ppath, "x")
+		c.requireInteger(p, ppath, "y")
+	}
+}
+
+func (c *checker) checkConnection(path string, obj map[string]any) {
+	c.requireString(obj, path, "id")
+	c.requireString(obj, path, "name")
+	c.requireString(obj, path, "layer")
+	src, ok := obj["source"]
+	if !ok {
+		c.result.addf(path+"/source", "required object is missing")
+	} else {
+		c.checkTarget(path+"/source", src)
+	}
+	if v, ok := obj["paths"]; ok {
+		c.checkPaths(path+"/paths", v)
+	}
+	sinks, ok := obj["sinks"]
+	if !ok {
+		c.result.addf(path+"/sinks", "required array is missing")
+		return
+	}
+	arr, ok := sinks.([]any)
+	if !ok {
+		c.result.addf(path+"/sinks", "must be an array, got %s", typeName(sinks))
+		return
+	}
+	for i, el := range arr {
+		c.checkTarget(fmt.Sprintf("%s/sinks/%d", path, i), el)
+	}
+}
+
+func (c *checker) checkTarget(path string, v any) {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		c.result.addf(path, "must be an object, got %s", typeName(v))
+		return
+	}
+	c.requireString(obj, path, "component")
+	if p, ok := obj["port"]; ok {
+		if _, isStr := p.(string); !isStr {
+			c.result.addf(path+"/port", "must be a string, got %s", typeName(p))
+		}
+	}
+}
+
+// checkPaths validates the v1.2 connection "paths" array.
+func (c *checker) checkPaths(path string, v any) {
+	arr, ok := v.([]any)
+	if !ok {
+		c.result.addf(path, "must be an array, got %s", typeName(v))
+		return
+	}
+	for i, el := range arr {
+		ppath := fmt.Sprintf("%s/%d", path, i)
+		obj, ok := el.(map[string]any)
+		if !ok {
+			c.result.addf(ppath, "must be an object, got %s", typeName(el))
+			continue
+		}
+		c.requirePoint(obj, ppath, "source")
+		c.requirePoint(obj, ppath, "sink")
+		if wp, ok := obj["wayPoints"]; ok {
+			wArr, isArr := wp.([]any)
+			if !isArr {
+				c.result.addf(ppath+"/wayPoints", "must be an array, got %s", typeName(wp))
+				continue
+			}
+			for j, w := range wArr {
+				pair, isPair := w.([]any)
+				if !isPair || len(pair) != 2 {
+					c.result.addf(fmt.Sprintf("%s/wayPoints/%d", ppath, j),
+						"must be an [x, y] pair")
+					continue
+				}
+				for _, coord := range pair {
+					if f, isNum := coord.(float64); !isNum || f != math.Trunc(f) {
+						c.result.addf(fmt.Sprintf("%s/wayPoints/%d", ppath, j),
+							"coordinates must be integers")
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) checkFeature(path string, obj map[string]any) {
+	c.requireString(obj, path, "id")
+	c.requireString(obj, path, "layer")
+	_, isChannel := obj["connection"]
+	if t, ok := obj["type"].(string); ok && t == "channel" {
+		isChannel = true
+	}
+	if isChannel {
+		c.requireString(obj, path, "connection")
+		c.requireInteger(obj, path, "width")
+		c.requirePoint(obj, path, "source")
+		c.requirePoint(obj, path, "sink")
+	} else {
+		c.requirePoint(obj, path, "location")
+		c.requireInteger(obj, path, "x-span")
+		c.requireInteger(obj, path, "y-span")
+	}
+}
+
+func (c *checker) checkParams(path string, v any) {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		c.result.addf(path, "must be an object, got %s", typeName(v))
+		return
+	}
+	for k, pv := range obj {
+		if _, isNum := pv.(float64); !isNum {
+			c.result.addf(path+"/"+k, "must be a number, got %s", typeName(pv))
+		}
+	}
+}
+
+func (c *checker) requireString(obj map[string]any, path, key string) {
+	v, ok := obj[key]
+	if !ok {
+		c.result.addf(path+"/"+key, "required string is missing")
+		return
+	}
+	s, isStr := v.(string)
+	if !isStr {
+		c.result.addf(path+"/"+key, "must be a string, got %s", typeName(v))
+		return
+	}
+	if s == "" {
+		c.result.addf(path+"/"+key, "must not be empty")
+	}
+}
+
+func (c *checker) requireStringArray(obj map[string]any, path, key string) {
+	v, ok := obj[key]
+	if !ok {
+		c.result.addf(path+"/"+key, "required array is missing")
+		return
+	}
+	arr, isArr := v.([]any)
+	if !isArr {
+		c.result.addf(path+"/"+key, "must be an array, got %s", typeName(v))
+		return
+	}
+	for i, el := range arr {
+		if _, isStr := el.(string); !isStr {
+			c.result.addf(fmt.Sprintf("%s/%s/%d", path, key, i),
+				"must be a string, got %s", typeName(el))
+		}
+	}
+}
+
+// requireInteger demands a JSON number with no fractional part: ParchMint
+// coordinates are micrometers and integral by construction.
+func (c *checker) requireInteger(obj map[string]any, path, key string) {
+	v, ok := obj[key]
+	if !ok {
+		c.result.addf(path+"/"+key, "required number is missing")
+		return
+	}
+	f, isNum := v.(float64)
+	if !isNum {
+		c.result.addf(path+"/"+key, "must be a number, got %s", typeName(v))
+		return
+	}
+	if f != math.Trunc(f) {
+		c.result.addf(path+"/"+key, "must be an integer number of micrometers, got %v", f)
+	}
+}
+
+func (c *checker) requirePoint(obj map[string]any, path, key string) {
+	v, ok := obj[key]
+	if !ok {
+		c.result.addf(path+"/"+key, "required point is missing")
+		return
+	}
+	p, isObj := v.(map[string]any)
+	if !isObj {
+		c.result.addf(path+"/"+key, "must be an object, got %s", typeName(v))
+		return
+	}
+	c.requireInteger(p, path+"/"+key, "x")
+	c.requireInteger(p, path+"/"+key, "y")
+}
+
+// typeName names a decoded JSON value's type for error messages.
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}

@@ -1,0 +1,247 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// validDoc is a minimal structurally valid ParchMint document.
+const validDoc = `{
+  "name": "doc",
+  "layers": [{"id": "flow", "name": "flow", "type": "FLOW"}],
+  "components": [{
+    "id": "p1", "name": "p1", "entity": "PORT", "layers": ["flow"],
+    "x-span": 200, "y-span": 200,
+    "ports": [{"label": "port1", "layer": "flow", "x": 100, "y": 100}]
+  }],
+  "connections": [{
+    "id": "c1", "name": "c1", "layer": "flow",
+    "source": {"component": "p1", "port": "port1"},
+    "sinks": [{"component": "p1"}]
+  }]
+}`
+
+func TestValidDocument(t *testing.T) {
+	r := Check([]byte(validDoc))
+	if !r.OK() {
+		t.Fatalf("valid document rejected:\n%s", r)
+	}
+	if got := r.String(); got != "schema: ok" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCoreOutputPassesSchema(t *testing.T) {
+	// Whatever the typed encoder emits must satisfy the structural checker.
+	b := core.NewBuilder("emitted")
+	flow := b.FlowLayer()
+	b.IOPort("in", flow, 200)
+	b.IOPort("out", flow, 200)
+	b.Connect("c1", flow, "in.port1", "out.port1")
+	b.Param("channelWidth", 100)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := core.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Check(data)
+	if !r.OK() {
+		t.Fatalf("encoder output fails schema:\n%s\n%s", r, data)
+	}
+}
+
+// expectIssue checks that doc produces an issue whose path contains
+// pathFrag and message contains msgFrag.
+func expectIssue(t *testing.T, doc, pathFrag, msgFrag string) {
+	t.Helper()
+	r := Check([]byte(doc))
+	for _, i := range r.Issues {
+		if strings.Contains(i.Path, pathFrag) && strings.Contains(i.Message, msgFrag) {
+			return
+		}
+	}
+	t.Errorf("no issue at %q mentioning %q; got:\n%s", pathFrag, msgFrag, r)
+}
+
+func TestNotJSON(t *testing.T) {
+	expectIssue(t, `{{{`, "/", "not valid JSON")
+}
+
+func TestNonObjectRoot(t *testing.T) {
+	expectIssue(t, `[1,2,3]`, "/", "must be a JSON object")
+	expectIssue(t, `"hello"`, "/", "must be a JSON object")
+}
+
+func TestMissingRequiredArrays(t *testing.T) {
+	expectIssue(t, `{"name":"d"}`, "/layers", "missing")
+	expectIssue(t, `{"name":"d"}`, "/components", "missing")
+	expectIssue(t, `{"name":"d"}`, "/connections", "missing")
+}
+
+func TestMissingName(t *testing.T) {
+	expectIssue(t, `{"layers":[],"components":[],"connections":[]}`, "/name", "missing")
+}
+
+func TestEmptyName(t *testing.T) {
+	expectIssue(t, `{"name":"","layers":[],"components":[],"connections":[]}`, "/name", "empty")
+}
+
+func TestUnknownTopLevelKey(t *testing.T) {
+	expectIssue(t, `{"name":"d","layers":[],"components":[],"connections":[],"bogus":1}`,
+		"/bogus", "unknown")
+}
+
+func TestArrayTypeErrors(t *testing.T) {
+	expectIssue(t, `{"name":"d","layers":42,"components":[],"connections":[]}`,
+		"/layers", "must be an array")
+	expectIssue(t, `{"name":"d","layers":[7],"components":[],"connections":[]}`,
+		"/layers/0", "must be an object")
+}
+
+func TestLayerChecks(t *testing.T) {
+	doc := `{"name":"d","components":[],"connections":[],
+		"layers":[{"id":"l","name":"l","type":"SIDEWAYS"}]}`
+	expectIssue(t, doc, "/layers/0/type", "FLOW or CONTROL")
+
+	doc = `{"name":"d","components":[],"connections":[],"layers":[{"name":"l"}]}`
+	expectIssue(t, doc, "/layers/0/id", "missing")
+}
+
+func TestComponentChecks(t *testing.T) {
+	base := `{"name":"d","layers":[],"connections":[],"components":[%s]}`
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","entity":"PORT","layers":["f"],"y-span":1,"ports":[]}`, 1),
+		"/components/0/x-span", "missing")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","entity":"PORT","layers":["f"],"x-span":1.5,"y-span":1,"ports":[]}`, 1),
+		"/components/0/x-span", "integer")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","entity":"PORT","layers":"f","x-span":1,"y-span":1,"ports":[]}`, 1),
+		"/components/0/layers", "must be an array")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","entity":"PORT","layers":[3],"x-span":1,"y-span":1,"ports":[]}`, 1),
+		"/components/0/layers/0", "must be a string")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","entity":"PORT","layers":["f"],"x-span":1,"y-span":1}`, 1),
+		"/components/0/ports", "missing")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","entity":"PORT","layers":["f"],"x-span":1,"y-span":1,"ports":[{"label":"p","layer":"f","x":"far","y":0}]}`, 1),
+		"/components/0/ports/0/x", "must be a number")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","entity":"PORT","layers":["f"],"x-span":1,"y-span":1,"ports":["p"]}`, 1),
+		"/components/0/ports/0", "must be an object")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","layers":["f"],"x-span":1,"y-span":1,"ports":[]}`, 1),
+		"/components/0/entity", "missing")
+}
+
+func TestConnectionChecks(t *testing.T) {
+	base := `{"name":"d","layers":[],"components":[],"connections":[%s]}`
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","layer":"f","sinks":[]}`, 1),
+		"/connections/0/source", "missing")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","layer":"f","source":{"component":"a"}}`, 1),
+		"/connections/0/sinks", "missing")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","layer":"f","source":"a","sinks":[]}`, 1),
+		"/connections/0/source", "must be an object")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","layer":"f","source":{"component":"a"},"sinks":[{"port":"p"}]}`, 1),
+		"/connections/0/sinks/0/component", "missing")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","layer":"f","source":{"component":"a","port":9},"sinks":[]}`, 1),
+		"/connections/0/source/port", "must be a string")
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"c","name":"c","layer":"f","source":{"component":"a"},"sinks":"x"}`, 1),
+		"/connections/0/sinks", "must be an array")
+}
+
+func TestFeatureChecks(t *testing.T) {
+	base := `{"name":"d","layers":[],"components":[],"connections":[],"features":[%s]}`
+	// Component feature missing location.
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"f","name":"f","layer":"l","x-span":1,"y-span":1,"depth":1}`, 1),
+		"/features/0/location", "missing")
+	// Channel feature missing endpoints.
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"f","name":"f","layer":"l","connection":"c","width":10,"depth":1}`, 1),
+		"/features/0/source", "missing")
+	// Channel recognized via type tag alone — then "connection" is required.
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"f","name":"f","layer":"l","type":"channel","width":10,"source":{"x":0,"y":0},"sink":{"x":1,"y":0},"depth":1}`, 1),
+		"/features/0/connection", "missing")
+	// Point with non-integer coordinate.
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"f","name":"f","layer":"l","location":{"x":0.25,"y":0},"x-span":1,"y-span":1,"depth":1}`, 1),
+		"/features/0/location/x", "integer")
+	// Point that is not an object.
+	expectIssue(t, strings.Replace(base, "%s", `{"id":"f","name":"f","layer":"l","location":[0,0],"x-span":1,"y-span":1,"depth":1}`, 1),
+		"/features/0/location", "must be an object")
+}
+
+func TestParamsChecks(t *testing.T) {
+	expectIssue(t, `{"name":"d","layers":[],"components":[],"connections":[],"params":7}`,
+		"/params", "must be an object")
+	expectIssue(t, `{"name":"d","layers":[],"components":[],"connections":[],"params":{"w":"wide"}}`,
+		"/params/w", "must be a number")
+	r := Check([]byte(`{"name":"d","layers":[],"components":[],"connections":[],"params":{"w":10.5}}`))
+	if !r.OK() {
+		t.Errorf("fractional params are legal:\n%s", r)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	i := Issue{Path: "/x", Message: "boom"}
+	if i.String() != "/x: boom" {
+		t.Errorf("Issue.String = %q", i.String())
+	}
+	r := &Result{Issues: []Issue{i}}
+	if !strings.Contains(r.String(), "1 issue") {
+		t.Errorf("Result.String = %q", r.String())
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	cases := map[string]any{
+		"null": nil, "boolean": true, "number": 1.5,
+		"string": "s", "array": []any{}, "object": map[string]any{},
+	}
+	for want, v := range cases {
+		if got := typeName(v); got != want {
+			t.Errorf("typeName(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestV12Checks(t *testing.T) {
+	// Valid v1.2 document passes.
+	valid := `{
+	  "name": "d", "layers": [], "components": [], "connections": [{
+	    "id": "c", "name": "c", "layer": "f",
+	    "source": {"component": "a"}, "sinks": [{"component": "b"}],
+	    "paths": [{"source": {"x":0,"y":0}, "sink": {"x":10,"y":0},
+	               "wayPoints": [[5, 0]]}]
+	  }],
+	  "valveMap": {"v1": "c"},
+	  "valveTypeMap": {"v1": "NORMALLY_OPEN"}
+	}`
+	if r := Check([]byte(valid)); !r.OK() {
+		t.Fatalf("valid v1.2 rejected:\n%s", r)
+	}
+
+	base := `{"name":"d","layers":[],"components":[],"connections":[],%s}`
+	expectIssue(t, strings.Replace(base, "%s", `"valveMap": 7`, 1),
+		"/valveMap", "must be an object")
+	expectIssue(t, strings.Replace(base, "%s", `"valveMap": {"v1": 7}`, 1),
+		"/valveMap/v1", "must be a string")
+	expectIssue(t, strings.Replace(base, "%s", `"valveTypeMap": {"v1": "SIDEWAYS"}`, 1),
+		"/valveTypeMap/v1", "unknown value")
+
+	connBase := `{"name":"d","layers":[],"components":[],"connections":[{
+	  "id":"c","name":"c","layer":"f","source":{"component":"a"},"sinks":[],%s}]}`
+	expectIssue(t, strings.Replace(connBase, "%s", `"paths": 9`, 1),
+		"/connections/0/paths", "must be an array")
+	expectIssue(t, strings.Replace(connBase, "%s", `"paths": [7]`, 1),
+		"/connections/0/paths/0", "must be an object")
+	expectIssue(t, strings.Replace(connBase, "%s", `"paths": [{"sink":{"x":0,"y":0}}]`, 1),
+		"/connections/0/paths/0/source", "missing")
+	expectIssue(t, strings.Replace(connBase, "%s",
+		`"paths": [{"source":{"x":0,"y":0},"sink":{"x":1,"y":0},"wayPoints":[[1]]}]`, 1),
+		"wayPoints/0", "pair")
+	expectIssue(t, strings.Replace(connBase, "%s",
+		`"paths": [{"source":{"x":0,"y":0},"sink":{"x":1,"y":0},"wayPoints":[[0.5, 1]]}]`, 1),
+		"wayPoints/0", "integers")
+
+	compBase := `{"name":"d","layers":[],"connections":[],"components":[{
+	  "id":"c","name":"c","entity":"PORT","layers":["f"],"x-span":1,"y-span":1,"ports":[],%s}]}`
+	expectIssue(t, strings.Replace(compBase, "%s", `"params": {"rot": "east"}`, 1),
+		"/components/0/params/rot", "must be a number")
+}

@@ -1,0 +1,245 @@
+// Package sim provides a steady-state hydraulic simulator for ParchMint
+// devices: the flow layer is interpreted as a Hagen–Poiseuille resistance
+// network (channels and component internals as hydraulic resistors),
+// pressures are solved at every port node under user boundary conditions,
+// and steady-state concentrations are propagated through the resulting
+// flow field. This is the "analysis" side of the benchmark suite: two
+// devices exchanged through ParchMint can be compared functionally, not
+// just structurally.
+//
+// The model is one-dimensional and laminar — the operating regime of
+// continuous-flow LoCs — with rectangular channel cross-sections.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Physical constants and defaults.
+const (
+	// WaterViscosity is the dynamic viscosity of water at 25°C, in Pa·s.
+	WaterViscosity = 8.9e-4
+	// DefaultChannelWidth/Depth apply when the device carries no routed
+	// features or width parameters, in micrometers.
+	DefaultChannelWidth = 100
+	DefaultChannelDepth = 100
+	// componentPathLength approximates the internal channel length of a
+	// component between two of its ports when geometry is unknown, in
+	// micrometers per footprint-span.
+	serpentineFactor = 3 // mixers fold their length ~3x their span
+)
+
+// NodeID identifies a pressure node: a component port ("comp.port").
+type NodeID string
+
+// nodeOf builds the node ID for a target.
+func nodeOf(comp, port string) NodeID { return NodeID(comp + "." + port) }
+
+// Resistor is one hydraulic edge of the network.
+type Resistor struct {
+	// A, B are the terminal nodes.
+	A, B NodeID
+	// R is the hydraulic resistance in Pa·s/m³.
+	R float64
+	// Label says where the resistor came from (connection or component ID).
+	Label string
+	// Internal marks component-internal resistors (excluded from flow
+	// reporting, which is per-channel).
+	Internal bool
+}
+
+// Network is a hydraulic resistance network built from a device.
+type Network struct {
+	device    *Device
+	resistors []Resistor
+	nodes     []NodeID
+	nodeIndex map[NodeID]int
+}
+
+// Device aliases core.Device for readable signatures.
+type Device = core.Device
+
+// Options tunes network construction.
+type Options struct {
+	// Viscosity in Pa·s; 0 means water at 25°C.
+	Viscosity float64
+	// ChannelDepth in µm; 0 means the device "channelDepth" param or 100.
+	ChannelDepth int64
+	// Layer restricts the network to one layer ID; empty means the first
+	// FLOW layer.
+	Layer string
+}
+
+// Build constructs the resistance network of a device's flow layer.
+// Channel lengths come from routed features when present, otherwise from
+// a Manhattan estimate over the netlist; component internals become star
+// resistors joining their ports.
+func Build(d *Device, opts Options) (*Network, error) {
+	layer := opts.Layer
+	if layer == "" {
+		for _, l := range d.Layers {
+			if l.Type == core.LayerFlow {
+				layer = l.ID
+				break
+			}
+		}
+	}
+	if layer == "" {
+		return nil, fmt.Errorf("sim: device %q has no flow layer", d.Name)
+	}
+	mu := opts.Viscosity
+	if mu <= 0 {
+		mu = WaterViscosity
+	}
+	depth := opts.ChannelDepth
+	if depth <= 0 {
+		depth = int64(d.Params.GetDefault("channelDepth", DefaultChannelDepth))
+	}
+
+	n := &Network{device: d, nodeIndex: make(map[NodeID]int)}
+	ix := d.Index()
+
+	// Channel lengths from routed features, when available.
+	featLen := make(map[string]int64)
+	for i := range d.Features {
+		f := &d.Features[i]
+		if f.Kind == core.FeatureChannel {
+			featLen[f.Connection] += f.Source.Manhattan(f.Sink)
+		}
+	}
+
+	// Component internals: star topology around a virtual hub node, so
+	// every port pair is connected through the component body.
+	for i := range d.Components {
+		c := &d.Components[i]
+		var flowPorts []core.Port
+		for _, p := range c.Ports {
+			if p.Layer == layer {
+				flowPorts = append(flowPorts, p)
+			}
+		}
+		if len(flowPorts) < 2 {
+			continue // ports and dead-ends carry no internal path
+		}
+		hub := nodeOf(c.ID, "~hub")
+		length := internalLength(c)
+		width := int64(DefaultChannelWidth)
+		// Each spoke carries half the port-to-port path.
+		r := hagenPoiseuille(mu, length/2, width, depth)
+		for _, p := range flowPorts {
+			n.addResistor(Resistor{
+				A: nodeOf(c.ID, p.Label), B: hub, R: r,
+				Label: c.ID, Internal: true,
+			})
+		}
+	}
+
+	// Channels.
+	for i := range d.Connections {
+		cn := &d.Connections[i]
+		if cn.Layer != layer {
+			continue
+		}
+		src, srcPort, ok := ix.ResolveTarget(cn.Source)
+		if !ok {
+			return nil, fmt.Errorf("sim: connection %q: unresolvable source %s", cn.ID, cn.Source)
+		}
+		width := int64(d.Params.GetDefault("channelWidth."+cn.ID,
+			d.Params.GetDefault("channelWidth", DefaultChannelWidth)))
+		for si, sink := range cn.Sinks {
+			dst, dstPort, ok := ix.ResolveTarget(sink)
+			if !ok {
+				return nil, fmt.Errorf("sim: connection %q: unresolvable sink %s", cn.ID, sink)
+			}
+			length := featLen[cn.ID]
+			if length <= 0 {
+				length = estimateLength(src, dst)
+			} else if len(cn.Sinks) > 1 {
+				// Feature length covers the whole tree; apportion evenly.
+				length /= int64(len(cn.Sinks))
+			}
+			label := cn.ID
+			if len(cn.Sinks) > 1 {
+				label = fmt.Sprintf("%s[%d]", cn.ID, si)
+			}
+			n.addResistor(Resistor{
+				A:     nodeOf(src.ID, srcPort.Label),
+				B:     nodeOf(dst.ID, dstPort.Label),
+				R:     hagenPoiseuille(mu, length, width, depth),
+				Label: label,
+			})
+		}
+	}
+	if len(n.resistors) == 0 {
+		return nil, fmt.Errorf("sim: device %q has no hydraulic edges on layer %q", d.Name, layer)
+	}
+	sort.Slice(n.nodes, func(i, j int) bool { return n.nodes[i] < n.nodes[j] })
+	for i, id := range n.nodes {
+		n.nodeIndex[id] = i
+	}
+	return n, nil
+}
+
+func (n *Network) addResistor(r Resistor) {
+	if r.R <= 0 || math.IsInf(r.R, 0) || math.IsNaN(r.R) {
+		r.R = 1 // degenerate geometry: clamp rather than divide by zero later
+	}
+	for _, id := range []NodeID{r.A, r.B} {
+		if _, ok := n.nodeIndex[id]; !ok {
+			n.nodeIndex[id] = -1 // placeholder until final sort
+			n.nodes = append(n.nodes, id)
+		}
+	}
+	n.resistors = append(n.resistors, r)
+}
+
+// NumNodes returns the pressure-node count (including component hubs).
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumResistors returns the hydraulic edge count.
+func (n *Network) NumResistors() int { return len(n.resistors) }
+
+// Resistors returns the network's edges; treat as read-only.
+func (n *Network) Resistors() []Resistor { return n.resistors }
+
+// hagenPoiseuille computes the hydraulic resistance of a rectangular
+// channel: R = 12 µ L / (w h³ (1 − 0.63 h/w)), with w ≥ h (swap if not).
+// Inputs in µm are converted to meters.
+func hagenPoiseuille(mu float64, lengthUM, widthUM, depthUM int64) float64 {
+	L := float64(lengthUM) * 1e-6
+	w := float64(widthUM) * 1e-6
+	h := float64(depthUM) * 1e-6
+	if h > w {
+		w, h = h, w
+	}
+	if L <= 0 || w <= 0 || h <= 0 {
+		return math.Inf(1)
+	}
+	return 12 * mu * L / (w * h * h * h * (1 - 0.63*h/w))
+}
+
+// internalLength estimates a component's internal channel length in µm.
+func internalLength(c *core.Component) int64 {
+	span := c.XSpan
+	if c.YSpan > span {
+		span = c.YSpan
+	}
+	switch c.Entity {
+	case core.EntityMixer, core.EntityGradient:
+		return span * serpentineFactor // serpentine fold
+	case core.EntityNode:
+		return span
+	default:
+		return span
+	}
+}
+
+// estimateLength approximates a channel's length without routed geometry:
+// half the source and sink footprint semi-perimeters plus a nominal run.
+func estimateLength(a, b *core.Component) int64 {
+	return (a.XSpan+a.YSpan)/2 + (b.XSpan+b.YSpan)/2 + 1000
+}

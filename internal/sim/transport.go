@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Imbalance returns the net volumetric flow into a node across every
+// resistor (channels and component internals). Conservation holds at
+// every node without a boundary condition: the value is ~0 up to solver
+// tolerance. At BC nodes it equals the flow injected or extracted there.
+func (n *Network) Imbalance(sol *Solution, node NodeID) float64 {
+	total := 0.0
+	for _, r := range n.resistors {
+		q := (sol.Pressure[r.A] - sol.Pressure[r.B]) / r.R
+		if r.B == node {
+			total += q
+		}
+		if r.A == node {
+			total -= q
+		}
+	}
+	return total
+}
+
+// transportTolerance is the max per-node concentration change at which
+// the advection iteration stops.
+const transportTolerance = 1e-12
+
+// Concentrations propagates steady-state species concentrations through a
+// solved flow field: every node's concentration is the flow-weighted
+// average of its inflows, with the given source nodes held fixed (e.g.
+// reagent inlet = 1.0, buffer inlet = 0.0). Pure advection — no diffusion
+// — which is the standard first-order model for LoC dilution networks.
+func (n *Network) Concentrations(sol *Solution, sources map[NodeID]float64) (map[NodeID]float64, error) {
+	for node := range sources {
+		if _, ok := n.nodeIndex[node]; !ok {
+			return nil, fmt.Errorf("sim: concentration source %q is not in the network", node)
+		}
+	}
+	conc := make(map[NodeID]float64, len(n.nodes))
+	for node, c := range sources {
+		conc[node] = c
+	}
+	// Gauss–Seidel over nodes in deterministic order; the flow field is
+	// acyclic in practice (pressure-driven), so this converges quickly.
+	for iter := 0; iter < 10*len(n.nodes)+100; iter++ {
+		maxDelta := 0.0
+		for _, node := range n.nodes {
+			if _, isSrc := sources[node]; isSrc {
+				continue
+			}
+			var inQ, inQC float64
+			for _, r := range n.resistors {
+				q := (sol.Pressure[r.A] - sol.Pressure[r.B]) / r.R
+				var from NodeID
+				switch {
+				case r.B == node && q > 0:
+					from = r.A
+				case r.A == node && q < 0:
+					from = r.B
+					q = -q
+				default:
+					continue
+				}
+				inQ += q
+				inQC += q * conc[from]
+			}
+			next := 0.0
+			if inQ > 0 {
+				next = inQC / inQ
+			}
+			if d := math.Abs(next - conc[node]); d > maxDelta {
+				maxDelta = d
+			}
+			conc[node] = next
+		}
+		if maxDelta < transportTolerance {
+			break
+		}
+	}
+	return conc, nil
+}

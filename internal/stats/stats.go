@@ -1,0 +1,199 @@
+// Package stats computes the benchmark-characterization metrics the
+// paper's tables report and provides the plain-text table/series renderers
+// the experiment harness prints. Everything here is presentation and
+// aggregation; the underlying numbers come from core, netlist, place, and
+// route.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Profile is one benchmark's row in the suite characterization (Table 1).
+type Profile struct {
+	Name        string
+	Class       string
+	Layers      int
+	Components  int
+	Connections int
+	Ports       int // chip IO ports (PORT entities)
+	Valves      int // control entities: valves and pumps
+	MultiSink   int // connections with fanout > 1
+	AvgDegree   float64
+	MaxDegree   int
+	Diameter    int
+}
+
+// ProfileDevice computes a characterization profile.
+func ProfileDevice(d *core.Device, class string) Profile {
+	g := netlist.Build(d)
+	deg := g.Degrees()
+	fan := g.Fanouts()
+	ctl := 0
+	for i := range d.Components {
+		if core.IsControlEntity(d.Components[i].Entity) {
+			ctl++
+		}
+	}
+	return Profile{
+		Name:        d.Name,
+		Class:       class,
+		Layers:      len(d.Layers),
+		Components:  len(d.Components),
+		Connections: len(d.Connections),
+		Ports:       d.CountEntity(core.EntityPort),
+		Valves:      ctl,
+		MultiSink:   fan.MultiSink,
+		AvgDegree:   deg.Mean,
+		MaxDegree:   deg.Max,
+		Diameter:    g.Diameter(),
+	}
+}
+
+// Table is a renderable text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells[:len(t.Columns)])
+}
+
+// Render produces an aligned plain-text rendering.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Cell returns the cell at (row, col); empty string when out of range.
+func (t *Table) Cell(row int, col string) string {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 || row < 0 || row >= len(t.Rows) {
+		return ""
+	}
+	return t.Rows[row][ci]
+}
+
+// RowByFirst returns the first row whose leading cell equals key, or nil.
+func (t *Table) RowByFirst(key string) []string {
+	for _, row := range t.Rows {
+		if len(row) > 0 && row[0] == key {
+			return row
+		}
+	}
+	return nil
+}
+
+// Series is one named line of (x, y) points in a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a renderable collection of series — the textual equivalent of
+// one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends one series.
+func (f *Figure) Add(s Series) { f.Series = append(f.Series, s) }
+
+// Render lists each series' points, one "x y" pair per line, preceded by
+// the series name — the gnuplot-friendly shape the harness writes out.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n# x: %s, y: %s\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "\n# series %s\n", s.Name)
+		for i := range s.X {
+			y := 0.0
+			if i < len(s.Y) {
+				y = s.Y[i]
+			}
+			fmt.Fprintf(&sb, "%g\t%g\n", s.X[i], y)
+		}
+	}
+	return sb.String()
+}
+
+// ByName returns the series with the given name, or nil.
+func (f *Figure) ByName(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Itoa renders an int cell.
+func Itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// I64 renders an int64 cell.
+func I64(v int64) string { return fmt.Sprintf("%d", v) }
+
+// F2 renders a float cell with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct renders a ratio as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

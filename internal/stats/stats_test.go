@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func TestProfileDevice(t *testing.T) {
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	p := ProfileDevice(d, "assay")
+	if p.Name != "aquaflex_3b" || p.Class != "assay" {
+		t.Errorf("identity = %q/%q", p.Name, p.Class)
+	}
+	if p.Layers != 2 {
+		t.Errorf("layers = %d", p.Layers)
+	}
+	if p.Components != len(d.Components) || p.Connections != len(d.Connections) {
+		t.Errorf("counts = %d/%d", p.Components, p.Connections)
+	}
+	if p.Valves != 6 {
+		t.Errorf("valves = %d, want 6", p.Valves)
+	}
+	if p.Ports != d.CountEntity(core.EntityPort) {
+		t.Errorf("ports = %d", p.Ports)
+	}
+	if p.AvgDegree <= 0 || p.MaxDegree < 2 || p.Diameter < 2 {
+		t.Errorf("graph stats = %+v", p)
+	}
+}
+
+func TestProfileCountsPumpsAsControl(t *testing.T) {
+	b, err := bench.ByName("chromatin_immunoprecipitation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	p := ProfileDevice(d, "assay")
+	valves := d.CountEntity(core.EntityValve)
+	pumps := d.CountEntity(core.EntityPump)
+	if p.Valves != valves+pumps {
+		t.Errorf("control count = %d, want %d valves + %d pumps", p.Valves, valves, pumps)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long-name", "22")
+	tb.AddRow("gamma") // short row padded
+	out := tb.Render()
+	if !strings.Contains(out, "My Title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 3 rows
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// All data lines align: the "value" column starts at the same offset.
+	hdr := lines[1]
+	col := strings.Index(hdr, "value")
+	for _, ln := range lines[3:] {
+		if len(ln) < col {
+			continue
+		}
+		if ln[col-1] != ' ' && ln[col-2] != ' ' {
+			t.Errorf("misaligned row %q", ln)
+		}
+	}
+}
+
+func TestTableCellAndRowLookup(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta", "2")
+	if got := tb.Cell(1, "value"); got != "2" {
+		t.Errorf("Cell = %q", got)
+	}
+	if got := tb.Cell(5, "value"); got != "" {
+		t.Errorf("out-of-range Cell = %q", got)
+	}
+	if got := tb.Cell(0, "nope"); got != "" {
+		t.Errorf("unknown column Cell = %q", got)
+	}
+	row := tb.RowByFirst("beta")
+	if row == nil || row[1] != "2" {
+		t.Errorf("RowByFirst = %v", row)
+	}
+	if tb.RowByFirst("ghost") != nil {
+		t.Error("missing key should return nil")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{Title: "Fig X", XLabel: "n", YLabel: "ms"}
+	f.Add(Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}})
+	f.Add(Series{Name: "b", X: []float64{1}, Y: nil}) // missing y defaults to 0
+	out := f.Render()
+	for _, frag := range []string{"Fig X", "# x: n, y: ms", "# series a", "1\t10", "2\t20", "# series b", "1\t0"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	if s := f.ByName("b"); s == nil || s.Name != "b" {
+		t.Errorf("ByName = %+v", s)
+	}
+	if f.ByName("ghost") != nil {
+		t.Error("missing series should be nil")
+	}
+}
+
+func TestCellFormatters(t *testing.T) {
+	if Itoa(42) != "42" || I64(-7) != "-7" {
+		t.Error("integer formatters wrong")
+	}
+	if F2(3.14159) != "3.14" {
+		t.Errorf("F2 = %q", F2(3.14159))
+	}
+	if Pct(0.756) != "75.6%" {
+		t.Errorf("Pct = %q", Pct(0.756))
+	}
+}

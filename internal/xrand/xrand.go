@@ -1,0 +1,53 @@
+// Package xrand provides a small deterministic PRNG (SplitMix64) shared by
+// the benchmark generators, the fault injector, and the placement engines.
+// Unlike math/rand, its sequence is fixed by this repository, so generated
+// benchmarks and experiment results are byte-identical across Go releases.
+package xrand
+
+// Source is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next value in the sequence.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n); it returns 0 when n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n); it returns 0 when n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / float64(1<<53)
+}
+
+// Shuffle pseudo-randomly permutes the first n elements via swap, matching
+// the contract of rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,71 @@
+DEVICE molecular_gradients
+
+LAYER FLOW
+    PORT inA r=100 ;
+    PORT inB r=100 ;
+    GRADIENT g_l2_0 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l2_1 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l3_0 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l3_1 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l3_2 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l4_0 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l4_1 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l4_2 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l4_3 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l5_0 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l5_1 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l5_2 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l5_3 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l5_4 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l6_0 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l6_1 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l6_2 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l6_3 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l6_4 w=2000 h=1000 in=2 out=2 ;
+    GRADIENT g_l6_5 w=2000 h=1000 in=2 out=2 ;
+    PORT out1 r=100 ;
+    PORT out2 r=100 ;
+    PORT out3 r=100 ;
+    PORT out4 r=100 ;
+    PORT out5 r=100 ;
+    PORT out6 r=100 ;
+    CHANNEL f_inA from inA 1 to g_l2_0 1 w=100 ;
+    CHANNEL f_inB from inB 1 to g_l2_1 2 w=100 ;
+    CHANNEL f_g_l2_0_l from g_l2_0 3 to g_l3_0 2 w=100 ;
+    CHANNEL f_g_l2_0_r from g_l2_0 4 to g_l3_1 1 w=100 ;
+    CHANNEL f_g_l2_1_l from g_l2_1 3 to g_l3_1 2 w=100 ;
+    CHANNEL f_g_l2_1_r from g_l2_1 4 to g_l3_2 1 w=100 ;
+    CHANNEL f_g_l3_0_l from g_l3_0 3 to g_l4_0 2 w=100 ;
+    CHANNEL f_g_l3_0_r from g_l3_0 4 to g_l4_1 1 w=100 ;
+    CHANNEL f_g_l3_1_l from g_l3_1 3 to g_l4_1 2 w=100 ;
+    CHANNEL f_g_l3_1_r from g_l3_1 4 to g_l4_2 1 w=100 ;
+    CHANNEL f_g_l3_2_l from g_l3_2 3 to g_l4_2 2 w=100 ;
+    CHANNEL f_g_l3_2_r from g_l3_2 4 to g_l4_3 1 w=100 ;
+    CHANNEL f_g_l4_0_l from g_l4_0 3 to g_l5_0 2 w=100 ;
+    CHANNEL f_g_l4_0_r from g_l4_0 4 to g_l5_1 1 w=100 ;
+    CHANNEL f_g_l4_1_l from g_l4_1 3 to g_l5_1 2 w=100 ;
+    CHANNEL f_g_l4_1_r from g_l4_1 4 to g_l5_2 1 w=100 ;
+    CHANNEL f_g_l4_2_l from g_l4_2 3 to g_l5_2 2 w=100 ;
+    CHANNEL f_g_l4_2_r from g_l4_2 4 to g_l5_3 1 w=100 ;
+    CHANNEL f_g_l4_3_l from g_l4_3 3 to g_l5_3 2 w=100 ;
+    CHANNEL f_g_l4_3_r from g_l4_3 4 to g_l5_4 1 w=100 ;
+    CHANNEL f_g_l5_0_l from g_l5_0 3 to g_l6_0 2 w=100 ;
+    CHANNEL f_g_l5_0_r from g_l5_0 4 to g_l6_1 1 w=100 ;
+    CHANNEL f_g_l5_1_l from g_l5_1 3 to g_l6_1 2 w=100 ;
+    CHANNEL f_g_l5_1_r from g_l5_1 4 to g_l6_2 1 w=100 ;
+    CHANNEL f_g_l5_2_l from g_l5_2 3 to g_l6_2 2 w=100 ;
+    CHANNEL f_g_l5_2_r from g_l5_2 4 to g_l6_3 1 w=100 ;
+    CHANNEL f_g_l5_3_l from g_l5_3 3 to g_l6_3 2 w=100 ;
+    CHANNEL f_g_l5_3_r from g_l5_3 4 to g_l6_4 1 w=100 ;
+    CHANNEL f_g_l5_4_l from g_l5_4 3 to g_l6_4 2 w=100 ;
+    CHANNEL f_g_l5_4_r from g_l5_4 4 to g_l6_5 1 w=100 ;
+    CHANNEL f_out1 from g_l6_0 3 to out1 1 w=100 ;
+    CHANNEL f_out2 from g_l6_1 3 to out2 1 w=100 ;
+    CHANNEL f_out3 from g_l6_2 3 to out3 1 w=100 ;
+    CHANNEL f_out4 from g_l6_3 3 to out4 1 w=100 ;
+    CHANNEL f_out5 from g_l6_4 3 to out5 1 w=100 ;
+    CHANNEL f_out6 from g_l6_5 3 to out6 1 w=100 ;
+END LAYER
+
+LAYER CONTROL
+END LAYER
