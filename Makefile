@@ -1,0 +1,48 @@
+# CI entry points. `make check` is the full gate a commit should pass:
+# build, vet, tests, the race detector over the parallel runner, and a
+# short fuzz smoke of the parser and JSON codec.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test test-short race fuzz-smoke vet bench artifacts check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast loop: skips the full artifact regeneration and other slow sweeps.
+test-short:
+	$(GO) test -short ./...
+
+# Race detector across the tree; -short keeps it focused on the
+# concurrency-bearing paths (worker pool, device cache, parallel
+# experiment loops) instead of re-running the slow artifact regeneration
+# under the race scheduler.
+race:
+	$(GO) test -race -short ./...
+
+# Full-fat race run, including the complete golden-artifact regeneration.
+race-full:
+	$(GO) test -race ./...
+
+# Each fuzz target for a short burst; any crasher fails the target.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/mint
+	$(GO) test -fuzz FuzzDeviceJSON -fuzztime $(FUZZTIME) -run '^$$' ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the committed golden artifacts (intentional drift only).
+artifacts:
+	$(GO) run ./cmd/parchmint-bench -exp all -outdir results
+
+check: build vet test race fuzz-smoke

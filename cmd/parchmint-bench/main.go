@@ -1,11 +1,16 @@
 // Command parchmint-bench regenerates the paper's evaluation artifacts:
-// every table and figure in DESIGN.md's per-experiment index.
+// every table and figure in DESIGN.md's per-experiment index, plus the
+// wall-clock "timing" pseudo-experiment of the parallel runner.
 //
 // Usage:
 //
 //	parchmint-bench -list
 //	parchmint-bench -exp table1
-//	parchmint-bench -exp all -outdir results/
+//	parchmint-bench -exp all -j 8 -outdir results/
+//	parchmint-bench -exp timing
+//
+// -j sets the worker count (default: all CPUs). Artifacts are
+// byte-identical at every worker count; only wall time changes.
 package main
 
 import (
@@ -13,39 +18,76 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
+	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
+// timingID is the runner's pseudo-experiment: wall-clock stage profiling.
+// It is not part of "-exp all" because its output is machine- and
+// run-specific, and "all" is the byte-reproducible golden set.
+const timingID = "timing"
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: parchmint-bench -list | -exp <id|all|%s> [-j N] [-outdir DIR]\n", timingID)
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
+}
+
 func main() {
-	list := flag.Bool("list", false, "list experiment IDs")
-	exp := flag.String("exp", "", `experiment ID, or "all"`)
+	list := flag.Bool("list", false, "list experiment IDs with their titles")
+	exp := flag.String("exp", "", `experiment ID, "all", or "timing"`)
 	outdir := flag.String("outdir", "", "write artifacts to files in this directory instead of stdout")
+	jobs := flag.Int("j", runtime.NumCPU(), "worker count for parallel execution (0 = all CPUs)")
+	flag.Usage = usage
 	flag.Parse()
+
+	if *jobs < 1 {
+		*jobs = runtime.NumCPU()
+	}
+	runner.SetParallelism(*jobs)
 
 	switch {
 	case *list:
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+		for _, in := range experiments.Describe() {
+			fmt.Printf("%-14s%s\n", in.ID, in.Title)
 		}
+		fmt.Printf("%-14s%s\n", timingID, `pipeline stage wall-time profile (pseudo-experiment, not in "all")`)
 	case *exp == "all":
-		arts := experiments.All()
+		var arts []experiments.Artifact
+		if *jobs > 1 {
+			arts = experiments.AllParallel(*jobs)
+		} else {
+			arts = experiments.All()
+		}
 		for _, a := range arts {
 			if err := emit(a, *outdir); err != nil {
 				cli.Fatalf("%s: %v", a.ID, err)
 			}
 		}
+	case *exp == timingID:
+		tb := runner.TimingTable(bench.Suite(), runner.TimingOptions{
+			Workers: *jobs,
+			Seed:    experiments.Seed,
+		})
+		if err := emit(experiments.Artifact{ID: timingID, Text: tb.Render()}, *outdir); err != nil {
+			cli.Fatalf("%s: %v", timingID, err)
+		}
 	case *exp != "":
 		text, err := experiments.Run(*exp)
 		if err != nil {
-			cli.Fatalf("%v", err)
+			fmt.Fprintf(os.Stderr, "parchmint-bench: %v\n", err)
+			usage()
+			os.Exit(2)
 		}
 		if err := emit(experiments.Artifact{ID: *exp, Text: text}, *outdir); err != nil {
 			cli.Fatalf("%s: %v", *exp, err)
 		}
 	default:
-		cli.Fatalf("usage: parchmint-bench -list | -exp <id|all> [-outdir DIR]")
+		usage()
+		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,103 @@
+// CLI contract tests for parchmint-bench: the built binary's -list output
+// carries one-line titles, unknown experiment IDs exit non-zero with a
+// usage message, and the -j flag never changes artifact bytes.
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// buildBinary compiles parchmint-bench into a temp dir once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "parchmint-bench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestListIncludesTitles(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+	text := string(out)
+	for _, in := range experiments.Describe() {
+		if !strings.Contains(text, in.ID) {
+			t.Errorf("-list output missing ID %q", in.ID)
+		}
+		if !strings.Contains(text, in.Title) {
+			t.Errorf("-list output missing title %q for %s", in.Title, in.ID)
+		}
+	}
+	if !strings.Contains(text, "timing") {
+		t.Error("-list output missing the timing pseudo-experiment")
+	}
+}
+
+func TestUnknownExperimentExitsNonZeroWithUsage(t *testing.T) {
+	bin := buildBinary(t)
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "-exp", "bogus")
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("err = %v, want non-zero exit", err)
+	}
+	if ee.ExitCode() == 0 {
+		t.Error("unknown experiment exited zero")
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "bogus") {
+		t.Errorf("stderr does not name the unknown ID:\n%s", msg)
+	}
+	if !strings.Contains(msg, "usage:") {
+		t.Errorf("stderr carries no usage message:\n%s", msg)
+	}
+	if !strings.Contains(msg, "table1") {
+		t.Errorf("usage does not list the valid IDs:\n%s", msg)
+	}
+}
+
+func TestNoArgumentsExitsNonZeroWithUsage(t *testing.T) {
+	bin := buildBinary(t)
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin)
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("err = %v, want non-zero exit", err)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("stderr carries no usage message:\n%s", stderr.String())
+	}
+}
+
+func TestWorkerCountDoesNotChangeArtifactBytes(t *testing.T) {
+	bin := buildBinary(t)
+	var outputs []string
+	for _, j := range []string{"1", "8"} {
+		out, err := exec.Command(bin, "-exp", "table1", "-j", j).Output()
+		if err != nil {
+			t.Fatalf("-exp table1 -j %s: %v", j, err)
+		}
+		outputs = append(outputs, string(out))
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("-j 1 and -j 8 produced different table1 bytes")
+	}
+	if !strings.Contains(outputs[0], "Table 1") {
+		t.Errorf("unexpected table1 output:\n%s", outputs[0])
+	}
+}

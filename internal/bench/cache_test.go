@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDeviceCacheBuildsOnce(t *testing.T) {
+	ResetBuildCache()
+	defer ResetBuildCache()
+	b, err := ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := b.Device()
+	d2 := b.Device()
+	if d1 != d2 {
+		t.Error("cache returned distinct devices for the same benchmark")
+	}
+	if n := BuildCount("rotary_pcr"); n != 1 {
+		t.Errorf("BuildCount = %d, want 1", n)
+	}
+	if !core.Equal(d1, b.Build()) {
+		t.Error("cached device differs from a fresh build")
+	}
+}
+
+func TestDeviceCacheConcurrentExactlyOnce(t *testing.T) {
+	ResetBuildCache()
+	defer ResetBuildCache()
+	suite := Suite()
+	var wg sync.WaitGroup
+	devices := make([][]*core.Device, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		devices[g] = make([]*core.Device, len(suite))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, b := range suite {
+				devices[g][i] = b.Device()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, b := range suite {
+		if n := BuildCount(b.Name); n != 1 {
+			t.Errorf("%s: BuildCount = %d, want 1", b.Name, n)
+		}
+		for g := 1; g < 8; g++ {
+			if devices[g][i] != devices[0][i] {
+				t.Errorf("%s: goroutine %d saw a different device pointer", b.Name, g)
+			}
+		}
+	}
+	if total := TotalBuildCount(); total != len(suite) {
+		t.Errorf("TotalBuildCount = %d, want %d", total, len(suite))
+	}
+}

@@ -1,0 +1,51 @@
+// Go-native fuzzing of the ParchMint JSON codec, seeded from the suite's
+// twelve benchmark devices. Properties: Unmarshal never panics on any
+// input; every accepted device re-encodes; and the codec is a round trip —
+// decode(encode(d)) equals d and the second encoding is byte-identical to
+// the first (the canonical-form fixpoint the golden tests rely on).
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func FuzzDeviceJSON(f *testing.F) {
+	for _, b := range bench.Suite() {
+		if data, err := core.Marshal(b.Device()); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"d","layers":[],"components":[],"connections":[]}`))
+	f.Add([]byte(`{"name":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"name":"d","layers":[{"id":"flow","name":"flow","type":"FLOW"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := core.Unmarshal(data)
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		enc, err := core.Marshal(d)
+		if err != nil {
+			t.Fatalf("accepted device does not re-encode: %v", err)
+		}
+		d2, err := core.Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("encoder emitted undecodable JSON: %v\n%s", err, enc)
+		}
+		if !core.Equal(d, d2) {
+			t.Errorf("decode(encode(d)) != d for input %q", data)
+		}
+		enc2, err := core.Marshal(d2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Errorf("encoding is not a fixpoint\nfirst:  %s\nsecond: %s", enc, enc2)
+		}
+	})
+}

@@ -9,7 +9,6 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/validate"
@@ -36,7 +36,7 @@ func Table1() *stats.Table {
 		"io-ports", "valves+pumps", "multi-sink", "avg-deg", "max-deg", "diameter",
 	)
 	for _, b := range bench.Suite() {
-		d := b.Build()
+		d := b.Device()
 		p := stats.ProfileDevice(d, string(b.Class))
 		t.AddRow(p.Name, p.Class, stats.Itoa(p.Layers), stats.Itoa(p.Components),
 			stats.Itoa(p.Connections), stats.Itoa(p.Ports), stats.Itoa(p.Valves),
@@ -53,7 +53,7 @@ func Table2() *stats.Table {
 	present := map[string]bool{}
 	devices := make([]*core.Device, len(suite))
 	for i, b := range suite {
-		devices[i] = b.Build()
+		devices[i] = b.Device()
 		for _, c := range devices[i].Components {
 			present[c.Entity] = true
 		}
@@ -89,18 +89,28 @@ func Table3() *stats.Table {
 	)
 	suite := bench.Suite()
 	for _, m := range mutate.Classes() {
-		applicable, detected := 0, 0
-		for _, b := range suite {
-			d := b.Build()
+		m := m
+		// One injection sweep per benchmark, fanned out on the worker
+		// pool; per-benchmark tallies land in slots indexed by suite
+		// position, so the totals are scheduling-independent.
+		type tally struct{ applicable, detected int }
+		tallies := make([]tally, len(suite))
+		runner.ForEach(0, len(suite), func(i int) {
+			d := suite[i].Device()
 			for seed := uint64(0); seed < Table3Trials; seed++ {
 				res := mutate.Trial(d, m, Seed+seed)
 				if res.Applicable {
-					applicable++
+					tallies[i].applicable++
 					if res.Detected {
-						detected++
+						tallies[i].detected++
 					}
 				}
 			}
+		})
+		applicable, detected := 0, 0
+		for _, c := range tallies {
+			applicable += c.applicable
+			detected += c.detected
 		}
 		rate := 1.0
 		if applicable > 0 {
@@ -122,7 +132,7 @@ func Fig2() *stats.Figure {
 	}
 	hist := map[string]map[int]int{}
 	for _, b := range bench.Suite() {
-		g := netlist.Build(b.Build())
+		g := netlist.Build(b.Device())
 		class := string(b.Class)
 		if hist[class] == nil {
 			hist[class] = map[int]int{}
@@ -171,18 +181,32 @@ func Fig3On(benchmarks []bench.Benchmark) (*stats.Figure, *stats.Table) {
 	for i, eng := range engines {
 		series[i].Name = eng.Name()
 	}
-	for bi, b := range benchmarks {
-		d := b.Build()
-		var greedyHPWL int64
+	// Each benchmark's engine comparison is independent; fan out on the
+	// worker pool and assemble series points and table rows in benchmark
+	// order afterwards, so the artifact bytes never depend on scheduling.
+	perBench := make([][]place.Metrics, len(benchmarks))
+	runner.ForEach(0, len(benchmarks), func(bi int) {
+		b := benchmarks[bi]
+		d := b.Device()
+		perBench[bi] = make([]place.Metrics, len(engines))
 		for ei, eng := range engines {
-			p, err := eng.Place(d, place.Options{Seed: Seed})
-			if err != nil {
-				panic(fmt.Sprintf("experiments: placement %s/%s: %v", b.Name, eng.Name(), err))
+			var p *place.Placement
+			if _, isAnneal := eng.(place.Annealer); isAnneal {
+				p = annealedPlacement(b)
+			} else {
+				var err error
+				p, err = eng.Place(d, place.Options{Seed: Seed})
+				if err != nil {
+					panic(fmt.Sprintf("experiments: placement %s/%s: %v", b.Name, eng.Name(), err))
+				}
 			}
-			m := place.Evaluate(p)
-			if ei == 0 {
-				greedyHPWL = m.HPWL
-			}
+			perBench[bi][ei] = place.Evaluate(p)
+		}
+	})
+	for bi, b := range benchmarks {
+		greedyHPWL := perBench[bi][0].HPWL
+		for ei, eng := range engines {
+			m := perBench[bi][ei]
 			norm := 1.0
 			if greedyHPWL > 0 {
 				norm = float64(m.HPWL) / float64(greedyHPWL)
@@ -212,17 +236,26 @@ func Fig4On(benchmarks []bench.Benchmark) *stats.Table {
 		"benchmark", "router", "routed", "total", "completion",
 		"length(um)", "expansions",
 	)
-	for _, b := range benchmarks {
-		d := b.Build()
-		p, err := (place.Annealer{}).Place(d, place.Options{Seed: Seed})
-		if err != nil {
-			panic(fmt.Sprintf("experiments: placement %s: %v", b.Name, err))
-		}
-		for _, router := range route.Engines() {
+	// Route every benchmark on its memoized annealed placement (shared
+	// with Fig 3), fanned out per benchmark; rows are emitted in benchmark
+	// order afterwards.
+	routers := route.Engines()
+	reports := make([][]*route.Report, len(benchmarks))
+	runner.ForEach(0, len(benchmarks), func(bi int) {
+		b := benchmarks[bi]
+		p := annealedPlacement(b)
+		reports[bi] = make([]*route.Report, len(routers))
+		for ri, router := range routers {
 			report, err := route.RouteAll(p, router, route.Options{})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: routing %s/%s: %v", b.Name, router.Name(), err))
 			}
+			reports[bi][ri] = report
+		}
+	})
+	for bi, b := range benchmarks {
+		for ri, router := range routers {
+			report := reports[bi][ri]
 			t.AddRow(b.Name, router.Name(),
 				stats.Itoa(report.Routed()), stats.Itoa(report.Total()),
 				stats.Pct(report.CompletionRate()),
@@ -237,51 +270,63 @@ func Fig4On(benchmarks []bench.Benchmark) *stats.Table {
 // 10, 20, 40, 80, 160 components.
 const Fig5Points = 5
 
-// Fig5 measures runtime scaling: wall-clock time of each pipeline stage
-// (parse, validate, place, route) against netlist size on a synthetic
-// sweep doubling from 10 components.
+// Fig5 measures pipeline cost scaling against netlist size on a synthetic
+// sweep doubling from 10 components. Cost is reported in deterministic
+// work units per stage — parse: canonical JSON bytes; validate: netlist
+// elements examined; place: annealing moves proposed; route: search-node
+// expansions — so the figure is byte-reproducible across machines, runs,
+// and worker counts, and can sit in the golden artifact set. The
+// wall-clock equivalent is the runner's "timing" pseudo-experiment
+// (parchmint-bench -exp timing), which is deliberately excluded from it.
 func Fig5() *stats.Figure {
 	f := &stats.Figure{
-		Title:  "Fig 5: pipeline runtime scaling on the synthetic sweep",
+		Title:  "Fig 5: pipeline work scaling on the synthetic sweep",
 		XLabel: "components",
-		YLabel: "milliseconds",
+		YLabel: "work units (parse: bytes, validate: elements, place: moves, route: expansions)",
 	}
-	parse := stats.Series{Name: "parse"}
-	val := stats.Series{Name: "validate"}
-	pl := stats.Series{Name: "place"}
-	rt := stats.Series{Name: "route"}
-	for _, pt := range bench.Sweep(10, Fig5Points, Seed) {
+	pts := bench.Sweep(10, Fig5Points, Seed)
+	type point struct {
+		x, parse, validate, place, route float64
+	}
+	points := make([]point, len(pts))
+	runner.ForEach(0, len(pts), func(i int) {
+		pt := pts[i]
 		x := float64(pt.Device.Stats().Components)
 		data, err := core.Marshal(pt.Device)
 		if err != nil {
 			panic(err)
 		}
-		start := time.Now()
 		if _, err := core.Unmarshal(data); err != nil {
 			panic(err)
 		}
-		parse.X = append(parse.X, x)
-		parse.Y = append(parse.Y, ms(time.Since(start)))
-
-		start = time.Now()
-		validate.Validate(pt.Device)
-		val.X = append(val.X, x)
-		val.Y = append(val.Y, ms(time.Since(start)))
-
-		start = time.Now()
+		if vr := validate.Validate(pt.Device); !vr.OK() {
+			panic(fmt.Sprintf("experiments: sweep device %d invalid: %s", i, vr))
+		}
 		placed, err := (place.Annealer{}).Place(pt.Device, place.Options{Seed: Seed})
 		if err != nil {
 			panic(err)
 		}
-		pl.X = append(pl.X, x)
-		pl.Y = append(pl.Y, ms(time.Since(start)))
-
-		start = time.Now()
-		if _, err := route.RouteAll(placed, route.AStar{}, route.Options{}); err != nil {
+		report, err := route.RouteAll(placed, route.AStar{}, route.Options{})
+		if err != nil {
 			panic(err)
 		}
-		rt.X = append(rt.X, x)
-		rt.Y = append(rt.Y, ms(time.Since(start)))
+		points[i] = point{
+			x:        x,
+			parse:    float64(len(data)),
+			validate: float64(elementCount(pt.Device)),
+			place:    float64(placed.Moves),
+			route:    float64(report.TotalExpansions()),
+		}
+	})
+	parse := stats.Series{Name: "parse"}
+	val := stats.Series{Name: "validate"}
+	pl := stats.Series{Name: "place"}
+	rt := stats.Series{Name: "route"}
+	for _, p := range points {
+		parse.X, parse.Y = append(parse.X, p.x), append(parse.Y, p.parse)
+		val.X, val.Y = append(val.X, p.x), append(val.Y, p.validate)
+		pl.X, pl.Y = append(pl.X, p.x), append(pl.Y, p.place)
+		rt.X, rt.Y = append(rt.X, p.x), append(rt.Y, p.route)
 	}
 	f.Add(parse)
 	f.Add(val)
@@ -290,7 +335,20 @@ func Fig5() *stats.Figure {
 	return f
 }
 
-func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+// elementCount is the number of netlist elements a validation pass
+// examines: layers, components and their ports, connections and their
+// endpoints, and features — the size driver of the validator's linear
+// rules.
+func elementCount(d *core.Device) int {
+	n := len(d.Layers) + len(d.Components) + len(d.Connections) + len(d.Features)
+	for i := range d.Components {
+		n += len(d.Components[i].Ports)
+	}
+	for i := range d.Connections {
+		n += 1 + len(d.Connections[i].Sinks)
+	}
+	return n
+}
 
 // Fig6 measures interchange fidelity across the suite: JSON round-trip
 // losslessness and size, and MINT conversion losslessness (assay
@@ -302,7 +360,7 @@ func Fig6() *stats.Table {
 		"benchmark", "json-bytes", "json-lossless", "mint-lossless", "mint-notes",
 	)
 	for _, b := range bench.Suite() {
-		d := b.Build()
+		d := b.Device()
 		data, err := core.Marshal(d)
 		if err != nil {
 			panic(err)
@@ -353,7 +411,7 @@ func ExtGradient() *stats.Figure {
 	if err != nil {
 		panic(err)
 	}
-	d := b.Build()
+	d := b.Device()
 	network, err := sim.Build(d, sim.Options{})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: gradient network: %v", err))
@@ -408,10 +466,36 @@ type Artifact struct {
 	Text string
 }
 
-// IDs lists the experiment identifiers in DESIGN.md order, the paper's
-// eight plus the extension experiments.
+// Info pairs an experiment ID with its one-line title.
+type Info struct {
+	ID    string
+	Title string
+}
+
+// Describe lists every experiment with its one-line title, in DESIGN.md
+// order — the paper's eight plus the extension experiments.
+func Describe() []Info {
+	return []Info{
+		{"table1", "benchmark suite characterization"},
+		{"table2", "component entity distribution"},
+		{"table3", "validator fault-injection coverage"},
+		{"fig2", "component degree distribution across the suite"},
+		{"fig3", "placement quality per engine, normalized to greedy"},
+		{"fig4", "routing quality per engine on annealed placements"},
+		{"fig5", "pipeline work scaling on the synthetic sweep"},
+		{"fig6", "interchange fidelity per benchmark"},
+		{"ext-gradient", "simulated dilution profile of molecular_gradients"},
+	}
+}
+
+// IDs lists the experiment identifiers in DESIGN.md order.
 func IDs() []string {
-	return []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "ext-gradient"}
+	infos := Describe()
+	out := make([]string, len(infos))
+	for i, in := range infos {
+		out[i] = in.ID
+	}
+	return out
 }
 
 // Run renders a single experiment by ID.

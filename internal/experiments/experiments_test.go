@@ -173,7 +173,7 @@ func TestFig4RoutersProduceResults(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runtime sweep is slow in -short mode")
+		t.Skip("work-scaling sweep is slow in -short mode")
 	}
 	f := Fig5()
 	for _, name := range []string{"parse", "validate", "place", "route"} {
@@ -184,19 +184,36 @@ func TestFig5Shape(t *testing.T) {
 		if len(s.X) != Fig5Points {
 			t.Errorf("series %s has %d points, want %d", name, len(s.X), Fig5Points)
 		}
-		// Sizes must grow monotonically.
+		// Sizes and per-stage work must grow monotonically with the sweep.
 		for i := 1; i < len(s.X); i++ {
 			if s.X[i] <= s.X[i-1] {
 				t.Errorf("series %s x not increasing: %v", name, s.X)
 			}
+			if s.Y[i] <= s.Y[i-1] {
+				t.Errorf("series %s work not increasing: %v", name, s.Y)
+			}
+		}
+		if s.Y[0] <= 0 {
+			t.Errorf("series %s reports no work at the smallest size: %v", name, s.Y)
 		}
 	}
-	// Shape: placement at the largest size costs more than parsing it.
+	// Shape: placement (annealing moves) dominates parsing (bytes) at the
+	// largest size, mirroring the wall-clock asymmetry it stands in for.
 	pl := f.ByName("place")
 	pa := f.ByName("parse")
 	if pl.Y[len(pl.Y)-1] <= pa.Y[len(pa.Y)-1] {
-		t.Errorf("place (%vms) not slower than parse (%vms) at max size",
+		t.Errorf("place work (%v) does not dominate parse work (%v) at max size",
 			pl.Y[len(pl.Y)-1], pa.Y[len(pa.Y)-1])
+	}
+	// The work metrics are deterministic: a second sweep is identical.
+	g := Fig5()
+	for _, name := range []string{"parse", "validate", "place", "route"} {
+		a, b := f.ByName(name), g.ByName(name)
+		for i := range a.Y {
+			if a.Y[i] != b.Y[i] {
+				t.Errorf("series %s not deterministic at point %d: %v vs %v", name, i, a.Y[i], b.Y[i])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,41 @@
+// Go-native fuzzing of the MINT lexer/parser, seeded from the suite's
+// twelve benchmark devices. Two properties: Parse never panics on any
+// input, and printing is a fixpoint — once a file has been printed and
+// reparsed, printing it again reproduces the same bytes.
+package mint_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mint"
+)
+
+func FuzzParse(f *testing.F) {
+	for _, b := range bench.Suite() {
+		if mf, _, err := mint.FromDevice(b.Device()); err == nil {
+			f.Add(mint.Print(mf))
+		}
+	}
+	f.Add("")
+	f.Add("DEVICE d\n")
+	f.Add("DEVICE d\nLAYER FLOW\nPORT p1 r=500;\nEND LAYER\n")
+	f.Add("DEVICE d\nLAYER FLOW\nCHANNEL c from a 2 to b 1 w=400;\nEND LAYER\n")
+	f.Add("LAYER FLOW without a device header")
+	f.Add("DEVICE \x00\nLAYER\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		f1, err := mint.Parse(src)
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		p1 := mint.Print(f1)
+		f2, err := mint.Parse(p1)
+		if err != nil {
+			t.Fatalf("printer emitted unparseable MINT: %v\ninput: %q\nprinted: %q", err, src, p1)
+		}
+		p2 := mint.Print(f2)
+		if p1 != p2 {
+			t.Errorf("print is not a fixpoint\nfirst:  %q\nsecond: %q", p1, p2)
+		}
+	})
+}

@@ -77,6 +77,7 @@ func (Annealer) Place(d *core.Device, opts Options) (*Placement, error) {
 	st.window = die.Dx()
 	best := st.place.Clone()
 	bestCost := st.cost
+	moves := 0
 	for temp > defaultFinalTemp {
 		accepted := 0
 		for m := 0; m < movesPerTemp; m++ {
@@ -88,6 +89,7 @@ func (Annealer) Place(d *core.Device, opts Options) (*Placement, error) {
 				best = st.place.Clone()
 			}
 		}
+		moves += movesPerTemp
 		rate := float64(accepted) / float64(movesPerTemp)
 		if rate < 0.44 {
 			st.window = st.window * 9 / 10
@@ -107,9 +109,11 @@ func (Annealer) Place(d *core.Device, opts Options) (*Placement, error) {
 	if err := CheckLegal(legal); err != nil {
 		return nil, err
 	}
+	legal.Moves = moves
 	// Legalization can cost back some of the annealer's gains; never
 	// return a result worse than the legal greedy start.
 	if Evaluate(legal).HPWL >= Evaluate(start).HPWL {
+		start.Moves = moves
 		return start, nil
 	}
 	return legal, nil

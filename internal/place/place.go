@@ -28,6 +28,11 @@ type Placement struct {
 	Origins map[string]geom.Point
 	// Die is the region the placer targeted.
 	Die geom.Rect
+	// Moves counts the optimization moves the engine proposed to reach
+	// this placement (0 for constructive engines). It is a deterministic
+	// function of the device and seed — the work metric the runtime-scaling
+	// experiment reports instead of wall-clock time.
+	Moves int
 }
 
 // Footprint returns the placed rectangle of a component, or false when the
@@ -52,7 +57,7 @@ func (p *Placement) PortPosition(c *core.Component, port core.Port) (geom.Point,
 
 // Clone returns a deep copy sharing the device.
 func (p *Placement) Clone() *Placement {
-	out := &Placement{Device: p.Device, Die: p.Die, Origins: make(map[string]geom.Point, len(p.Origins))}
+	out := &Placement{Device: p.Device, Die: p.Die, Moves: p.Moves, Origins: make(map[string]geom.Point, len(p.Origins))}
 	for k, v := range p.Origins {
 		out.Origins[k] = v
 	}

@@ -7,11 +7,22 @@ package pnr
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/route"
 )
+
+// Flow stage names reported to Options.Observe, in execution order.
+const (
+	StagePlace  = "place"
+	StageRoute  = "route"
+	StageAttach = "attach"
+)
+
+// Stages lists the flow's stage names in execution order.
+func Stages() []string { return []string{StagePlace, StageRoute, StageAttach} }
 
 // Options configures the flow.
 type Options struct {
@@ -28,6 +39,18 @@ type Options struct {
 	// SkipValveMap suppresses the ParchMint v1.2 valve map normally
 	// synthesized for the device's valves and pumps.
 	SkipValveMap bool
+	// Observe, when non-nil, receives each stage's wall-clock duration as
+	// the stage completes (stage names: StagePlace, StageRoute,
+	// StageAttach). The runner's timing harness uses this to profile the
+	// flow without the flow knowing about the harness.
+	Observe func(stage string, d time.Duration)
+}
+
+// observe times one stage when a hook is installed.
+func (o Options) observe(stage string, start time.Time) {
+	if o.Observe != nil {
+		o.Observe(stage, time.Since(start))
+	}
 }
 
 // Result is the outcome of one flow run.
@@ -53,14 +76,19 @@ func Run(d *core.Device, opts Options) (*Result, error) {
 	if router == nil {
 		router = route.AStar{}
 	}
+	start := time.Now()
 	p, err := placer.Place(d, opts.Place)
 	if err != nil {
 		return nil, fmt.Errorf("pnr: placement (%s): %w", placer.Name(), err)
 	}
+	opts.observe(StagePlace, start)
+	start = time.Now()
 	report, err := route.RouteAll(p, router, opts.Route)
 	if err != nil {
 		return nil, fmt.Errorf("pnr: routing (%s): %w", router.Name(), err)
 	}
+	opts.observe(StageRoute, start)
+	start = time.Now()
 	out := d.Clone()
 	out.Features = append(place.ToFeatures(p), report.Features()...)
 	if !opts.SkipPaths {
@@ -69,6 +97,7 @@ func Run(d *core.Device, opts Options) (*Result, error) {
 	if !opts.SkipValveMap {
 		attachValveMap(out)
 	}
+	opts.observe(StageAttach, start)
 	return &Result{
 		Device:       out,
 		Placement:    p,

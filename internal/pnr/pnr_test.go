@@ -2,6 +2,7 @@ package pnr
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -120,5 +121,41 @@ func TestRunErrorsPropagate(t *testing.T) {
 		if _, err2 := Run(d, Options{}); err2 != nil {
 			t.Error("Run on empty device is nondeterministic")
 		}
+	}
+}
+
+func TestObserveHookReportsEveryStage(t *testing.T) {
+	d := device(t, "rotary_pcr")
+	got := map[string]time.Duration{}
+	var order []string
+	_, err := Run(d, Options{
+		Placer: place.Greedy{},
+		Router: route.AStar{},
+		Observe: func(stage string, dur time.Duration) {
+			got[stage] = dur
+			order = append(order, stage)
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := Stages()
+	if len(order) != len(want) {
+		t.Fatalf("observed stages %v, want %v", order, want)
+	}
+	for i, s := range want {
+		if order[i] != s {
+			t.Errorf("stage %d = %s, want %s", i, order[i], s)
+		}
+		if got[s] < 0 {
+			t.Errorf("stage %s has negative duration %v", s, got[s])
+		}
+	}
+}
+
+func TestObserveNilIsSilent(t *testing.T) {
+	d := device(t, "rotary_pcr")
+	if _, err := Run(d, Options{Placer: place.Greedy{}, Router: route.AStar{}}); err != nil {
+		t.Fatalf("Run without observer: %v", err)
 	}
 }
