@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench artifacts check
+.PHONY: all build test test-short race fuzz-smoke vet bench artifacts serve-smoke check
 
 all: build
 
@@ -45,4 +45,22 @@ bench:
 artifacts:
 	$(GO) run ./cmd/parchmint-bench -exp all -outdir results
 
-check: build vet test race fuzz-smoke
+# Boot parchmint-serve on an ephemeral port, poke /healthz and one
+# pipeline endpoint with curl, and shut it down. Catches wiring problems
+# (routing, flags, listener, graceful shutdown) that handler-level tests
+# cannot see. Skips quietly when curl is unavailable.
+serve-smoke: build
+	@command -v curl >/dev/null 2>&1 || { echo "serve-smoke: curl not found, skipping"; exit 0; }
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/parchmint-serve" ./cmd/parchmint-serve; \
+	"$$tmp/parchmint-serve" -addr 127.0.0.1:0 -port-file "$$tmp/port" & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
+	port=$$(cat "$$tmp/port"); \
+	curl -sfS "http://127.0.0.1:$$port/healthz" | grep -q '"status": "ok"'; \
+	curl -sfS -X POST -d '{"bench":"rotary_pcr"}' "http://127.0.0.1:$$port/v1/validate" | grep -q '"ok": true'; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "serve-smoke: ok"
+
+check: build vet test race fuzz-smoke serve-smoke

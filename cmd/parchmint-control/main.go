@@ -16,8 +16,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/cli"
@@ -62,10 +64,12 @@ func main() {
 	if flag.NArg() != 1 || len(moves) == 0 {
 		cli.Fatalf("usage: parchmint-control -move from:to [-move from:to ...] <file.json|bench:NAME|->")
 	}
-	d, err := cli.LoadDevice(flag.Arg(0))
+	loaded, err := cli.LoadArg(context.Background(), flag.Arg(0))
 	if err != nil {
 		cli.Fatalf("%s: %v", flag.Arg(0), err)
 	}
+	loaded.PrintNotes(os.Stderr)
+	d := loaded.Device
 	p, err := control.NewPlanner(d)
 	if err != nil {
 		cli.Fatalf("%v", err)

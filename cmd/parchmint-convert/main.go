@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +30,12 @@ func main() {
 	}
 	src := flag.Arg(0)
 
-	d, err := cli.LoadDevice(src)
+	loaded, err := cli.LoadArg(context.Background(), src)
 	if err != nil {
 		cli.Fatalf("%s: %v", src, err)
 	}
+	loaded.PrintNotes(os.Stderr)
+	d := loaded.Device
 
 	var data []byte
 	switch *to {

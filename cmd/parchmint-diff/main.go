@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,14 +24,18 @@ func main() {
 	if flag.NArg() != 2 {
 		cli.Fatalf("usage: parchmint-diff [-q] <deviceA> <deviceB>")
 	}
-	a, err := cli.LoadDevice(flag.Arg(0))
+	loadedA, err := cli.LoadArg(context.Background(), flag.Arg(0))
 	if err != nil {
 		cli.Fatalf("%s: %v", flag.Arg(0), err)
 	}
-	b, err := cli.LoadDevice(flag.Arg(1))
+	loadedA.PrintNotes(os.Stderr)
+	a := loadedA.Device
+	loadedB, err := cli.LoadArg(context.Background(), flag.Arg(1))
 	if err != nil {
 		cli.Fatalf("%s: %v", flag.Arg(1), err)
 	}
+	loadedB.PrintNotes(os.Stderr)
+	b := loadedB.Device
 	report := diff.Devices(a, b)
 	if !*quiet {
 		fmt.Print(report)

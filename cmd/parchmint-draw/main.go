@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 
@@ -27,15 +28,17 @@ func main() {
 	if flag.NArg() != 1 {
 		cli.Fatalf("usage: parchmint-draw [flags] <file.json|bench:NAME|->")
 	}
-	d, err := cli.LoadDevice(flag.Arg(0))
+	loaded, err := cli.LoadArg(context.Background(), flag.Arg(0))
 	if err != nil {
 		cli.Fatalf("%s: %v", flag.Arg(0), err)
 	}
+	loaded.PrintNotes(os.Stderr)
+	d := loaded.Device
 	if !d.HasFeatures() {
 		if *noPnr {
 			cli.Fatalf("device %q has no features (and -no-pnr is set)", d.Name)
 		}
-		res, err := pnr.Run(d, pnr.Options{})
+		res, err := pnr.Run(d, pnr.NewOptions())
 		if err != nil {
 			cli.Fatalf("auto place-and-route: %v", err)
 		}

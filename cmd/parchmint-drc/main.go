@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,10 +34,12 @@ func main() {
 	}
 	failed := false
 	for _, src := range flag.Args() {
-		d, err := cli.LoadDevice(src)
+		loaded, err := cli.LoadArg(context.Background(), src)
 		if err != nil {
 			cli.Fatalf("%s: %v", src, err)
 		}
+		loaded.PrintNotes(os.Stderr)
+		d := loaded.Device
 		if !d.HasFeatures() {
 			fmt.Fprintf(os.Stderr, "%s: no features to check (run parchmint-pnr first)\n", src)
 			failed = true

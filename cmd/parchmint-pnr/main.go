@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,25 +35,30 @@ func main() {
 		cli.Fatalf("usage: parchmint-pnr [flags] <file.json|bench:NAME|->")
 	}
 
-	placer, err := placerByName(*placerName)
+	placer, err := place.EngineByName(*placerName)
 	if err != nil {
 		cli.Fatalf("%v", err)
 	}
-	router, err := routerByName(*routerName)
+	router, err := route.EngineByName(*routerName)
 	if err != nil {
 		cli.Fatalf("%v", err)
 	}
-	d, err := cli.LoadDevice(flag.Arg(0))
+	loaded, err := cli.LoadArg(context.Background(), flag.Arg(0))
 	if err != nil {
 		cli.Fatalf("%s: %v", flag.Arg(0), err)
 	}
+	loaded.PrintNotes(os.Stderr)
 
-	res, err := pnr.Run(d, pnr.Options{
-		Placer: placer,
-		Router: router,
-		Place:  place.Options{Seed: *seed, Utilization: *utilization},
-		Route:  route.Options{Ordering: route.Order(*ordering)},
-	})
+	opts := []pnr.Option{
+		pnr.WithPlacer(placer),
+		pnr.WithRouter(router),
+		pnr.WithSeed(*seed),
+		pnr.WithOrdering(route.Order(*ordering)),
+	}
+	if *utilization > 0 {
+		opts = append(opts, pnr.WithUtilization(*utilization))
+	}
+	res, err := pnr.Run(loaded.Device, pnr.NewOptions(opts...))
 	if err != nil {
 		cli.Fatalf("%v", err)
 	}
@@ -71,22 +77,4 @@ func main() {
 	if err := cli.WriteOutput(*out, data); err != nil {
 		cli.Fatalf("%v", err)
 	}
-}
-
-func placerByName(name string) (place.Placer, error) {
-	for _, e := range place.Engines() {
-		if e.Name() == name {
-			return e, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown placer %q (greedy, force, anneal)", name)
-}
-
-func routerByName(name string) (route.Router, error) {
-	for _, e := range route.Engines() {
-		if e.Name() == name {
-			return e, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown router %q (lee, astar, hadlock)", name)
 }

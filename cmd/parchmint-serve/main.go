@@ -1,0 +1,93 @@
+// Command parchmint-serve runs the benchmark suite's pipeline as a
+// concurrent HTTP JSON service: validation, MINT conversion,
+// place-and-route, characterization, and SVG rendering, plus the suite
+// device catalog, health, and Prometheus metrics. Pipeline work is bounded
+// by a worker gate and seeded deterministically, so identical request
+// bodies produce byte-identical responses at any worker count.
+//
+// Usage:
+//
+//	parchmint-serve [-addr :8080] [-j N] [-seed N] [-max-body BYTES]
+//	                [-timeout D] [-port-file PATH]
+//
+// Endpoints:
+//
+//	POST /v1/validate    semantic + schema diagnostics
+//	POST /v1/convert     MINT <-> ParchMint JSON
+//	POST /v1/pnr         place-and-route, metrics + annotated device
+//	POST /v1/stats       characterization profile (paper Table 1)
+//	POST /v1/render.svg  SVG drawing
+//	GET  /v1/bench       suite catalog
+//	GET  /v1/bench/{name} one benchmark's ParchMint document
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("j", 0, "max concurrent pipeline computations (0 = NumCPU)")
+	seed := flag.Uint64("seed", serve.BaseSeedDefault, "base seed for derived per-device seeds")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request pipeline timeout")
+	portFile := flag.String("port-file", "", "write the bound port number to this file (for scripts using :0)")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		BaseSeed:       *seed,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatalf("parchmint-serve: %v", err)
+	}
+	if *portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			cli.Fatalf("parchmint-serve: writing port file: %v", err)
+		}
+	}
+
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "parchmint-serve: listening on %s (workers=%d seed=%d)\n",
+		ln.Addr(), *workers, *seed)
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cli.Fatalf("parchmint-serve: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			cli.Fatalf("parchmint-serve: shutdown: %v", err)
+		}
+	}
+}

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,10 +60,12 @@ func main() {
 		cli.Fatalf("need at least two -p boundary conditions")
 	}
 
-	d, err := cli.LoadDevice(flag.Arg(0))
+	loaded, err := cli.LoadArg(context.Background(), flag.Arg(0))
 	if err != nil {
 		cli.Fatalf("%s: %v", flag.Arg(0), err)
 	}
+	loaded.PrintNotes(os.Stderr)
+	d := loaded.Device
 	n, err := sim.Build(d, sim.Options{Viscosity: *viscosity})
 	if err != nil {
 		cli.Fatalf("%v", err)

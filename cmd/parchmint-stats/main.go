@@ -10,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/bench"
@@ -34,10 +36,12 @@ func main() {
 		cli.Fatalf("usage: parchmint-stats [-suite] <file.json|bench:NAME|-> ...")
 	}
 	for _, src := range srcs {
-		d, err := cli.LoadDevice(src)
+		loaded, err := cli.LoadArg(context.Background(), src)
 		if err != nil {
 			cli.Fatalf("%s: %v", src, err)
 		}
+		loaded.PrintNotes(os.Stderr)
+		d := loaded.Device
 		printProfile(d)
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -65,11 +66,13 @@ func checkOne(src string, quiet, schemaOnly bool) bool {
 		}
 		return report(src, d, quiet)
 	}
-	d, err := cli.LoadDevice(src)
+	loaded, err := cli.LoadArg(context.Background(), src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", src, err)
 		return false
 	}
+	loaded.PrintNotes(os.Stderr)
+	d := loaded.Device
 	return report(src, d, quiet)
 }
 

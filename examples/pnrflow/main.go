@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,7 +30,7 @@ func main() {
 	// Compare the placement engines head to head.
 	fmt.Println("placement engine comparison on", device.Name)
 	for _, eng := range place.Engines() {
-		p, err := eng.Place(device, place.Options{Seed: 42})
+		p, err := eng.Place(context.Background(), device, place.NewOptions(place.WithSeed(42)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -39,11 +40,11 @@ func main() {
 	}
 
 	// Run the end-to-end flow with the annealer and A*.
-	res, err := pnr.Run(device, pnr.Options{
-		Placer: place.Annealer{},
-		Router: route.AStar{},
-		Place:  place.Options{Seed: 42},
-	})
+	res, err := pnr.Run(device, pnr.NewOptions(
+		pnr.WithPlacer(place.Annealer{}),
+		pnr.WithRouter(route.AStar{}),
+		pnr.WithSeed(42),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}

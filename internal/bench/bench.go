@@ -13,11 +13,17 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
 )
+
+// ErrNotFound is the sentinel ByName errors match via errors.Is when the
+// requested benchmark is not in the suite. API layers map it to
+// "no such resource" (HTTP 404) instead of a generic failure.
+var ErrNotFound = errors.New("unknown benchmark")
 
 // Class partitions the suite.
 type Class string
@@ -114,7 +120,7 @@ func ByName(name string) (Benchmark, error) {
 			return b, nil
 		}
 	}
-	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+	return Benchmark{}, fmt.Errorf("bench: %w %q (have %v)", ErrNotFound, name, Names())
 }
 
 // Names lists the suite's benchmark names in suite order.

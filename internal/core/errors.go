@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParse is the sentinel every parse failure matches via errors.Is,
+// regardless of which format failed. Handlers that only care about
+// "the input could not be parsed" branch on this; handlers that need the
+// format or source use errors.As with *ParseError.
+var ErrParse = errors.New("unparseable device input")
+
+// ParseError reports that raw input could not be decoded into a Device.
+// It is the structured form of every syntax-level failure in the
+// repository — ParchMint JSON decoding here in core, and MINT text parsing
+// wrapped by the loading layer — so API surfaces (HTTP handlers, CLIs) can
+// distinguish "bad input" (client error) from "broken pipeline" (server
+// error) without string matching.
+type ParseError struct {
+	// Format names the syntax that failed: "json" or "mint".
+	Format string
+	// Source names the input for messages: a file path, "stdin", or a
+	// request label. May be empty.
+	Source string
+	// Err is the underlying decoder or parser error.
+	Err error
+}
+
+// Error renders "parse <format> [<source>]: <cause>".
+func (e *ParseError) Error() string {
+	if e.Source != "" {
+		return fmt.Sprintf("parse %s %s: %v", e.Format, e.Source, e.Err)
+	}
+	return fmt.Sprintf("parse %s: %v", e.Format, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Is matches the ErrParse sentinel.
+func (e *ParseError) Is(target error) bool { return target == ErrParse }
+
+// Code returns the stable machine-readable code for this failure,
+// e.g. "parse-json" or "parse-mint". Codes are API: error consumers key
+// behavior (and HTTP status mapping) on them.
+func (e *ParseError) Code() string { return "parse-" + e.Format }

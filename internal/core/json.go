@@ -170,12 +170,14 @@ func Marshal(d *Device) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode reads one ParchMint v1 JSON device from r.
+// Decode reads one ParchMint v1 JSON device from r. Syntax failures come
+// back as *ParseError (matching ErrParse), so callers can classify them
+// without string inspection.
 func Decode(r io.Reader) (*Device, error) {
 	dec := json.NewDecoder(r)
 	var d Device
 	if err := dec.Decode(&d); err != nil {
-		return nil, fmt.Errorf("core: decoding device: %w", err)
+		return nil, &ParseError{Format: "json", Err: err}
 	}
 	return &d, nil
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -195,7 +196,7 @@ func Fig3On(benchmarks []bench.Benchmark) (*stats.Figure, *stats.Table) {
 				p = annealedPlacement(b)
 			} else {
 				var err error
-				p, err = eng.Place(d, place.Options{Seed: Seed})
+				p, err = eng.Place(context.Background(), d, place.NewOptions(place.WithSeed(Seed)))
 				if err != nil {
 					panic(fmt.Sprintf("experiments: placement %s/%s: %v", b.Name, eng.Name(), err))
 				}
@@ -246,7 +247,7 @@ func Fig4On(benchmarks []bench.Benchmark) *stats.Table {
 		p := annealedPlacement(b)
 		reports[bi] = make([]*route.Report, len(routers))
 		for ri, router := range routers {
-			report, err := route.RouteAll(p, router, route.Options{})
+			report, err := route.RouteAll(context.Background(), p, router, route.Options{})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: routing %s/%s: %v", b.Name, router.Name(), err))
 			}
@@ -302,11 +303,11 @@ func Fig5() *stats.Figure {
 		if vr := validate.Validate(pt.Device); !vr.OK() {
 			panic(fmt.Sprintf("experiments: sweep device %d invalid: %s", i, vr))
 		}
-		placed, err := (place.Annealer{}).Place(pt.Device, place.Options{Seed: Seed})
+		placed, err := (place.Annealer{}).Place(context.Background(), pt.Device, place.NewOptions(place.WithSeed(Seed)))
 		if err != nil {
 			panic(err)
 		}
-		report, err := route.RouteAll(placed, route.AStar{}, route.Options{})
+		report, err := route.RouteAll(context.Background(), placed, route.AStar{}, route.Options{})
 		if err != nil {
 			panic(err)
 		}

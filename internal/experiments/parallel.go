@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -78,7 +79,7 @@ func annealedPlacement(b bench.Benchmark) *place.Placement {
 	}
 	annealCache.mu.Unlock()
 	e.once.Do(func() {
-		p, err := (place.Annealer{}).Place(b.Device(), place.Options{Seed: Seed})
+		p, err := (place.Annealer{}).Place(context.Background(), b.Device(), place.NewOptions(place.WithSeed(Seed)))
 		if err != nil {
 			panic(fmt.Sprintf("experiments: placement %s: %v", b.Name, err))
 		}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -28,6 +29,12 @@ const (
 	overlapWeight = 4
 )
 
+// MoveBatch is the annealer's cancellation granularity: the context is
+// polled every MoveBatch proposed moves, so a cancelled request aborts
+// within at most one batch of extra work. The batch bounds the poll
+// overhead without letting a runaway schedule outlive its request.
+const MoveBatch = 64
+
 // annealState carries the incremental cost bookkeeping.
 type annealState struct {
 	device *core.Device
@@ -46,7 +53,11 @@ type annealState struct {
 }
 
 // Place runs the annealing schedule and returns a legalized placement.
-func (Annealer) Place(d *core.Device, opts Options) (*Placement, error) {
+// Cancelling ctx aborts the schedule within one MoveBatch of moves.
+func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	die := DieFor(d, opts.utilization())
 	start, err := greedyPlace(d, die)
 	if err != nil {
@@ -81,6 +92,11 @@ func (Annealer) Place(d *core.Device, opts Options) (*Placement, error) {
 	for temp > defaultFinalTemp {
 		accepted := 0
 		for m := 0; m < movesPerTemp; m++ {
+			if m%MoveBatch == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if st.tryMove(temp) {
 				accepted++
 			}

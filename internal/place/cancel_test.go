@@ -1,0 +1,79 @@
+package place
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// countingCtx is a context that reports Canceled after a set number of
+// Err() polls, counting every poll. It lets the test assert the annealer's
+// cancellation granularity exactly: once Err() first returns non-nil, the
+// annealer may poll at most once more per MoveBatch moves — so a prompt
+// abort shows up as "no further polls after the first cancelled one".
+type countingCtx struct {
+	context.Context
+	polls      atomic.Int64
+	cancelAt   int64
+	pollsAfter atomic.Int64
+}
+
+func (c *countingCtx) Err() error {
+	n := c.polls.Add(1)
+	if n > c.cancelAt {
+		c.pollsAfter.Add(1)
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestAnnealAbortsWithinOneMoveBatch(t *testing.T) {
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	// Let the annealer pass the entry check and a few in-loop polls, then
+	// start reporting cancellation.
+	ctx := &countingCtx{Context: context.Background(), cancelAt: 3}
+	_, err = Annealer{}.Place(ctx, d, NewOptions(WithSeed(7)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Place = %v, want context.Canceled", err)
+	}
+	// The annealer polls every MoveBatch moves. Aborting "within one move
+	// batch" means the first cancelled poll is also the last: no further
+	// polls may happen after cancellation is observed.
+	if after := ctx.pollsAfter.Load(); after != 1 {
+		t.Errorf("annealer polled Err() %d times after cancellation; want exactly 1 (abort within one move batch)", after)
+	}
+	if total := ctx.polls.Load(); total <= ctx.cancelAt {
+		t.Errorf("annealer never reached a cancelled poll (%d polls)", total)
+	}
+}
+
+func TestPlacersHonorPreCancelledContext(t *testing.T) {
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range Engines() {
+		if _, err := eng.Place(ctx, d, NewOptions(WithSeed(1))); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Place = %v, want context.Canceled", eng.Name(), err)
+		}
+	}
+}

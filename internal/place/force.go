@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -20,8 +21,12 @@ func (ForceDirected) Name() string { return "force" }
 // devices happens well before this.
 const forceIterations = 60
 
-// Place runs attraction relaxation followed by legalization.
-func (ForceDirected) Place(d *core.Device, opts Options) (*Placement, error) {
+// Place runs attraction relaxation followed by legalization, polling the
+// context once per relaxation iteration.
+func (ForceDirected) Place(ctx context.Context, d *core.Device, opts Options) (*Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	die := DieFor(d, opts.utilization())
 	p, err := greedyPlace(d, die)
 	if err != nil {
@@ -69,6 +74,9 @@ func (ForceDirected) Place(d *core.Device, opts Options) (*Placement, error) {
 	sort.Strings(ids)
 
 	for iter := 0; iter < forceIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := make(map[string]geom.Point, len(centers))
 		for _, id := range ids {
 			cur := centers[id]

@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/geom"
 )
@@ -14,8 +16,12 @@ type Greedy struct{}
 // Name identifies the engine.
 func (Greedy) Name() string { return "greedy" }
 
-// Place packs the components onto shelves in BFS order.
-func (Greedy) Place(d *core.Device, opts Options) (*Placement, error) {
+// Place packs the components onto shelves in BFS order. The constructive
+// pass is single-shot, so the context is only checked on entry.
+func (Greedy) Place(ctx context.Context, d *core.Device, opts Options) (*Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return greedyPlace(d, DieFor(d, opts.utilization()))
 }
 

@@ -7,6 +7,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,17 +85,73 @@ func (o Options) utilization() float64 {
 	return o.Utilization
 }
 
+// Option mutates an Options value; see NewOptions.
+type Option func(*Options)
+
+// NewOptions builds placement options from functional settings over the
+// documented defaults. It is the constructor call sites should prefer to
+// positional struct literals: unset knobs keep their default semantics
+// and new knobs never break existing constructors.
+func NewOptions(opts ...Option) Options {
+	o := Options{
+		Utilization:   0.35,
+		CoolingRate:   defaultCoolingRate,
+		InitialAccept: defaultInitialAccept,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithSeed sets the randomized engines' seed.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithUtilization sets the die utilization fraction (0 < u <= 1).
+func WithUtilization(u float64) Option { return func(o *Options) { o.Utilization = u } }
+
+// WithCoolingRate sets the annealer's geometric cooling rate (0 < r < 1).
+func WithCoolingRate(r float64) Option { return func(o *Options) { o.CoolingRate = r } }
+
+// WithMovesPerTemp sets the annealer's moves per temperature level.
+func WithMovesPerTemp(n int) Option { return func(o *Options) { o.MovesPerTemp = n } }
+
+// WithInitialAccept sets the annealer's target initial acceptance rate.
+func WithInitialAccept(a float64) Option { return func(o *Options) { o.InitialAccept = a } }
+
 // Placer is a placement engine.
 type Placer interface {
 	// Name identifies the engine in experiment output.
 	Name() string
-	// Place computes a legal (overlap-free) placement.
-	Place(d *core.Device, opts Options) (*Placement, error)
+	// Place computes a legal (overlap-free) placement. The context is
+	// request-scoped: iterative engines poll it and abort with ctx.Err()
+	// when it is cancelled (the annealer within one move batch).
+	Place(ctx context.Context, d *core.Device, opts Options) (*Placement, error)
 }
 
 // Engines returns the three engines in comparison order: baseline first.
 func Engines() []Placer {
 	return []Placer{Greedy{}, ForceDirected{}, Annealer{}}
+}
+
+// EngineByName resolves a placement engine by its Name. The empty string
+// selects the default engine (the annealer).
+func EngineByName(name string) (Placer, error) {
+	if name == "" {
+		return Annealer{}, nil
+	}
+	for _, e := range Engines() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("place: unknown placer %q (greedy, force, anneal)", name)
+}
+
+// Anneal runs the annealing engine with constructor-style options — the
+// preferred entry point over building an Options literal by hand.
+func Anneal(ctx context.Context, d *core.Device, opts ...Option) (*Placement, error) {
+	return Annealer{}.Place(ctx, d, NewOptions(opts...))
 }
 
 // DieFor computes the target die: a square sized so the padded component

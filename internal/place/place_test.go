@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -50,7 +51,7 @@ func TestEnginesProduceLegalPlacements(t *testing.T) {
 		d := benchDevice(t, devName)
 		for _, eng := range Engines() {
 			t.Run(devName+"/"+eng.Name(), func(t *testing.T) {
-				p, err := eng.Place(d, Options{Seed: 1})
+				p, err := eng.Place(context.Background(), d, Options{Seed: 1})
 				if err != nil {
 					t.Fatalf("Place: %v", err)
 				}
@@ -89,11 +90,11 @@ func TestAnnealImprovesOnGreedy(t *testing.T) {
 	// wirelength for every benchmark it is given.
 	for _, devName := range []string{"aquaflex_5a", "planar_synthetic_2"} {
 		d := benchDevice(t, devName)
-		gp, err := Greedy{}.Place(d, Options{})
+		gp, err := Greedy{}.Place(context.Background(), d, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ap, err := Annealer{}.Place(d, Options{Seed: 7})
+		ap, err := Annealer{}.Place(context.Background(), d, Options{Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,11 +108,11 @@ func TestAnnealImprovesOnGreedy(t *testing.T) {
 func TestPlacementDeterminism(t *testing.T) {
 	d := benchDevice(t, "rotary_pcr")
 	for _, eng := range Engines() {
-		a, err := eng.Place(d, Options{Seed: 5})
+		a, err := eng.Place(context.Background(), d, Options{Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := eng.Place(d, Options{Seed: 5})
+		b, err := eng.Place(context.Background(), d, Options{Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,11 +133,11 @@ func TestAnnealSeedsDiffer(t *testing.T) {
 	// start; on near-chain devices both seeds may legally fall back to the
 	// identical greedy placement.
 	d := benchDevice(t, "planar_synthetic_2")
-	a, err := Annealer{}.Place(d, Options{Seed: 1})
+	a, err := Annealer{}.Place(context.Background(), d, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Annealer{}.Place(d, Options{Seed: 2})
+	b, err := Annealer{}.Place(context.Background(), d, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestSingleComponentDevice(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, eng := range Engines() {
-		p, err := eng.Place(d, Options{})
+		p, err := eng.Place(context.Background(), d, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", eng.Name(), err)
 		}
@@ -240,7 +241,7 @@ func TestPortPosition(t *testing.T) {
 
 func TestToFeatures(t *testing.T) {
 	d := benchDevice(t, "rotary_pcr")
-	p, err := Greedy{}.Place(d, Options{})
+	p, err := Greedy{}.Place(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestQuickLegalizeIdempotentOnLegal(t *testing.T) {
 	// HPWL does not explode (position preservation).
 	d := benchDevice(t, "rotary_pcr")
 	prop := func(seed uint64) bool {
-		p, err := (Annealer{}).Place(d, Options{Seed: seed % 16})
+		p, err := (Annealer{}).Place(context.Background(), d, Options{Seed: seed % 16})
 		if err != nil {
 			return false
 		}

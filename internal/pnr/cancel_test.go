@@ -1,0 +1,55 @@
+package pnr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, b.Build(), NewOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	b, err := bench.ByName("planar_synthetic_3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deadline that expires mid-flow: already in the past so even the
+	// first batch poll observes it, regardless of machine speed.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := RunContext(ctx, b.Build(), NewOptions(WithSeed(3))); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("RunContext = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunMatchesRunContextBackground(t *testing.T) {
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NewOptions(WithSeed(11))
+	r1, err := Run(b.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunContext(context.Background(), b.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PlaceMetrics != r2.PlaceMetrics {
+		t.Errorf("Run and RunContext diverge: %+v vs %+v", r1.PlaceMetrics, r2.PlaceMetrics)
+	}
+}

@@ -6,6 +6,7 @@
 package pnr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -41,9 +42,57 @@ type Options struct {
 	SkipValveMap bool
 	// Observe, when non-nil, receives each stage's wall-clock duration as
 	// the stage completes (stage names: StagePlace, StageRoute,
-	// StageAttach). The runner's timing harness uses this to profile the
-	// flow without the flow knowing about the harness.
+	// StageAttach). The runner's timing harness and the benchmark service
+	// use this to profile the flow without the flow knowing about them.
 	Observe func(stage string, d time.Duration)
+}
+
+// Option mutates an Options value; see NewOptions.
+type Option func(*Options)
+
+// NewOptions builds flow options from functional settings over the
+// defaults (annealer + A*). It is the constructor call sites should
+// prefer to positional struct literals: the server, the CLIs, and the
+// experiment harness all describe a flow the same way, and new knobs
+// never break existing constructors.
+func NewOptions(opts ...Option) Options {
+	o := Options{Place: place.NewOptions()}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithPlacer selects the placement engine (nil keeps the annealer).
+func WithPlacer(p place.Placer) Option { return func(o *Options) { o.Placer = p } }
+
+// WithRouter selects the routing engine (nil keeps A*).
+func WithRouter(r route.Router) Option { return func(o *Options) { o.Router = r } }
+
+// WithSeed seeds the randomized placement stage.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Place.Seed = seed } }
+
+// WithUtilization sets the die utilization fraction (0 < u <= 1).
+func WithUtilization(u float64) Option { return func(o *Options) { o.Place.Utilization = u } }
+
+// WithOrdering selects the net routing order.
+func WithOrdering(ord route.Order) Option { return func(o *Options) { o.Route.Ordering = ord } }
+
+// WithPlaceOptions replaces the whole placement option block.
+func WithPlaceOptions(po place.Options) Option { return func(o *Options) { o.Place = po } }
+
+// WithRouteOptions replaces the whole routing option block.
+func WithRouteOptions(ro route.Options) Option { return func(o *Options) { o.Route = ro } }
+
+// WithSkipPaths suppresses the v1.2 connection paths.
+func WithSkipPaths(skip bool) Option { return func(o *Options) { o.SkipPaths = skip } }
+
+// WithSkipValveMap suppresses the v1.2 valve map.
+func WithSkipValveMap(skip bool) Option { return func(o *Options) { o.SkipValveMap = skip } }
+
+// WithObserver installs a stage-duration hook.
+func WithObserver(fn func(stage string, d time.Duration)) Option {
+	return func(o *Options) { o.Observe = fn }
 }
 
 // observe times one stage when a hook is installed.
@@ -65,9 +114,17 @@ type Result struct {
 	RouteReport *route.Report
 }
 
-// Run executes place-then-route on a device and returns a feature-annotated
-// copy. The input device is not modified.
+// Run executes place-then-route with a background context; see RunContext.
 func Run(d *core.Device, opts Options) (*Result, error) {
+	return RunContext(context.Background(), d, opts)
+}
+
+// RunContext executes place-then-route on a device and returns a
+// feature-annotated copy. The input device is not modified. The context is
+// request-scoped: cancellation aborts annealing within one move batch and
+// maze searches within one expansion batch, and the returned error then
+// wraps ctx.Err().
+func RunContext(ctx context.Context, d *core.Device, opts Options) (*Result, error) {
 	placer := opts.Placer
 	if placer == nil {
 		placer = place.Annealer{}
@@ -77,13 +134,13 @@ func Run(d *core.Device, opts Options) (*Result, error) {
 		router = route.AStar{}
 	}
 	start := time.Now()
-	p, err := placer.Place(d, opts.Place)
+	p, err := placer.Place(ctx, d, opts.Place)
 	if err != nil {
 		return nil, fmt.Errorf("pnr: placement (%s): %w", placer.Name(), err)
 	}
 	opts.observe(StagePlace, start)
 	start = time.Now()
-	report, err := route.RouteAll(p, router, opts.Route)
+	report, err := route.RouteAll(ctx, p, router, opts.Route)
 	if err != nil {
 		return nil, fmt.Errorf("pnr: routing (%s): %w", router.Name(), err)
 	}

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -97,11 +98,11 @@ func TestLicenseDoesNotUnblockForeignPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := (place.Greedy{}).Place(d, place.Options{})
+	p, err := (place.Greedy{}).Place(context.Background(), d, place.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := RouteAll(p, AStar{}, Options{Ordering: OrderAsGiven})
+	rep, err := RouteAll(context.Background(), p, AStar{}, Options{Ordering: OrderAsGiven})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -169,8 +170,10 @@ type netJob struct {
 // engine. Nets route on the grid of their own layer; components block the
 // layers they occupy; routed paths block their layer's grid so channels
 // never cross. Returns an error only for malformed inputs — unroutable
-// nets are reported, not failed.
-func RouteAll(p *place.Placement, router Router, opts Options) (*Report, error) {
+// nets are reported, not failed — or when ctx is cancelled, in which case
+// the error wraps ctx.Err() and in-flight searches are abandoned within
+// one ExpansionBatch.
+func RouteAll(ctx context.Context, p *place.Placement, router Router, opts Options) (*Report, error) {
 	d := p.Device
 	ix := d.Index()
 	die := p.Die
@@ -286,7 +289,10 @@ func RouteAll(p *place.Placement, router Router, opts Options) (*Report, error) 
 				return failCount[roundJobs[a].conn.ID] > failCount[roundJobs[b].conn.ID]
 			})
 		}
-		results, routed := routeRound(work, router, roundJobs, opts, d, len(d.Connections))
+		results, routed := routeRound(ctx, work, router, roundJobs, opts, d, len(d.Connections))
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: %w", err)
+		}
 		for i := range results {
 			if !results[i].Routed && results[i].Net != "" {
 				failCount[results[i].Net]++
@@ -322,7 +328,7 @@ type routedNet struct {
 // up, the failed net routes through the cleared region, and the victims
 // re-route afterwards. Returns per-connection results (indexed by device
 // order) and the routed count.
-func routeRound(work map[string]*geom.Grid, router Router, roundJobs []netJob, opts Options, d *core.Device, nConns int) ([]NetResult, int) {
+func routeRound(ctx context.Context, work map[string]*geom.Grid, router Router, roundJobs []netJob, opts Options, d *core.Device, nConns int) ([]NetResult, int) {
 	results := make([]NetResult, nConns)
 	done := make(map[string]*routedNet)
 	ripupBudget := opts.maxRipups(len(roundJobs))
@@ -339,7 +345,7 @@ func routeRound(work map[string]*geom.Grid, router Router, roundJobs []netJob, o
 	var routeOne func(job *netJob, allowRipup bool)
 	routeOne = func(job *netJob, allowRipup bool) {
 		g := work[job.conn.Layer]
-		res, blocked := routeNet(g, router, job, opts, d)
+		res, blocked := routeNet(ctx, g, router, job, opts, d)
 		if res.Routed || !allowRipup || g == nil || ripupBudget <= 0 {
 			record(job, res, blocked)
 			return
@@ -383,7 +389,7 @@ func routeRound(work map[string]*geom.Grid, router Router, roundJobs []netJob, o
 			}
 			record(v.job, NetResult{Net: v.job.conn.ID, Layer: v.job.conn.Layer}, nil)
 		}
-		retry, retryBlocked := routeNet(g, router, job, opts, d)
+		retry, retryBlocked := routeNet(ctx, g, router, job, opts, d)
 		retry.Expansions += res.Expansions
 		record(job, retry, retryBlocked)
 		for _, v := range victims {
@@ -411,6 +417,9 @@ func routeRound(work map[string]*geom.Grid, router Router, roundJobs []netJob, o
 
 	allowRipup := opts.RipupRounds >= 0
 	for i := range roundJobs {
+		if ctx.Err() != nil {
+			break // RouteAll reports the cancellation
+		}
 		routeOne(&roundJobs[i], allowRipup)
 	}
 	routed := 0
@@ -426,7 +435,7 @@ func routeRound(work map[string]*geom.Grid, router Router, roundJobs []netJob, o
 // approximation). Successful paths block the grid for later nets; the
 // returned cells are exactly those this net newly blocked, enabling
 // targeted rip-up.
-func routeNet(g *geom.Grid, router Router, job *netJob, opts Options, d *core.Device) (NetResult, []geom.Cell) {
+func routeNet(ctx context.Context, g *geom.Grid, router Router, job *netJob, opts Options, d *core.Device) (NetResult, []geom.Cell) {
 	res := NetResult{Net: job.conn.ID, Layer: job.conn.Layer}
 	if g == nil {
 		return res, nil // undeclared layer; validator reports it
@@ -455,7 +464,7 @@ func routeNet(g *geom.Grid, router Router, job *netJob, opts Options, d *core.De
 	routedAll := true
 	for _, sinkPt := range job.pins[1:] {
 		target := g.CellOf(sinkPt)
-		path, exp, ok := router.Search(g, tree, target)
+		path, exp, ok := router.Search(ctx, g, tree, target)
 		res.Expansions += exp
 		if !ok {
 			routedAll = false

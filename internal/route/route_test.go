@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -25,7 +26,7 @@ func TestSearchOpenGrid(t *testing.T) {
 			g := openGrid(t)
 			src := geom.Cell{Col: 0, Row: 0}
 			dst := geom.Cell{Col: 9, Row: 6}
-			path, exp, ok := r.Search(g, []geom.Cell{src}, dst)
+			path, exp, ok := r.Search(context.Background(), g, []geom.Cell{src}, dst)
 			if !ok {
 				t.Fatal("no path on open grid")
 			}
@@ -67,7 +68,7 @@ func TestSearchAroundObstacle(t *testing.T) {
 			}
 			src := geom.Cell{Col: 0, Row: 0}
 			dst := geom.Cell{Col: 0, Row: 19}
-			path, _, ok := r.Search(g, []geom.Cell{src}, dst)
+			path, _, ok := r.Search(context.Background(), g, []geom.Cell{src}, dst)
 			if !ok {
 				t.Fatal("no path around obstacle")
 			}
@@ -93,7 +94,7 @@ func TestSearchUnreachable(t *testing.T) {
 			for col := 0; col < 20; col++ {
 				g.Block(geom.Cell{Col: col, Row: 10})
 			}
-			_, exp, ok := r.Search(g, []geom.Cell{{Col: 0, Row: 0}}, geom.Cell{Col: 0, Row: 19})
+			_, exp, ok := r.Search(context.Background(), g, []geom.Cell{{Col: 0, Row: 0}}, geom.Cell{Col: 0, Row: 19})
 			if ok {
 				t.Fatal("found path through sealed wall")
 			}
@@ -111,7 +112,7 @@ func TestSearchBlockedTargetIsEnterable(t *testing.T) {
 		g := openGrid(t)
 		dst := geom.Cell{Col: 5, Row: 5}
 		g.Block(dst)
-		_, _, ok := r.Search(g, []geom.Cell{{Col: 0, Row: 0}}, dst)
+		_, _, ok := r.Search(context.Background(), g, []geom.Cell{{Col: 0, Row: 0}}, dst)
 		if !ok {
 			t.Errorf("%s: blocked target should be enterable", r.Name())
 		}
@@ -123,7 +124,7 @@ func TestSearchMultiSource(t *testing.T) {
 		g := openGrid(t)
 		sources := []geom.Cell{{Col: 0, Row: 0}, {Col: 18, Row: 18}}
 		dst := geom.Cell{Col: 19, Row: 19}
-		path, _, ok := r.Search(g, sources, dst)
+		path, _, ok := r.Search(context.Background(), g, sources, dst)
 		if !ok {
 			t.Fatalf("%s: multi-source search failed", r.Name())
 		}
@@ -141,7 +142,7 @@ func TestSearchSourceEqualsTarget(t *testing.T) {
 	for _, r := range Engines() {
 		g := openGrid(t)
 		c := geom.Cell{Col: 3, Row: 3}
-		path, _, ok := r.Search(g, []geom.Cell{c}, c)
+		path, _, ok := r.Search(context.Background(), g, []geom.Cell{c}, c)
 		if !ok || len(path) != 1 || path[0] != c {
 			t.Errorf("%s: self search = %v, %v", r.Name(), path, ok)
 		}
@@ -156,9 +157,9 @@ func TestAStarExpandsFewerThanLee(t *testing.T) {
 	// uniform wavefront floods the grid. (On a perfect diagonal the
 	// Manhattan heuristic degenerates and all engines tie.)
 	dst := geom.Cell{Col: 19, Row: 2}
-	_, leeExp, _ := Lee{}.Search(g, src, dst)
-	_, aExp, _ := AStar{}.Search(g, src, dst)
-	_, hExp, _ := Hadlock{}.Search(g, src, dst)
+	_, leeExp, _ := Lee{}.Search(context.Background(), g, src, dst)
+	_, aExp, _ := AStar{}.Search(context.Background(), g, src, dst)
+	_, hExp, _ := Hadlock{}.Search(context.Background(), g, src, dst)
 	if aExp >= leeExp {
 		t.Errorf("A* expansions %d not fewer than Lee %d", aExp, leeExp)
 	}
@@ -187,11 +188,11 @@ func routedDevice(t testing.TB, name string, router Router, opts Options) (*core
 		t.Fatal(err)
 	}
 	d := b.Build()
-	p, err := (place.Greedy{}).Place(d, place.Options{})
+	p, err := (place.Greedy{}).Place(context.Background(), d, place.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := RouteAll(p, router, opts)
+	report, err := RouteAll(context.Background(), p, router, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,11 +260,11 @@ func TestRouteChannelWidthFromParams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := (place.Greedy{}).Place(d, place.Options{})
+	p, err := (place.Greedy{}).Place(context.Background(), d, place.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := RouteAll(p, Lee{}, Options{})
+	report, err := RouteAll(context.Background(), p, Lee{}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestRouteChannelWidthFromParams(t *testing.T) {
 		}
 	}
 	// Explicit option overrides params.
-	report, err = RouteAll(p, Lee{}, Options{ChannelWidth: 80})
+	report, err = RouteAll(context.Background(), p, Lee{}, Options{ChannelWidth: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestRouteDeterminism(t *testing.T) {
 func TestRouteEmptyDieRejected(t *testing.T) {
 	d := &core.Device{Name: "x"}
 	p := &place.Placement{Device: d}
-	if _, err := RouteAll(p, Lee{}, Options{}); err == nil {
+	if _, err := RouteAll(context.Background(), p, Lee{}, Options{}); err == nil {
 		t.Error("empty die should be rejected")
 	}
 }
@@ -320,7 +321,7 @@ func TestRouteUnplacedComponentRejected(t *testing.T) {
 	}
 	p := &place.Placement{Device: d, Die: geom.R(0, 0, 1000, 1000),
 		Origins: map[string]geom.Point{}}
-	if _, err := RouteAll(p, Lee{}, Options{}); err == nil {
+	if _, err := RouteAll(context.Background(), p, Lee{}, Options{}); err == nil {
 		t.Error("unplaced component should be rejected")
 	}
 }

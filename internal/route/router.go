@@ -9,6 +9,8 @@ package route
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 
 	"repro/internal/geom"
 )
@@ -21,12 +23,39 @@ type Router interface {
 	// Search returns the path from one source to the target (inclusive on
 	// both ends), and the number of node expansions performed. ok is false
 	// when no path exists; the expansion count is still meaningful.
-	Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) (path []geom.Cell, expansions int, ok bool)
+	// The context is request-scoped: engines poll it every ExpansionBatch
+	// node expansions and abandon the search (ok false) when cancelled;
+	// RouteAll turns the cancellation into an error.
+	Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) (path []geom.Cell, expansions int, ok bool)
+}
+
+// ExpansionBatch is the routers' cancellation granularity: each engine
+// polls the context every ExpansionBatch node expansions, so a cancelled
+// request abandons an in-flight maze search within one batch.
+const ExpansionBatch = 1024
+
+// cancelled polls ctx once per ExpansionBatch expansions.
+func cancelled(ctx context.Context, expansions int) bool {
+	return expansions%ExpansionBatch == 0 && ctx.Err() != nil
 }
 
 // Engines returns the three routers in comparison order.
 func Engines() []Router {
 	return []Router{Lee{}, AStar{}, Hadlock{}}
+}
+
+// EngineByName resolves a routing engine by its Name. The empty string
+// selects the default engine (A*).
+func EngineByName(name string) (Router, error) {
+	if name == "" {
+		return AStar{}, nil
+	}
+	for _, e := range Engines() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("route: unknown router %q (lee, astar, hadlock)", name)
 }
 
 // searchState is the per-search scratch shared by the three engines.
@@ -80,7 +109,7 @@ type Lee struct{}
 func (Lee) Name() string { return "lee" }
 
 // Search runs breadth-first wavefront expansion.
-func (Lee) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
+func (Lee) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
 	st := newSearchState(g)
 	queue := make([]geom.Cell, 0, len(sources))
 	for _, s := range sources {
@@ -95,6 +124,9 @@ func (Lee) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.C
 	expansions := 0
 	for head := 0; head < len(queue); head++ {
 		cur := queue[head]
+		if cancelled(ctx, expansions) {
+			return nil, expansions, false
+		}
 		expansions++
 		if cur == target {
 			return st.unwind(cur), expansions, true
@@ -148,7 +180,7 @@ type AStar struct{}
 func (AStar) Name() string { return "astar" }
 
 // Search runs A* from the source set toward the target.
-func (AStar) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
+func (AStar) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
 	st := newSearchState(g)
 	dist := make([]int64, g.NumCells())
 	for i := range dist {
@@ -185,6 +217,9 @@ func (AStar) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom
 		if it.g > dist[i] {
 			continue // stale entry
 		}
+		if cancelled(ctx, expansions) {
+			return nil, expansions, false
+		}
 		expansions++
 		if it.cell == target {
 			return st.unwind(it.cell), expansions, true
@@ -217,7 +252,7 @@ type Hadlock struct{}
 func (Hadlock) Name() string { return "hadlock" }
 
 // Search runs 0-1 breadth-first search on detour counts.
-func (Hadlock) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
+func (Hadlock) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
 	st := newSearchState(g)
 	detour := make([]int32, g.NumCells())
 	for i := range detour {
@@ -253,6 +288,9 @@ func (Hadlock) Search(g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]ge
 		for head := 0; head < len(current); head++ {
 			cur := current[head]
 			ci := st.index(cur)
+			if cancelled(ctx, expansions) {
+				return nil, expansions, false
+			}
 			expansions++
 			if cur == target {
 				return st.unwind(cur), expansions, true

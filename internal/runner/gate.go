@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+)
+
+// Gate is the admission side of the worker pool for long-lived services:
+// where Pool runs a fixed batch of tasks, a Gate bounds how many
+// independently arriving requests may compute at once. Work admitted
+// through a Gate inherits the package's determinism contract — the seed
+// passed to fn is DeriveSeed(baseSeed, id), a pure function of the gate's
+// base seed and the caller-chosen task ID, never of arrival order or of
+// which requests happen to be in flight. Identical requests therefore
+// compute identical results at any concurrency level.
+type Gate struct {
+	slots    chan struct{}
+	baseSeed uint64
+}
+
+// NewGate creates a gate admitting at most workers concurrent calls.
+// Worker counts below 1 select runtime.NumCPU().
+func NewGate(workers int, baseSeed uint64) *Gate {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return &Gate{slots: make(chan struct{}, workers), baseSeed: baseSeed}
+}
+
+// Workers reports the gate's admission limit.
+func (g *Gate) Workers() int { return cap(g.slots) }
+
+// InFlight reports how many calls currently hold a slot.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Do waits for a free slot, then runs fn with the task's derived seed.
+// It returns ctx.Err() without running fn when the context is cancelled
+// while waiting (or already expired on admission), so queued requests
+// abandon the line as soon as their caller gives up.
+func (g *Gate) Do(ctx context.Context, id string, fn func(seed uint64) error) error {
+	select {
+	case g.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-g.slots }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fn(DeriveSeed(g.baseSeed, id))
+}

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestGateDerivesSeeds(t *testing.T) {
+	g := NewGate(2, 2018)
+	var got uint64
+	if err := g.Do(context.Background(), "rotary_pcr", func(seed uint64) error {
+		got = seed
+		return nil
+	}); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if want := DeriveSeed(2018, "rotary_pcr"); got != want {
+		t.Errorf("seed = %d, want DeriveSeed = %d", got, want)
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	g := NewGate(workers, 1)
+	if g.Workers() != workers {
+		t.Fatalf("Workers = %d", g.Workers())
+	}
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = g.Do(context.Background(), "t", func(uint64) error {
+				mu.Lock()
+				inflight++
+				if inflight > peak {
+					peak = inflight
+				}
+				mu.Unlock()
+				mu.Lock()
+				inflight--
+				mu.Unlock()
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if peak > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight = %d after drain", g.InFlight())
+	}
+}
+
+func TestGateHonorsCancelledContext(t *testing.T) {
+	g := NewGate(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := g.Do(ctx, "t", func(uint64) error {
+		t.Error("fn ran despite cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Do = %v, want context.Canceled", err)
+	}
+}
+
+func TestGateReleasesSlotOnError(t *testing.T) {
+	g := NewGate(1, 1)
+	boom := errors.New("boom")
+	if err := g.Do(context.Background(), "a", func(uint64) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do = %v", err)
+	}
+	// The slot must be free again: a second call succeeds immediately.
+	if err := g.Do(context.Background(), "b", func(uint64) error { return nil }); err != nil {
+		t.Fatalf("second Do = %v", err)
+	}
+}

@@ -54,6 +54,23 @@ func (tm *Timings) Get(task, stage string) time.Duration {
 	return tm.d[task][stage]
 }
 
+// Snapshot returns a deep copy of every recorded (task, stage) duration,
+// safe to iterate while workers keep recording. The metrics exporter of
+// the benchmark service renders these as stage-timing gauges.
+func (tm *Timings) Snapshot() map[string]map[string]time.Duration {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	out := make(map[string]map[string]time.Duration, len(tm.d))
+	for task, stages := range tm.d {
+		cp := make(map[string]time.Duration, len(stages))
+		for s, d := range stages {
+			cp[s] = d
+		}
+		out[task] = cp
+	}
+	return out
+}
+
 // timed runs fn and records its wall time under (task, stage).
 func (tm *Timings) timed(task, stage string, fn func()) {
 	start := time.Now()

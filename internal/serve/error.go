@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/validate"
+)
+
+// StatusClientClosedRequest is the nonstandard (nginx-convention) status
+// reported when the client cancels a request mid-pipeline.
+const StatusClientClosedRequest = 499
+
+// errBadRequest marks malformed request envelopes (as opposed to
+// malformed device payloads, which carry *core.ParseError).
+var errBadRequest = errors.New("bad request")
+
+// coded is implemented by the typed pipeline errors; Code() is the stable
+// machine-readable identifier surfaced in error response bodies.
+type coded interface{ Code() string }
+
+// httpStatus maps a pipeline error onto an HTTP status. The typed error
+// hierarchy does the classification: parse failures are the client's
+// fault (400), semantically invalid devices are unprocessable (422),
+// unknown benchmarks are absent resources (404), oversized bodies are 413,
+// and context expiry distinguishes server deadline (504) from client
+// cancellation (499). Anything else is a server fault (500).
+func httpStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, bench.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrParse), errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, validate.ErrInvalid):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorBody is the JSON rendering of a failed request.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// writeError renders err as a JSON error response. A cancelled client is
+// likely gone, but the write is attempted anyway — it is harmless and
+// keeps the status visible to tests and proxies.
+func writeError(w http.ResponseWriter, err error) {
+	body := errorBody{Error: err.Error()}
+	var c coded
+	if errors.As(err, &c) {
+		body.Code = c.Code()
+	}
+	_ = writeJSON(w, httpStatus(err), body)
+}
+
+// withTimeout bounds a request context; d <= 0 means no limit.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}

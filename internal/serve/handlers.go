@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/mint"
+	"repro/internal/place"
+	"repro/internal/pnr"
+	"repro/internal/render"
+	"repro/internal/route"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/validate"
+)
+
+// request is the shared JSON envelope of the pipeline endpoints. Exactly
+// one device source must be given: a suite benchmark name, an inline
+// ParchMint JSON document, or device text with an explicit format.
+type request struct {
+	// Bench names a built-in suite benchmark ("rotary_pcr").
+	Bench string `json:"bench,omitempty"`
+	// Device is an inline ParchMint JSON document.
+	Device json.RawMessage `json:"device,omitempty"`
+	// Text is device source text; Format says how to parse it.
+	Text   string `json:"text,omitempty"`
+	Format string `json:"format,omitempty"`
+
+	// Seed overrides the derived per-device seed (pnr only); 0 derives
+	// DeriveSeed(BaseSeed, deviceName).
+	Seed uint64 `json:"seed,omitempty"`
+	// Placer and Router select engines by name (pnr only).
+	Placer string `json:"placer,omitempty"`
+	Router string `json:"router,omitempty"`
+	// Utilization overrides the die utilization fraction (pnr only).
+	Utilization float64 `json:"utilization,omitempty"`
+
+	// To selects the conversion target, "mint" or "json" (convert only);
+	// empty converts to the opposite of the input format.
+	To string `json:"to,omitempty"`
+
+	// Scale and Labels tune SVG rendering (render only).
+	Scale  float64 `json:"scale,omitempty"`
+	Labels bool    `json:"labels,omitempty"`
+}
+
+// decodeRequest parses the request envelope.
+func decodeRequest(r *http.Request) (*request, error) {
+	var req request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: decoding request body: %v", errBadRequest, err)
+	}
+	return &req, nil
+}
+
+// resolve loads the request's device through the same cli.Load path the
+// command-line tools use. The raw JSON bytes (when the source was JSON)
+// come back too, so the validate endpoint can schema-check them.
+func resolve(r *http.Request, req *request) (*cli.Result, []byte, error) {
+	ctx := r.Context()
+	switch {
+	case req.Bench != "":
+		res, err := cli.Load(ctx, cli.Source{Name: req.Bench, Format: cli.FormatBench})
+		return res, nil, err
+	case len(req.Device) > 0:
+		res, err := cli.Load(ctx, cli.Source{Name: "request", Format: cli.FormatJSON, Reader: bytes.NewReader(req.Device)})
+		return res, req.Device, err
+	case req.Text != "":
+		format := cli.Format(req.Format)
+		if format != cli.FormatJSON && format != cli.FormatMINT {
+			return nil, nil, fmt.Errorf("%w: text requires format \"json\" or \"mint\", got %q", errBadRequest, req.Format)
+		}
+		res, err := cli.Load(ctx, cli.Source{Name: "request", Format: format, Reader: strings.NewReader(req.Text)})
+		var raw []byte
+		if format == cli.FormatJSON {
+			raw = []byte(req.Text)
+		}
+		return res, raw, err
+	default:
+		return nil, nil, fmt.Errorf("%w: one of bench, device, or text is required", errBadRequest)
+	}
+}
+
+// diagDTO is the JSON rendering of one validation diagnostic.
+type diagDTO struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Path     string `json:"path"`
+	Message  string `json:"message"`
+}
+
+type validateResponse struct {
+	Device      string    `json:"device"`
+	OK          bool      `json:"ok"`
+	Errors      int       `json:"errors"`
+	Warnings    int       `json:"warnings"`
+	Diagnostics []diagDTO `json:"diagnostics"`
+	// Schema lists raw-document schema issues (JSON sources only).
+	Schema []string `json:"schema,omitempty"`
+}
+
+// handleValidate reports semantic diagnostics (and, for JSON sources,
+// schema issues) as a 200 response; an invalid device is a successful
+// validation, not a failed request.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeRequest(r)
+	if err != nil {
+		return err
+	}
+	res, raw, err := resolve(r, req)
+	if err != nil {
+		return err
+	}
+	report := validate.Validate(res.Device)
+	resp := validateResponse{
+		Device:      res.Device.Name,
+		OK:          report.OK(),
+		Errors:      report.Errors(),
+		Warnings:    report.Warnings(),
+		Diagnostics: make([]diagDTO, 0, len(report.Diags)),
+	}
+	for _, d := range report.Diags {
+		resp.Diagnostics = append(resp.Diagnostics, diagDTO{
+			Severity: d.Severity.String(),
+			Code:     string(d.Code),
+			Path:     d.Path,
+			Message:  d.Message,
+		})
+	}
+	if raw != nil {
+		sr := schema.Check(raw)
+		for _, issue := range sr.Issues {
+			resp.Schema = append(resp.Schema, issue.String())
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+type convertResponse struct {
+	Target string `json:"target"`
+	// Output is the converted MINT text (target "mint").
+	Output string `json:"output,omitempty"`
+	// Device is the converted ParchMint document (target "json").
+	Device   json.RawMessage `json:"device,omitempty"`
+	Lossless bool            `json:"lossless"`
+	Notes    []string        `json:"notes,omitempty"`
+}
+
+// handleConvert translates between MINT and ParchMint JSON. Fidelity
+// notes from both the load and the conversion are returned as values —
+// exactly what the cli.Result redesign exists for.
+func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeRequest(r)
+	if err != nil {
+		return err
+	}
+	res, _, err := resolve(r, req)
+	if err != nil {
+		return err
+	}
+	target := req.To
+	if target == "" {
+		if res.Format == cli.FormatMINT {
+			target = "json"
+		} else {
+			target = "mint"
+		}
+	}
+	notes := append([]string(nil), res.Notes...)
+	switch target {
+	case "mint":
+		f, fid, err := mint.FromDevice(res.Device)
+		if err != nil {
+			return fmt.Errorf("serve: converting to MINT: %w", err)
+		}
+		notes = append(notes, fid.Notes...)
+		return writeJSON(w, http.StatusOK, convertResponse{
+			Target:   "mint",
+			Output:   mint.Print(f),
+			Lossless: len(notes) == 0,
+			Notes:    notes,
+		})
+	case "json":
+		data, err := core.Marshal(res.Device)
+		if err != nil {
+			return fmt.Errorf("serve: encoding device: %w", err)
+		}
+		return writeJSON(w, http.StatusOK, convertResponse{
+			Target:   "json",
+			Device:   data,
+			Lossless: len(notes) == 0,
+			Notes:    notes,
+		})
+	default:
+		return fmt.Errorf("%w: to must be \"mint\" or \"json\", got %q", errBadRequest, req.To)
+	}
+}
+
+type placeSummary struct {
+	HPWL     int64 `json:"hpwl_um"`
+	Area     int64 `json:"area_um2"`
+	Overlaps int   `json:"overlaps"`
+	Placed   int   `json:"placed"`
+}
+
+type routeSummary struct {
+	Routed     int     `json:"routed"`
+	Total      int     `json:"total"`
+	Completion float64 `json:"completion_rate"`
+	Length     int64   `json:"total_length_um"`
+	Expansions int     `json:"expansions"`
+	Rounds     int     `json:"rounds"`
+}
+
+type pnrResponse struct {
+	Device json.RawMessage `json:"device"`
+	Seed   uint64          `json:"seed"`
+	Placer string          `json:"placer"`
+	Router string          `json:"router"`
+	Place  placeSummary    `json:"place"`
+	Route  routeSummary    `json:"route"`
+}
+
+// handlePNR runs the full place-and-route flow inside the worker gate.
+// The device must validate (422 otherwise); the effective seed is the
+// request's, or DeriveSeed(BaseSeed, deviceName) — a pure function of the
+// request body, never of arrival order.
+func (s *Server) handlePNR(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeRequest(r)
+	if err != nil {
+		return err
+	}
+	res, _, err := resolve(r, req)
+	if err != nil {
+		return err
+	}
+	if verr := validate.Validate(res.Device).Err(); verr != nil {
+		return verr
+	}
+	placer, err := place.EngineByName(req.Placer)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	router, err := route.EngineByName(req.Router)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	var resp pnrResponse
+	err = s.gate.Do(r.Context(), res.Device.Name, func(derived uint64) error {
+		seed := req.Seed
+		if seed == 0 {
+			seed = derived
+		}
+		opts := []pnr.Option{
+			pnr.WithPlacer(placer),
+			pnr.WithRouter(router),
+			pnr.WithSeed(seed),
+			pnr.WithObserver(s.timings.Observer(res.Device.Name)),
+		}
+		if req.Utilization > 0 {
+			opts = append(opts, pnr.WithUtilization(req.Utilization))
+		}
+		result, err := pnr.RunContext(r.Context(), res.Device, pnr.NewOptions(opts...))
+		if err != nil {
+			return err
+		}
+		data, err := core.Marshal(result.Device)
+		if err != nil {
+			return fmt.Errorf("serve: encoding device: %w", err)
+		}
+		resp = pnrResponse{
+			Device: data,
+			Seed:   seed,
+			Placer: placer.Name(),
+			Router: router.Name(),
+			Place: placeSummary{
+				HPWL:     result.PlaceMetrics.HPWL,
+				Area:     result.PlaceMetrics.Area,
+				Overlaps: result.PlaceMetrics.Overlaps,
+				Placed:   result.PlaceMetrics.Placed,
+			},
+			Route: routeSummary{
+				Routed:     result.RouteReport.Routed(),
+				Total:      result.RouteReport.Total(),
+				Completion: result.RouteReport.CompletionRate(),
+				Length:     result.RouteReport.TotalLength(),
+				Expansions: result.RouteReport.TotalExpansions(),
+				Rounds:     result.RouteReport.Rounds,
+			},
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats returns the paper's Table 1 characterization profile.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeRequest(r)
+	if err != nil {
+		return err
+	}
+	res, _, err := resolve(r, req)
+	if err != nil {
+		return err
+	}
+	class := "custom"
+	if req.Bench != "" {
+		if b, err := bench.ByName(strings.TrimPrefix(req.Bench, "bench:")); err == nil {
+			class = string(b.Class)
+		}
+	}
+	return writeJSON(w, http.StatusOK, stats.ProfileDevice(res.Device, class))
+}
+
+// handleRender returns the device drawn as SVG. Devices without physical
+// features are placed and routed first (inside the worker gate, with the
+// device's derived seed) so any source renders.
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeRequest(r)
+	if err != nil {
+		return err
+	}
+	res, _, err := resolve(r, req)
+	if err != nil {
+		return err
+	}
+	d := res.Device
+	if !d.HasFeatures() {
+		err := s.gate.Do(r.Context(), d.Name, func(seed uint64) error {
+			result, err := pnr.RunContext(r.Context(), d, pnr.NewOptions(
+				pnr.WithSeed(seed),
+				pnr.WithObserver(s.timings.Observer(d.Name)),
+			))
+			if err != nil {
+				return err
+			}
+			d = result.Device
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	svg, err := render.SVG(d, render.Options{Scale: req.Scale, ShowLabels: req.Labels})
+	if err != nil {
+		return fmt.Errorf("serve: rendering: %w", err)
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, err = w.Write([]byte(svg))
+	return err
+}
+
+// benchEntry is one row of the suite listing.
+type benchEntry struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Description string `json:"description"`
+	Components  int    `json:"components"`
+	Connections int    `json:"connections"`
+	Layers      int    `json:"layers"`
+}
+
+// handleBenchList lists the suite in canonical order, using the shared
+// device cache (Benchmark.Device) so repeated listings build nothing.
+func (s *Server) handleBenchList(w http.ResponseWriter, r *http.Request) error {
+	suite := bench.Suite()
+	entries := make([]benchEntry, 0, len(suite))
+	for _, b := range suite {
+		d := b.Device()
+		entries = append(entries, benchEntry{
+			Name:        b.Name,
+			Class:       string(b.Class),
+			Description: b.Description,
+			Components:  len(d.Components),
+			Connections: len(d.Connections),
+			Layers:      len(d.Layers),
+		})
+	}
+	return writeJSON(w, http.StatusOK, entries)
+}
+
+// handleBenchGet serves one benchmark's ParchMint document.
+func (s *Server) handleBenchGet(w http.ResponseWriter, r *http.Request) error {
+	b, err := bench.ByName(r.PathValue("name"))
+	if err != nil {
+		return err
+	}
+	data, err := core.Marshal(b.Device())
+	if err != nil {
+		return fmt.Errorf("serve: encoding device: %w", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+type healthResponse struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+}
+
+// handleHealthz reports liveness and the gate's admission limit. The body
+// is deterministic (no in-flight count) so probes are stable.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Workers: s.gate.Workers()})
+}
+
+// BaseSeedDefault is the service's default base seed, matching the
+// experiment harness so bench-sourced service runs reproduce the CLI
+// artifacts exactly.
+const BaseSeedDefault = 2018

@@ -1,0 +1,142 @@
+// Package serve exposes the whole ParchMint pipeline — validation, MINT
+// conversion, place-and-route, characterization, and SVG rendering — as a
+// concurrent HTTP JSON service. Handlers consume the same public pipeline
+// API as the command-line tools (cli.Load, pnr.RunContext, stats, render),
+// admission is bounded by a runner.Gate, and seeds follow the runner's
+// determinism contract: identical request bodies produce byte-identical
+// responses at any worker count.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers bounds concurrent pipeline computations; <1 means NumCPU.
+	Workers int
+	// BaseSeed is the base of the per-device seed derivation: a request
+	// without an explicit seed runs with DeriveSeed(BaseSeed, deviceName).
+	BaseSeed uint64
+	// MaxBodyBytes caps request bodies; 0 means 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's pipeline work; 0 means 60s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return 8 << 20
+	}
+	return c.MaxBodyBytes
+}
+
+func (c Config) timeout() time.Duration {
+	if c.RequestTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.RequestTimeout
+}
+
+// Server is the service state: configuration, the admission gate, the
+// stage-timing accumulator, and the request counters.
+type Server struct {
+	cfg     Config
+	gate    *runner.Gate
+	timings *runner.Timings
+	metrics *metrics
+}
+
+// New builds a server; the zero Config selects all defaults.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:     cfg,
+		gate:    runner.NewGate(cfg.Workers, cfg.BaseSeed),
+		timings: &runner.Timings{},
+		metrics: newMetrics(),
+	}
+}
+
+// Handler returns the service's routing table. Every pipeline endpoint is
+// wrapped with the request body limit, the per-request timeout, and the
+// metrics middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/validate", s.wrap("validate", s.handleValidate))
+	mux.Handle("POST /v1/convert", s.wrap("convert", s.handleConvert))
+	mux.Handle("POST /v1/pnr", s.wrap("pnr", s.handlePNR))
+	mux.Handle("POST /v1/stats", s.wrap("stats", s.handleStats))
+	mux.Handle("POST /v1/render.svg", s.wrap("render", s.handleRender))
+	mux.Handle("GET /v1/bench", s.wrap("bench-list", s.handleBenchList))
+	mux.Handle("GET /v1/bench/{name}", s.wrap("bench-get", s.handleBenchGet))
+	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiHandler is the shape of the endpoint handlers: they return an error
+// instead of writing failure responses themselves, so the status mapping
+// lives in exactly one place (httpStatus).
+type apiHandler func(w http.ResponseWriter, r *http.Request) error
+
+// statusWriter captures the status code for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// wrap applies the service middleware: body size limit, request timeout,
+// status capture, error-to-status mapping, and per-endpoint metrics.
+func (s *Server) wrap(endpoint string, h apiHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.maxBody())
+		}
+		ctx, cancel := withTimeout(r.Context(), s.cfg.timeout())
+		defer cancel()
+		if err := h(sw, r.WithContext(ctx)); err != nil {
+			writeError(sw, err)
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.metrics.observe(endpoint, sw.status, time.Since(start))
+	})
+}
+
+// writeJSON renders a JSON response body with a trailing newline. The
+// encoder is deterministic for the response DTOs (struct field order;
+// map keys sorted by encoding/json), which is what makes identical
+// request bodies yield byte-identical responses.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding response: %w", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -15,17 +15,17 @@ import (
 
 // Profile is one benchmark's row in the suite characterization (Table 1).
 type Profile struct {
-	Name        string
-	Class       string
-	Layers      int
-	Components  int
-	Connections int
-	Ports       int // chip IO ports (PORT entities)
-	Valves      int // control entities: valves and pumps
-	MultiSink   int // connections with fanout > 1
-	AvgDegree   float64
-	MaxDegree   int
-	Diameter    int
+	Name        string  `json:"name"`
+	Class       string  `json:"class"`
+	Layers      int     `json:"layers"`
+	Components  int     `json:"components"`
+	Connections int     `json:"connections"`
+	Ports       int     `json:"ports"`      // chip IO ports (PORT entities)
+	Valves      int     `json:"valves"`     // control entities: valves and pumps
+	MultiSink   int     `json:"multi_sink"` // connections with fanout > 1
+	AvgDegree   float64 `json:"avg_degree"`
+	MaxDegree   int     `json:"max_degree"`
+	Diameter    int     `json:"diameter"`
 }
 
 // ProfileDevice computes a characterization profile.

@@ -1,0 +1,43 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is the sentinel every validation failure matches via
+// errors.Is. Consumers that need the diagnostics use errors.As with
+// *Error and read the attached Report.
+var ErrInvalid = errors.New("device fails validation")
+
+// Error is a validation Report promoted to an error: the form pipeline
+// stages and API handlers use when a semantically broken device must stop
+// processing. Unlike a bare Report (which is data — the validate endpoint
+// returns one with 200), an Error flows through error paths and maps to
+// "unprocessable input" (HTTP 422) rather than "bad syntax" (400) or
+// "internal failure" (500).
+type Error struct {
+	// Report carries the full diagnostic set that failed the device.
+	Report *Report
+}
+
+// Error summarizes the failure; the report itself has the detail.
+func (e *Error) Error() string {
+	return fmt.Sprintf("device %q fails validation: %d error(s), %d warning(s)",
+		e.Report.Device, e.Report.Errors(), e.Report.Warnings())
+}
+
+// Is matches the ErrInvalid sentinel.
+func (e *Error) Is(target error) bool { return target == ErrInvalid }
+
+// Code returns the stable machine-readable code for this failure.
+func (e *Error) Code() string { return "invalid-device" }
+
+// Err converts the report to an error: nil when the device is OK,
+// otherwise an *Error carrying the report.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return &Error{Report: r}
+}

@@ -27,19 +27,19 @@ type Severity int
 
 // Severities, in increasing order of trouble.
 const (
-	// Warning marks constructs that are legal but suspicious: unknown
+	// SevWarning marks constructs that are legal but suspicious: unknown
 	// entities, isolated components, "any port" targets.
-	Warning Severity = iota
-	// Error marks violations that make the device unusable by a consumer.
-	Error
+	SevWarning Severity = iota
+	// SevError marks violations that make the device unusable by a consumer.
+	SevError
 )
 
 // String names the severity.
 func (s Severity) String() string {
 	switch s {
-	case Warning:
+	case SevWarning:
 		return "warning"
-	case Error:
+	case SevError:
 		return "error"
 	default:
 		return fmt.Sprintf("Severity(%d)", int(s))
@@ -93,10 +93,10 @@ type Report struct {
 }
 
 // Errors returns the number of error-severity diagnostics.
-func (r *Report) Errors() int { return r.count(Error) }
+func (r *Report) Errors() int { return r.count(SevError) }
 
 // Warnings returns the number of warning-severity diagnostics.
-func (r *Report) Warnings() int { return r.count(Warning) }
+func (r *Report) Warnings() int { return r.count(SevWarning) }
 
 func (r *Report) count(s Severity) int {
 	n := 0
@@ -179,7 +179,7 @@ func ValidateWith(d *core.Device, opts Options) *Report {
 	if opts.SkipWarnings {
 		kept := r.Diags[:0]
 		for _, diag := range r.Diags {
-			if diag.Severity != Warning {
+			if diag.Severity != SevWarning {
 				kept = append(kept, diag)
 			}
 		}
@@ -213,10 +213,10 @@ func (v *validator) run() {
 
 func (v *validator) checkDevice() {
 	if v.device.Name == "" {
-		v.report.add(Warning, CodeEmptyName, "device", "device has no name")
+		v.report.add(SevWarning, CodeEmptyName, "device", "device has no name")
 	}
 	if len(v.device.Layers) == 0 {
-		v.report.add(Error, CodeNoLayers, "device", "device declares no layers")
+		v.report.add(SevError, CodeNoLayers, "device", "device declares no layers")
 	}
 }
 
@@ -225,16 +225,16 @@ func (v *validator) checkLayers() {
 	for i, l := range v.device.Layers {
 		path := fmt.Sprintf("layers[%d]", i)
 		if l.ID == "" {
-			v.report.add(Error, CodeEmptyName, path, "layer has empty id")
+			v.report.add(SevError, CodeEmptyName, path, "layer has empty id")
 			continue
 		}
 		if first, dup := v.layerIDs[l.ID]; dup {
-			v.report.add(Error, CodeDupID, path, "layer id %q already used by layers[%d]", l.ID, first)
+			v.report.add(SevError, CodeDupID, path, "layer id %q already used by layers[%d]", l.ID, first)
 			continue
 		}
 		v.layerIDs[l.ID] = i
 		if l.Type != core.LayerFlow && l.Type != core.LayerControl {
-			v.report.add(Warning, CodeUnknownEntity, path, "layer type %q is not FLOW or CONTROL", l.Type)
+			v.report.add(SevWarning, CodeUnknownEntity, path, "layer type %q is not FLOW or CONTROL", l.Type)
 		}
 	}
 }
@@ -245,53 +245,53 @@ func (v *validator) checkComponents() {
 		c := &v.device.Components[i]
 		path := fmt.Sprintf("components[%d]", i)
 		if c.ID == "" {
-			v.report.add(Error, CodeEmptyName, path, "component has empty id")
+			v.report.add(SevError, CodeEmptyName, path, "component has empty id")
 		} else if first, dup := v.compIDs[c.ID]; dup {
-			v.report.add(Error, CodeDupID, path, "component id %q already used by components[%d]", c.ID, first)
+			v.report.add(SevError, CodeDupID, path, "component id %q already used by components[%d]", c.ID, first)
 		} else {
 			v.compIDs[c.ID] = i
 			path = fmt.Sprintf("components[%s]", c.ID)
 		}
 		if c.Entity == "" {
-			v.report.add(Warning, CodeUnknownEntity, path, "component has no entity")
+			v.report.add(SevWarning, CodeUnknownEntity, path, "component has no entity")
 		} else if !core.IsKnownEntity(c.Entity) {
-			v.report.add(Warning, CodeUnknownEntity, path, "entity %q is outside the suite vocabulary", c.Entity)
+			v.report.add(SevWarning, CodeUnknownEntity, path, "entity %q is outside the suite vocabulary", c.Entity)
 		}
 		if len(c.Layers) == 0 {
-			v.report.add(Error, CodeNoLayers, path, "component occupies no layers")
+			v.report.add(SevError, CodeNoLayers, path, "component occupies no layers")
 		}
 		compLayers := make(map[string]bool, len(c.Layers))
 		for j, lid := range c.Layers {
 			if _, ok := v.layerIDs[lid]; !ok {
-				v.report.add(Error, CodeMissingRef, fmt.Sprintf("%s.layers[%d]", path, j),
+				v.report.add(SevError, CodeMissingRef, fmt.Sprintf("%s.layers[%d]", path, j),
 					"layer %q is not declared", lid)
 			}
 			compLayers[lid] = true
 		}
 		if c.XSpan <= 0 || c.YSpan <= 0 {
-			v.report.add(Error, CodeBadGeometry, path,
+			v.report.add(SevError, CodeBadGeometry, path,
 				"non-positive span %dx%d", c.XSpan, c.YSpan)
 		}
 		labels := make(map[string]int, len(c.Ports))
 		for j, p := range c.Ports {
 			ppath := fmt.Sprintf("%s.ports[%d]", path, j)
 			if p.Label == "" {
-				v.report.add(Error, CodeEmptyName, ppath, "port has empty label")
+				v.report.add(SevError, CodeEmptyName, ppath, "port has empty label")
 			} else if first, dup := labels[p.Label]; dup {
-				v.report.add(Error, CodeDupPort, ppath,
+				v.report.add(SevError, CodeDupPort, ppath,
 					"port label %q already used by ports[%d]", p.Label, first)
 			} else {
 				labels[p.Label] = j
 			}
 			if _, ok := v.layerIDs[p.Layer]; !ok {
-				v.report.add(Error, CodeMissingRef, ppath, "port layer %q is not declared", p.Layer)
+				v.report.add(SevError, CodeMissingRef, ppath, "port layer %q is not declared", p.Layer)
 			} else if !compLayers[p.Layer] {
-				v.report.add(Error, CodeLayerMismatch, ppath,
+				v.report.add(SevError, CodeLayerMismatch, ppath,
 					"port layer %q is not among the component's layers", p.Layer)
 			}
 			if c.XSpan > 0 && c.YSpan > 0 {
 				if p.X < 0 || p.X > c.XSpan || p.Y < 0 || p.Y > c.YSpan {
-					v.report.add(Error, CodeBadGeometry, ppath,
+					v.report.add(SevError, CodeBadGeometry, ppath,
 						"port at (%d,%d) lies outside the %dx%d footprint", p.X, p.Y, c.XSpan, c.YSpan)
 				}
 			}
@@ -305,25 +305,25 @@ func (v *validator) checkConnections() {
 		cn := &v.device.Connections[i]
 		path := fmt.Sprintf("connections[%d]", i)
 		if cn.ID == "" {
-			v.report.add(Error, CodeEmptyName, path, "connection has empty id")
+			v.report.add(SevError, CodeEmptyName, path, "connection has empty id")
 		} else if first, dup := v.connIDs[cn.ID]; dup {
-			v.report.add(Error, CodeDupID, path,
+			v.report.add(SevError, CodeDupID, path,
 				"connection id %q already used by connections[%d]", cn.ID, first)
 		} else {
 			v.connIDs[cn.ID] = i
 			path = fmt.Sprintf("connections[%s]", cn.ID)
 		}
 		if _, ok := v.layerIDs[cn.Layer]; !ok {
-			v.report.add(Error, CodeMissingRef, path, "connection layer %q is not declared", cn.Layer)
+			v.report.add(SevError, CodeMissingRef, path, "connection layer %q is not declared", cn.Layer)
 		}
 		if len(cn.Sinks) == 0 {
-			v.report.add(Error, CodeEmptyNet, path, "connection has no sinks")
+			v.report.add(SevError, CodeEmptyNet, path, "connection has no sinks")
 		}
 		for pi := range cn.Paths {
 			v.checkPath(&cn.Paths[pi], fmt.Sprintf("%s.paths[%d]", path, pi))
 		}
 		if len(cn.Paths) > len(cn.Sinks) {
-			v.report.add(Warning, CodeBadPath, path,
+			v.report.add(SevWarning, CodeBadPath, path,
 				"%d paths for %d sinks", len(cn.Paths), len(cn.Sinks))
 		}
 		v.checkTarget(cn, cn.Source, path+".source")
@@ -332,10 +332,10 @@ func (v *validator) checkConnections() {
 			spath := fmt.Sprintf("%s.sinks[%d]", path, j)
 			v.checkTarget(cn, s, spath)
 			if s == cn.Source {
-				v.report.add(Warning, CodeSelfLoop, spath, "sink equals the source %s", s)
+				v.report.add(SevWarning, CodeSelfLoop, spath, "sink equals the source %s", s)
 			}
 			if first, dup := seen[s]; dup {
-				v.report.add(Warning, CodeDupSink, spath, "sink %s already listed at sinks[%d]", s, first)
+				v.report.add(SevWarning, CodeDupSink, spath, "sink %s already listed at sinks[%d]", s, first)
 			} else {
 				seen[s] = j
 			}
@@ -350,7 +350,7 @@ func (v *validator) checkPath(p *core.ChannelPath, path string) {
 	for i := 1; i < len(pts); i++ {
 		a, b := pts[i-1], pts[i]
 		if a.X != b.X && a.Y != b.Y {
-			v.report.add(Warning, CodeBadPath, path,
+			v.report.add(SevWarning, CodeBadPath, path,
 				"leg %v -> %v is not axis-aligned", a, b)
 			return
 		}
@@ -361,23 +361,23 @@ func (v *validator) checkPath(p *core.ChannelPath, path string) {
 func (v *validator) checkTarget(cn *core.Connection, t core.Target, path string) {
 	ci, ok := v.compIDs[t.Component]
 	if !ok {
-		v.report.add(Error, CodeMissingRef, path, "component %q does not exist", t.Component)
+		v.report.add(SevError, CodeMissingRef, path, "component %q does not exist", t.Component)
 		return
 	}
 	c := &v.device.Components[ci]
 	if t.Port == "" {
-		v.report.add(Warning, CodeAnyPort, path,
+		v.report.add(SevWarning, CodeAnyPort, path,
 			"endpoint on %q does not name a port", t.Component)
 		return
 	}
 	p, ok := c.PortByLabel(t.Port)
 	if !ok {
-		v.report.add(Error, CodeMissingRef, path,
+		v.report.add(SevError, CodeMissingRef, path,
 			"component %q has no port %q", t.Component, t.Port)
 		return
 	}
 	if p.Layer != cn.Layer {
-		v.report.add(Error, CodeLayerMismatch, path,
+		v.report.add(SevError, CodeLayerMismatch, path,
 			"port %s is on layer %q but the connection is on layer %q", t, p.Layer, cn.Layer)
 	}
 }
@@ -395,7 +395,7 @@ func (v *validator) checkIsolation() {
 	for i := range v.device.Components {
 		c := &v.device.Components[i]
 		if !touched[c.ID] {
-			v.report.add(Warning, CodeIsolated,
+			v.report.add(SevWarning, CodeIsolated,
 				fmt.Sprintf("components[%s]", c.ID), "no connection touches this component")
 		}
 	}
@@ -410,23 +410,23 @@ func (v *validator) checkValveMap() {
 		path := fmt.Sprintf("valveMap[%s]", valve)
 		ci, ok := v.compIDs[valve]
 		if !ok {
-			v.report.add(Error, CodeBadValveMap, path, "valve component %q does not exist", valve)
+			v.report.add(SevError, CodeBadValveMap, path, "valve component %q does not exist", valve)
 		} else if !core.IsControlEntity(v.device.Components[ci].Entity) {
-			v.report.add(Warning, CodeBadValveMap, path,
+			v.report.add(SevWarning, CodeBadValveMap, path,
 				"component %q has entity %q, not a valve/pump", valve, v.device.Components[ci].Entity)
 		}
 		if _, ok := v.connIDs[conn]; !ok {
-			v.report.add(Error, CodeBadValveMap, path, "actuated connection %q does not exist", conn)
+			v.report.add(SevError, CodeBadValveMap, path, "actuated connection %q does not exist", conn)
 		}
 	}
 	for _, valve := range sortedMapKeys(v.device.ValveTypes) {
 		t := v.device.ValveTypes[valve]
 		path := fmt.Sprintf("valveTypeMap[%s]", valve)
 		if t != core.ValveNormallyOpen && t != core.ValveNormallyClosed {
-			v.report.add(Error, CodeBadValveMap, path, "unknown valve type %q", t)
+			v.report.add(SevError, CodeBadValveMap, path, "unknown valve type %q", t)
 		}
 		if _, ok := v.device.ValveMap[valve]; !ok {
-			v.report.add(Warning, CodeBadValveMap, path, "typed valve %q is not in the valve map", valve)
+			v.report.add(SevWarning, CodeBadValveMap, path, "typed valve %q is not in the valve map", valve)
 		}
 	}
 }
@@ -447,41 +447,41 @@ func (v *validator) checkFeatures() {
 		f := &v.device.Features[i]
 		path := fmt.Sprintf("features[%d]", i)
 		if _, ok := v.layerIDs[f.Layer]; !ok {
-			v.report.add(Error, CodeBadFeature, path, "feature layer %q is not declared", f.Layer)
+			v.report.add(SevError, CodeBadFeature, path, "feature layer %q is not declared", f.Layer)
 		}
 		switch f.Kind {
 		case core.FeatureComponent:
 			ci, ok := v.compIDs[f.ID]
 			if !ok {
-				v.report.add(Error, CodeBadFeature, path,
+				v.report.add(SevError, CodeBadFeature, path,
 					"component feature id %q matches no component", f.ID)
 				continue
 			}
 			c := &v.device.Components[ci]
 			if f.XSpan != c.XSpan || f.YSpan != c.YSpan {
-				v.report.add(Warning, CodeBadFeature, path,
+				v.report.add(SevWarning, CodeBadFeature, path,
 					"feature spans %dx%d differ from component spans %dx%d",
 					f.XSpan, f.YSpan, c.XSpan, c.YSpan)
 			}
 			if f.XSpan <= 0 || f.YSpan <= 0 {
-				v.report.add(Error, CodeBadGeometry, path,
+				v.report.add(SevError, CodeBadGeometry, path,
 					"non-positive feature span %dx%d", f.XSpan, f.YSpan)
 			}
 			placed = append(placed, i)
 		case core.FeatureChannel:
 			if _, ok := v.connIDs[f.Connection]; !ok {
-				v.report.add(Error, CodeBadFeature, path,
+				v.report.add(SevError, CodeBadFeature, path,
 					"channel feature references missing connection %q", f.Connection)
 			}
 			if f.Width <= 0 {
-				v.report.add(Error, CodeBadGeometry, path, "non-positive channel width %d", f.Width)
+				v.report.add(SevError, CodeBadGeometry, path, "non-positive channel width %d", f.Width)
 			}
 			if f.Source.X != f.Sink.X && f.Source.Y != f.Sink.Y {
-				v.report.add(Warning, CodeBadFeature, path,
+				v.report.add(SevWarning, CodeBadFeature, path,
 					"channel segment %v->%v is not axis-aligned", f.Source, f.Sink)
 			}
 		default:
-			v.report.add(Error, CodeBadFeature, path, "unknown feature kind %d", int(f.Kind))
+			v.report.add(SevError, CodeBadFeature, path, "unknown feature kind %d", int(f.Kind))
 		}
 	}
 	v.checkOverlaps(placed)
@@ -495,7 +495,7 @@ func (v *validator) checkOverlaps(placed []int) {
 		limit = 2000
 	}
 	if len(placed) > limit {
-		v.report.add(Warning, CodeOverlap, "features",
+		v.report.add(SevWarning, CodeOverlap, "features",
 			"%d placed features exceed the overlap-check cap of %d; check skipped",
 			len(placed), limit)
 		return
@@ -509,7 +509,7 @@ func (v *validator) checkOverlaps(placed []int) {
 				continue
 			}
 			if ra.Overlaps(fb.Footprint()) {
-				v.report.add(Error, CodeOverlap,
+				v.report.add(SevError, CodeOverlap,
 					fmt.Sprintf("features[%d]", placed[b]),
 					"placed component %q overlaps %q on layer %q", fb.ID, fa.ID, fa.Layer)
 			}

@@ -64,19 +64,19 @@ func expectCode(t *testing.T, d *core.Device, code Code, sev Severity) {
 func TestRuleDupLayerID(t *testing.T) {
 	d := goodDevice(t)
 	d.Layers = append(d.Layers, core.Layer{ID: "flow", Name: "again", Type: core.LayerFlow})
-	expectCode(t, d, CodeDupID, Error)
+	expectCode(t, d, CodeDupID, SevError)
 }
 
 func TestRuleDupComponentID(t *testing.T) {
 	d := goodDevice(t)
 	d.Components = append(d.Components, d.Components[0])
-	expectCode(t, d, CodeDupID, Error)
+	expectCode(t, d, CodeDupID, SevError)
 }
 
 func TestRuleDupConnectionID(t *testing.T) {
 	d := goodDevice(t)
 	d.Connections = append(d.Connections, d.Connections[0])
-	expectCode(t, d, CodeDupID, Error)
+	expectCode(t, d, CodeDupID, SevError)
 }
 
 func TestRuleDupPortLabel(t *testing.T) {
@@ -84,69 +84,69 @@ func TestRuleDupPortLabel(t *testing.T) {
 	ix := d.Index()
 	v1 := ix.Component("v1")
 	v1.Ports = append(v1.Ports, core.Port{Label: "port1", Layer: "flow", X: 150, Y: 300})
-	expectCode(t, d, CodeDupPort, Error)
+	expectCode(t, d, CodeDupPort, SevError)
 }
 
 func TestRuleMissingComponentRef(t *testing.T) {
 	d := goodDevice(t)
 	d.Connections[0].Source.Component = "ghost"
-	expectCode(t, d, CodeMissingRef, Error)
+	expectCode(t, d, CodeMissingRef, SevError)
 }
 
 func TestRuleMissingPortRef(t *testing.T) {
 	d := goodDevice(t)
 	d.Connections[0].Sinks[0].Port = "ghost"
-	expectCode(t, d, CodeMissingRef, Error)
+	expectCode(t, d, CodeMissingRef, SevError)
 }
 
 func TestRuleMissingConnectionLayer(t *testing.T) {
 	d := goodDevice(t)
 	d.Connections[0].Layer = "ghost"
-	expectCode(t, d, CodeMissingRef, Error)
+	expectCode(t, d, CodeMissingRef, SevError)
 }
 
 func TestRuleMissingComponentLayer(t *testing.T) {
 	d := goodDevice(t)
 	d.Components[0].Layers[0] = "ghost"
-	expectCode(t, d, CodeMissingRef, Error)
+	expectCode(t, d, CodeMissingRef, SevError)
 }
 
 func TestRuleMissingPortLayer(t *testing.T) {
 	d := goodDevice(t)
 	d.Index().Component("mix1").Ports[0].Layer = "ghost"
-	expectCode(t, d, CodeMissingRef, Error)
+	expectCode(t, d, CodeMissingRef, SevError)
 }
 
 func TestRulePortLayerNotOnComponent(t *testing.T) {
 	d := goodDevice(t)
 	// mix1 occupies only flow; point a port at control.
 	d.Index().Component("mix1").Ports[0].Layer = "control"
-	expectCode(t, d, CodeLayerMismatch, Error)
+	expectCode(t, d, CodeLayerMismatch, SevError)
 }
 
 func TestRuleConnectionLayerMismatch(t *testing.T) {
 	d := goodDevice(t)
 	// Flow connection attached to the valve's control port.
 	d.Index().Connection("c2").Sinks[0].Port = "ctl"
-	expectCode(t, d, CodeLayerMismatch, Error)
+	expectCode(t, d, CodeLayerMismatch, SevError)
 }
 
 func TestRuleBadSpan(t *testing.T) {
 	d := goodDevice(t)
 	d.Components[0].XSpan = 0
-	expectCode(t, d, CodeBadGeometry, Error)
+	expectCode(t, d, CodeBadGeometry, SevError)
 	d = goodDevice(t)
 	d.Components[0].YSpan = -5
-	expectCode(t, d, CodeBadGeometry, Error)
+	expectCode(t, d, CodeBadGeometry, SevError)
 }
 
 func TestRulePortOffFootprint(t *testing.T) {
 	d := goodDevice(t)
 	d.Index().Component("mix1").Ports[0].X = -10
-	expectCode(t, d, CodeBadGeometry, Error)
+	expectCode(t, d, CodeBadGeometry, SevError)
 	d = goodDevice(t)
 	d.Index().Component("mix1").Ports[1].Y = 99999
-	expectCode(t, d, CodeBadGeometry, Error)
+	expectCode(t, d, CodeBadGeometry, SevError)
 }
 
 func TestRulePortOnBoundaryIsFine(t *testing.T) {
@@ -161,36 +161,36 @@ func TestRulePortOnBoundaryIsFine(t *testing.T) {
 func TestRuleEmptyNet(t *testing.T) {
 	d := goodDevice(t)
 	d.Connections[0].Sinks = nil
-	expectCode(t, d, CodeEmptyNet, Error)
+	expectCode(t, d, CodeEmptyNet, SevError)
 }
 
 func TestRuleSelfLoop(t *testing.T) {
 	d := goodDevice(t)
 	c := d.Index().Connection("c1")
 	c.Sinks = append(c.Sinks, c.Source)
-	expectCode(t, d, CodeSelfLoop, Warning)
+	expectCode(t, d, CodeSelfLoop, SevWarning)
 }
 
 func TestRuleDupSink(t *testing.T) {
 	d := goodDevice(t)
 	c := d.Index().Connection("c1")
 	c.Sinks = append(c.Sinks, c.Sinks[0])
-	expectCode(t, d, CodeDupSink, Warning)
+	expectCode(t, d, CodeDupSink, SevWarning)
 }
 
 func TestRuleAnyPort(t *testing.T) {
 	d := goodDevice(t)
 	d.Connections[0].Source.Port = ""
-	expectCode(t, d, CodeAnyPort, Warning)
+	expectCode(t, d, CodeAnyPort, SevWarning)
 }
 
 func TestRuleUnknownEntity(t *testing.T) {
 	d := goodDevice(t)
 	d.Components[0].Entity = "FLUX CAPACITOR"
-	expectCode(t, d, CodeUnknownEntity, Warning)
+	expectCode(t, d, CodeUnknownEntity, SevWarning)
 	d = goodDevice(t)
 	d.Components[0].Entity = ""
-	expectCode(t, d, CodeUnknownEntity, Warning)
+	expectCode(t, d, CodeUnknownEntity, SevWarning)
 }
 
 func TestRuleIsolatedComponent(t *testing.T) {
@@ -199,38 +199,38 @@ func TestRuleIsolatedComponent(t *testing.T) {
 		ID: "lonely", Name: "lonely", Entity: core.EntityChamber,
 		Layers: []string{"flow"}, XSpan: 100, YSpan: 100,
 	})
-	expectCode(t, d, CodeIsolated, Warning)
+	expectCode(t, d, CodeIsolated, SevWarning)
 }
 
 func TestRuleEmptyNames(t *testing.T) {
 	d := goodDevice(t)
 	d.Name = ""
-	expectCode(t, d, CodeEmptyName, Warning)
+	expectCode(t, d, CodeEmptyName, SevWarning)
 
 	d = goodDevice(t)
 	d.Layers[0].ID = ""
-	expectCode(t, d, CodeEmptyName, Error)
+	expectCode(t, d, CodeEmptyName, SevError)
 
 	d = goodDevice(t)
 	d.Components[0].ID = ""
-	expectCode(t, d, CodeEmptyName, Error)
+	expectCode(t, d, CodeEmptyName, SevError)
 
 	d = goodDevice(t)
 	d.Connections[0].ID = ""
-	expectCode(t, d, CodeEmptyName, Error)
+	expectCode(t, d, CodeEmptyName, SevError)
 
 	d = goodDevice(t)
 	d.Index().Component("mix1").Ports[0].Label = ""
-	expectCode(t, d, CodeEmptyName, Error)
+	expectCode(t, d, CodeEmptyName, SevError)
 }
 
 func TestRuleNoLayers(t *testing.T) {
 	d := &core.Device{Name: "bare"}
-	expectCode(t, d, CodeNoLayers, Error)
+	expectCode(t, d, CodeNoLayers, SevError)
 
 	d = goodDevice(t)
 	d.Components[0].Layers = nil
-	expectCode(t, d, CodeNoLayers, Error)
+	expectCode(t, d, CodeNoLayers, SevError)
 }
 
 func TestRuleFeatureMissingLayer(t *testing.T) {
@@ -239,7 +239,7 @@ func TestRuleFeatureMissingLayer(t *testing.T) {
 		Kind: core.FeatureComponent, ID: "mix1", Layer: "ghost",
 		XSpan: 2000, YSpan: 1000,
 	}}
-	expectCode(t, d, CodeBadFeature, Error)
+	expectCode(t, d, CodeBadFeature, SevError)
 }
 
 func TestRuleFeatureUnknownComponent(t *testing.T) {
@@ -247,7 +247,7 @@ func TestRuleFeatureUnknownComponent(t *testing.T) {
 	d.Features = []core.Feature{{
 		Kind: core.FeatureComponent, ID: "ghost", Layer: "flow", XSpan: 10, YSpan: 10,
 	}}
-	expectCode(t, d, CodeBadFeature, Error)
+	expectCode(t, d, CodeBadFeature, SevError)
 }
 
 func TestRuleFeatureSpanMismatch(t *testing.T) {
@@ -256,7 +256,7 @@ func TestRuleFeatureSpanMismatch(t *testing.T) {
 		Kind: core.FeatureComponent, ID: "mix1", Layer: "flow",
 		Location: geom.Pt(0, 0), XSpan: 1, YSpan: 1,
 	}}
-	expectCode(t, d, CodeBadFeature, Warning)
+	expectCode(t, d, CodeBadFeature, SevWarning)
 }
 
 func TestRuleChannelFeatureMissingConnection(t *testing.T) {
@@ -266,7 +266,7 @@ func TestRuleChannelFeatureMissingConnection(t *testing.T) {
 		Connection: "ghost", Width: 100,
 		Source: geom.Pt(0, 0), Sink: geom.Pt(100, 0),
 	}}
-	expectCode(t, d, CodeBadFeature, Error)
+	expectCode(t, d, CodeBadFeature, SevError)
 }
 
 func TestRuleChannelFeatureBadWidth(t *testing.T) {
@@ -276,7 +276,7 @@ func TestRuleChannelFeatureBadWidth(t *testing.T) {
 		Connection: "c1", Width: 0,
 		Source: geom.Pt(0, 0), Sink: geom.Pt(100, 0),
 	}}
-	expectCode(t, d, CodeBadGeometry, Error)
+	expectCode(t, d, CodeBadGeometry, SevError)
 }
 
 func TestRuleChannelFeatureDiagonal(t *testing.T) {
@@ -286,13 +286,13 @@ func TestRuleChannelFeatureDiagonal(t *testing.T) {
 		Connection: "c1", Width: 100,
 		Source: geom.Pt(0, 0), Sink: geom.Pt(100, 100),
 	}}
-	expectCode(t, d, CodeBadFeature, Warning)
+	expectCode(t, d, CodeBadFeature, SevWarning)
 }
 
 func TestRuleUnknownFeatureKind(t *testing.T) {
 	d := goodDevice(t)
 	d.Features = []core.Feature{{Kind: core.FeatureKind(7), ID: "x", Layer: "flow"}}
-	expectCode(t, d, CodeBadFeature, Error)
+	expectCode(t, d, CodeBadFeature, SevError)
 }
 
 func TestRuleOverlap(t *testing.T) {
@@ -303,7 +303,7 @@ func TestRuleOverlap(t *testing.T) {
 		{Kind: core.FeatureComponent, ID: "out", Layer: "flow",
 			Location: geom.Pt(100, 100), XSpan: 200, YSpan: 200},
 	}
-	expectCode(t, d, CodeOverlap, Error)
+	expectCode(t, d, CodeOverlap, SevError)
 }
 
 func TestRuleOverlapDifferentLayersOK(t *testing.T) {
@@ -346,10 +346,10 @@ func TestOverlapCapSkips(t *testing.T) {
 	// the overlap error.
 	hasSkip := false
 	for _, diag := range r.Diags {
-		if diag.Code == CodeOverlap && diag.Severity == Warning {
+		if diag.Code == CodeOverlap && diag.Severity == SevWarning {
 			hasSkip = true
 		}
-		if diag.Code == CodeOverlap && diag.Severity == Error {
+		if diag.Code == CodeOverlap && diag.Severity == SevError {
 			t.Error("capped overlap check still ran")
 		}
 	}
@@ -399,7 +399,7 @@ func TestReportAccessors(t *testing.T) {
 }
 
 func TestSeverityString(t *testing.T) {
-	if Warning.String() != "warning" || Error.String() != "error" {
+	if SevWarning.String() != "warning" || SevError.String() != "error" {
 		t.Error("severity names wrong")
 	}
 	if got := Severity(9).String(); !strings.Contains(got, "9") {
@@ -408,7 +408,7 @@ func TestSeverityString(t *testing.T) {
 }
 
 func TestDiagnosticString(t *testing.T) {
-	d := Diagnostic{Severity: Error, Code: CodeDupID, Path: "layers[1]", Message: "boom"}
+	d := Diagnostic{Severity: SevError, Code: CodeDupID, Path: "layers[1]", Message: "boom"}
 	if got := d.String(); got != "error dup-id layers[1]: boom" {
 		t.Errorf("Diagnostic.String = %q", got)
 	}
@@ -427,28 +427,28 @@ func TestRuleValveMap(t *testing.T) {
 	// Missing valve component.
 	d = goodDevice(t)
 	d.ValveMap = map[string]string{"ghost": "c2"}
-	expectCode(t, d, CodeBadValveMap, Error)
+	expectCode(t, d, CodeBadValveMap, SevError)
 
 	// Missing actuated connection.
 	d = goodDevice(t)
 	d.ValveMap = map[string]string{"v1": "ghost"}
-	expectCode(t, d, CodeBadValveMap, Error)
+	expectCode(t, d, CodeBadValveMap, SevError)
 
 	// Mapped component is not a control entity.
 	d = goodDevice(t)
 	d.ValveMap = map[string]string{"mix1": "c2"}
-	expectCode(t, d, CodeBadValveMap, Warning)
+	expectCode(t, d, CodeBadValveMap, SevWarning)
 
 	// Unknown valve type.
 	d = goodDevice(t)
 	d.ValveMap = map[string]string{"v1": "c2"}
 	d.ValveTypes = map[string]core.ValveType{"v1": "SIDEWAYS"}
-	expectCode(t, d, CodeBadValveMap, Error)
+	expectCode(t, d, CodeBadValveMap, SevError)
 
 	// Typed valve absent from the map.
 	d = goodDevice(t)
 	d.ValveTypes = map[string]core.ValveType{"v1": core.ValveNormallyOpen}
-	expectCode(t, d, CodeBadValveMap, Warning)
+	expectCode(t, d, CodeBadValveMap, SevWarning)
 }
 
 func TestRuleBadPath(t *testing.T) {
@@ -468,7 +468,7 @@ func TestRuleBadPath(t *testing.T) {
 	d.Connections[0].Paths = []core.ChannelPath{{
 		Source: geom.Pt(0, 0), Sink: geom.Pt(100, 100),
 	}}
-	expectCode(t, d, CodeBadPath, Warning)
+	expectCode(t, d, CodeBadPath, SevWarning)
 
 	// More paths than sinks warns.
 	d = goodDevice(t)
@@ -476,5 +476,5 @@ func TestRuleBadPath(t *testing.T) {
 		{Source: geom.Pt(0, 0), Sink: geom.Pt(100, 0)},
 		{Source: geom.Pt(0, 0), Sink: geom.Pt(0, 100)},
 	}
-	expectCode(t, d, CodeBadPath, Warning)
+	expectCode(t, d, CodeBadPath, SevWarning)
 }
