@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench artifacts serve-smoke check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke check
 
 all: build
 
@@ -38,8 +38,32 @@ fuzz-smoke:
 vet:
 	$(GO) vet ./...
 
-bench:
+# Hot-path benchmarks plus the ablation suite. For regression hunting use
+# benchstat: run `go test -bench . -benchmem -count 10 -run '^$$'
+# ./internal/place ./internal/route ./internal/pnr | tee old.txt` before a
+# change, the same into new.txt after, then `benchstat old.txt new.txt`.
+# The per-PR snapshot lives in BENCH_pnr.json (see bench-pnr).
+bench: bench-pnr
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime 3x -run '^$$' ./internal/place ./internal/route ./internal/pnr
+
+# Regenerate the committed perf snapshot. parchmint-perf preserves the
+# existing file's "baseline" block, so the before/after trajectory of the
+# current optimization round survives regeneration.
+bench-pnr:
+	$(GO) run ./cmd/parchmint-perf -o BENCH_pnr.json
+
+# CI gate: one quick iteration per kernel into a throwaway file, then
+# schema-validate it and the committed snapshot. Catches a broken
+# benchmark harness or a malformed BENCH_pnr.json without paying for a
+# full measurement.
+bench-smoke:
+	@set -e; \
+	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/parchmint-perf -quick -o "$$tmp"; \
+	$(GO) run ./cmd/parchmint-perf -check "$$tmp"; \
+	$(GO) run ./cmd/parchmint-perf -check BENCH_pnr.json; \
+	echo "bench-smoke: ok"
 
 # Regenerate the committed golden artifacts (intentional drift only).
 artifacts:
@@ -63,4 +87,4 @@ serve-smoke: build
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "serve-smoke: ok"
 
-check: build vet test race fuzz-smoke serve-smoke
+check: build vet test race fuzz-smoke bench-smoke serve-smoke

@@ -1,0 +1,267 @@
+// Command parchmint-perf measures the PnR hot paths — annealing
+// placement, the three maze-router searches, full-device routing, and the
+// end-to-end flow — and writes the numbers to a JSON snapshot
+// (BENCH_pnr.json). The snapshot is the repository's perf trajectory:
+// each PR that touches a hot path regenerates it, and the committed
+// "baseline" block preserves the numbers the current optimization round
+// started from.
+//
+// Usage:
+//
+//	parchmint-perf -o BENCH_pnr.json          # full measurement
+//	parchmint-perf -quick -o /tmp/smoke.json  # one iteration per kernel
+//	parchmint-perf -check BENCH_pnr.json      # validate an existing snapshot
+//
+// An existing output file's "baseline" block is preserved across
+// regenerations; -baseline FILE installs the "results" of another
+// snapshot as the baseline instead.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/place"
+	"repro/internal/pnr"
+	"repro/internal/route"
+)
+
+// Result is one kernel's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_pnr.json document.
+type Snapshot struct {
+	Schema   string   `json:"schema"`
+	Go       string   `json:"go"`
+	Quick    bool     `json:"quick"`
+	Results  []Result `json:"results"`
+	Baseline []Result `json:"baseline,omitempty"`
+}
+
+const schemaID = "parchmint-perf/v1"
+
+func main() {
+	out := flag.String("o", "BENCH_pnr.json", "output snapshot file")
+	quick := flag.Bool("quick", false, "one iteration per kernel (CI smoke)")
+	baseline := flag.String("baseline", "", "snapshot file whose results become this snapshot's baseline")
+	check := flag.String("check", "", "validate the given snapshot and exit")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkSnapshot(*check); err != nil {
+			cli.Fatalf("parchmint-perf: %v", err)
+		}
+		fmt.Printf("parchmint-perf: %s is a well-formed %s snapshot\n", *check, schemaID)
+		return
+	}
+
+	snap := Snapshot{Schema: schemaID, Go: runtime.Version(), Quick: *quick}
+	snap.Baseline = loadBaseline(*baseline, *out)
+	for _, k := range kernels() {
+		iters := k.iters
+		if *quick {
+			iters = 1
+		}
+		snap.Results = append(snap.Results, measure(k, iters))
+		fmt.Fprintf(os.Stderr, "parchmint-perf: %-34s %12d ns/op %8d allocs/op\n",
+			k.name, snap.Results[len(snap.Results)-1].NsPerOp,
+			snap.Results[len(snap.Results)-1].AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		cli.Fatalf("parchmint-perf: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		cli.Fatalf("parchmint-perf: %v", err)
+	}
+}
+
+// loadBaseline resolves the baseline block: an explicit -baseline file's
+// results win; otherwise an existing output file's baseline is carried
+// forward so regeneration never loses the trajectory anchor.
+func loadBaseline(baselineFile, outFile string) []Result {
+	if baselineFile != "" {
+		var s Snapshot
+		if err := readSnapshot(baselineFile, &s); err != nil {
+			cli.Fatalf("parchmint-perf: baseline: %v", err)
+		}
+		return s.Results
+	}
+	var prev Snapshot
+	if err := readSnapshot(outFile, &prev); err == nil {
+		return prev.Baseline
+	}
+	return nil
+}
+
+func readSnapshot(path string, s *Snapshot) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, s); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func checkSnapshot(path string) error {
+	var s Snapshot
+	if err := readSnapshot(path, &s); err != nil {
+		return err
+	}
+	if s.Schema != schemaID {
+		return fmt.Errorf("%s: schema %q, want %q", path, s.Schema, schemaID)
+	}
+	if len(s.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for _, r := range s.Results {
+		if r.Name == "" || r.Iterations <= 0 || r.NsPerOp <= 0 {
+			return fmt.Errorf("%s: malformed result %+v", path, r)
+		}
+	}
+	return nil
+}
+
+// kernel is one measured hot path. fn runs a single operation and returns
+// optional work metrics (moves, expansions) for the snapshot.
+type kernel struct {
+	name  string
+	iters int
+	fn    func() map[string]float64
+}
+
+// measure times iters runs of the kernel and reads allocation deltas from
+// runtime.MemStats — the same counters testing.Benchmark reports.
+func measure(k kernel, iters int) Result {
+	k.fn() // warm caches (device build, arena pool) outside the window
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var metrics map[string]float64
+	for i := 0; i < iters; i++ {
+		metrics = k.fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Name:        k.name,
+		Iterations:  iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		Metrics:     metrics,
+	}
+}
+
+var perfDevices = []string{"aquaflex_3b", "rotary_pcr", "general_purpose_mfd"}
+
+func device(name string) *core.Device {
+	b, err := bench.ByName(name)
+	if err != nil {
+		cli.Fatalf("parchmint-perf: %v", err)
+	}
+	return b.Build()
+}
+
+// searchGrid mirrors the congested field grid of the route package's
+// BenchmarkSearch: blocked component footprints with channel gaps.
+func searchGrid() *geom.Grid {
+	g, err := geom.NewGrid(geom.R(0, 0, 16000, 16000), 100)
+	if err != nil {
+		cli.Fatalf("parchmint-perf: %v", err)
+	}
+	for row := 10; row < 150; row += 20 {
+		for col := 10; col < 150; col += 20 {
+			g.BlockRect(geom.R(int64(col)*100, int64(row)*100,
+				int64(col+8)*100, int64(row+8)*100))
+		}
+	}
+	return g
+}
+
+func kernels() []kernel {
+	var ks []kernel
+	for _, name := range perfDevices {
+		d := device(name)
+		ks = append(ks, kernel{
+			name:  "place/anneal/" + name,
+			iters: 3,
+			fn: func() map[string]float64 {
+				p, err := (place.Annealer{}).Place(context.Background(), d, place.NewOptions(place.WithSeed(1)))
+				if err != nil {
+					cli.Fatalf("parchmint-perf: %v", err)
+				}
+				return map[string]float64{"moves": float64(p.Moves)}
+			},
+		})
+	}
+	for _, r := range route.Engines() {
+		r := r
+		g := searchGrid()
+		sources := []geom.Cell{{Col: 0, Row: 0}, {Col: 0, Row: 159}}
+		target := geom.Cell{Col: 159, Row: 80}
+		ks = append(ks, kernel{
+			name:  "route/search/" + r.Name(),
+			iters: 50,
+			fn: func() map[string]float64 {
+				_, exp, ok := r.Search(context.Background(), g, sources, target)
+				if !ok {
+					cli.Fatalf("parchmint-perf: no path on search grid")
+				}
+				return map[string]float64{"expansions": float64(exp)}
+			},
+		})
+	}
+	for _, name := range perfDevices {
+		d := device(name)
+		p, err := (place.Greedy{}).Place(context.Background(), d, place.NewOptions())
+		if err != nil {
+			cli.Fatalf("parchmint-perf: %v", err)
+		}
+		ks = append(ks, kernel{
+			name:  "route/routeall/" + name,
+			iters: 5,
+			fn: func() map[string]float64 {
+				report, err := route.RouteAll(context.Background(), p, route.AStar{}, route.Options{})
+				if err != nil {
+					cli.Fatalf("parchmint-perf: %v", err)
+				}
+				return map[string]float64{"expansions": float64(report.TotalExpansions())}
+			},
+		})
+	}
+	for _, name := range perfDevices {
+		d := device(name)
+		ks = append(ks, kernel{
+			name:  "pnr/flow/" + name,
+			iters: 3,
+			fn: func() map[string]float64 {
+				res, err := pnr.Run(d, pnr.NewOptions(pnr.WithSeed(1)))
+				if err != nil {
+					cli.Fatalf("parchmint-perf: %v", err)
+				}
+				return map[string]float64{"expansions": float64(res.RouteReport.TotalExpansions())}
+			},
+		})
+	}
+	return ks
+}

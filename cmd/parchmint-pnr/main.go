@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -30,9 +32,23 @@ func main() {
 	utilization := flag.Float64("utilization", 0, "die utilization (0 = default)")
 	ordering := flag.String("order", "", "net order: short-first, long-first, as-given")
 	out := flag.String("o", "", "output file (default stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the flow to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the flow) to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		cli.Fatalf("usage: parchmint-pnr [flags] <file.json|bench:NAME|->")
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			cli.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			cli.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	placer, err := place.EngineByName(*placerName)
@@ -61,6 +77,18 @@ func main() {
 	res, err := pnr.Run(loaded.Device, pnr.NewOptions(opts...))
 	if err != nil {
 		cli.Fatalf("%v", err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			cli.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			cli.Fatalf("memprofile: %v", err)
+		}
+		f.Close()
 	}
 
 	fmt.Fprintf(os.Stderr, "placement (%s): HPWL %d um, area %.2f mm2\n",

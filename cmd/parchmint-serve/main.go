@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +47,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request pipeline timeout")
 	portFile := flag.String("port-file", "", "write the bound port number to this file (for scripts using :0)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; keep off on untrusted networks)")
 	flag.Parse()
 
 	s := serve.New(serve.Config{
@@ -66,8 +68,22 @@ func main() {
 		}
 	}
 
+	handler := s.Handler()
+	if *pprofFlag {
+		// Profiling endpoints ride on the same listener so the hot paths
+		// can be profiled in situ under real request load; the service
+		// handler keeps everything that is not /debug/pprof/.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	srv := &http.Server{
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

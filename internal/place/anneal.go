@@ -35,21 +35,53 @@ const (
 // overhead without letting a runaway schedule outlive its request.
 const MoveBatch = 64
 
-// annealState carries the incremental cost bookkeeping.
+// pinRef is one resolved connection endpoint: the component's slice index
+// plus the port's offset from the component origin. Resolution is static
+// for a device, so it happens once at state construction instead of once
+// per HPWL recomputation.
+type pinRef struct {
+	comp int32
+	off  geom.Point
+}
+
+// annealState carries the incremental cost bookkeeping. Everything the
+// move kernel touches is int-indexed: origins, inflated footprints, and
+// net membership live in slices rebuilt from the start placement's
+// Origins map at construction, so proposing a move does no map lookups
+// and no allocation.
 type annealState struct {
 	device *core.Device
-	ix     *core.Index
 	comps  []*core.Component
+	die    geom.Rect
+	// origins/placed/infl mirror Placement.Origins by component index;
+	// infl caches the Spacing/2-inflated footprint the overlap cost uses.
+	origins []geom.Point
+	placed  []bool
+	infl    []geom.Rect
+	// ovl answers overlap queries from the buckets k's footprint touches
+	// instead of scanning all n components.
+	ovl *overlapIndex
 	// netHPWL caches each connection's current HPWL.
 	netHPWL []int64
-	// netsOf maps component ID to indices of nets touching it.
-	netsOf map[string][]int
-	place  *Placement
-	cost   float64
-	rng    *xrand.Source
+	// netsOf maps component index to indices of nets touching it.
+	netsOf [][]int32
+	// pins holds each net's resolved endpoints.
+	pins [][]pinRef
+	cost float64
+	rng  *xrand.Source
 	// window bounds displacement proposals around a component's current
 	// position; adapted per temperature level.
 	window int64
+	// Best-so-far tracking. Instead of deep-cloning the placement on every
+	// improving move, bestOrigins lags origins by exactly the dirty set —
+	// the components moved since the last best — and an improvement syncs
+	// only those. materializeBest builds the one Placement the schedule
+	// returns.
+	bestCost    float64
+	bestOrigins []geom.Point
+	bestPlaced  []bool
+	dirty       []int32
+	isDirty     []bool
 }
 
 // Place runs the annealing schedule and returns a legalized placement.
@@ -86,8 +118,10 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 	// Displacement window shrinks adaptively (VPR-style): target ~44%%
 	// acceptance by narrowing proposals as the schedule cools.
 	st.window = die.Dx()
-	best := st.place.Clone()
-	bestCost := st.cost
+	// Calibration proposed and undid moves; re-anchor the best snapshot on
+	// the restored state.
+	st.bestCost = st.cost
+	st.syncBest()
 	moves := 0
 	for temp > defaultFinalTemp {
 		accepted := 0
@@ -100,9 +134,9 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 			if st.tryMove(temp) {
 				accepted++
 			}
-			if st.cost < bestCost {
-				bestCost = st.cost
-				best = st.place.Clone()
+			if st.cost < st.bestCost {
+				st.bestCost = st.cost
+				st.syncBest()
 			}
 		}
 		moves += movesPerTemp
@@ -121,7 +155,7 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 		temp *= cooling
 	}
 
-	legal := Legalize(best)
+	legal := Legalize(st.materializeBest())
 	if err := CheckLegal(legal); err != nil {
 		return nil, err
 	}
@@ -136,27 +170,129 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 }
 
 func newAnnealState(d *core.Device, start *Placement, seed uint64) *annealState {
+	n := len(d.Components)
 	st := &annealState{
 		device: d,
-		ix:     d.Index(),
-		place:  start.Clone(),
-		netsOf: make(map[string][]int),
+		die:    start.Die,
 		rng:    xrand.New(seed ^ 0x5A5A_1234),
 	}
-	st.comps = make([]*core.Component, len(d.Components))
+	st.comps = make([]*core.Component, n)
+	compIdx := make(map[string]int32, n)
 	for i := range d.Components {
 		st.comps[i] = &d.Components[i]
+		compIdx[d.Components[i].ID] = int32(i)
 	}
+	st.origins = make([]geom.Point, n)
+	st.placed = make([]bool, n)
+	st.infl = make([]geom.Rect, n)
+	st.ovl = newOverlapIndex(st.die, n)
+	for i, c := range st.comps {
+		if o, ok := start.Origins[c.ID]; ok {
+			st.origins[i] = o
+			st.placed[i] = true
+			st.infl[i] = c.Footprint(o).Inflate(Spacing / 2)
+			st.ovl.update(i, st.infl[i])
+		}
+	}
+	ix := d.Index()
+	st.netsOf = make([][]int32, n)
+	st.pins = make([][]pinRef, len(d.Connections))
 	st.netHPWL = make([]int64, len(d.Connections))
 	for i := range d.Connections {
 		cn := &d.Connections[i]
-		st.netHPWL[i] = geom.HPWL(netPins(st.place, st.ix, cn))
 		for _, t := range cn.Targets() {
-			st.netsOf[t.Component] = append(st.netsOf[t.Component], i)
+			c, port, ok := ix.ResolveTarget(t)
+			if !ok {
+				continue
+			}
+			k, ok := compIdx[c.ID]
+			if !ok {
+				continue
+			}
+			st.pins[i] = append(st.pins[i], pinRef{comp: k, off: port.Point()})
+			st.netsOf[k] = append(st.netsOf[k], int32(i))
 		}
+		st.netHPWL[i] = st.netHPWLOf(i)
 	}
 	st.cost = st.fullCost()
+	st.bestCost = st.cost
+	st.bestOrigins = append([]geom.Point(nil), st.origins...)
+	st.bestPlaced = append([]bool(nil), st.placed...)
+	st.isDirty = make([]bool, n)
 	return st
+}
+
+// netHPWLOf recomputes one net's half-perimeter wire length from the
+// int-indexed origins — the allocation-free replacement for
+// geom.HPWL(netPins(...)). Pins on unplaced components are skipped, like
+// PortPosition's ok=false.
+func (st *annealState) netHPWLOf(ni int) int64 {
+	var minX, minY, maxX, maxY int64
+	pins := 0
+	for _, pr := range st.pins[ni] {
+		if !st.placed[pr.comp] {
+			continue
+		}
+		o := st.origins[pr.comp]
+		x := o.X + pr.off.X
+		y := o.Y + pr.off.Y
+		if pins == 0 {
+			minX, maxX, minY, maxY = x, x, y, y
+		} else {
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		pins++
+	}
+	if pins < 2 {
+		return 0
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// markDirty records that component k's origin diverged from the best
+// snapshot.
+func (st *annealState) markDirty(k int) {
+	if !st.isDirty[k] {
+		st.isDirty[k] = true
+		st.dirty = append(st.dirty, int32(k))
+	}
+}
+
+// syncBest folds the dirty set into the best snapshot.
+func (st *annealState) syncBest() {
+	for _, k := range st.dirty {
+		st.bestOrigins[k] = st.origins[k]
+		st.bestPlaced[k] = st.placed[k]
+		st.isDirty[k] = false
+	}
+	st.dirty = st.dirty[:0]
+}
+
+// materializeBest builds the Placement of the best state seen — the one
+// per-schedule allocation that replaces a Clone per improving move.
+func (st *annealState) materializeBest() *Placement {
+	p := &Placement{
+		Device:  st.device,
+		Die:     st.die,
+		Origins: make(map[string]geom.Point, len(st.comps)),
+	}
+	for i, c := range st.comps {
+		if st.bestPlaced[i] {
+			p.Origins[c.ID] = st.bestOrigins[i]
+		}
+	}
+	return p
 }
 
 // fullCost recomputes cost from scratch: total HPWL + overlap penalty.
@@ -168,45 +304,27 @@ func (st *annealState) fullCost() float64 {
 	return float64(hpwl) + overlapWeight*float64(st.totalOverlap())
 }
 
-// totalOverlap sums pairwise footprint intrusion depth, in µm.
+// totalOverlap sums pairwise footprint intrusion depth, in µm. Each
+// unordered pair is counted once via the bucket index's index-ordered
+// query.
 func (st *annealState) totalOverlap() int64 {
 	var total int64
-	for i := 0; i < len(st.comps); i++ {
-		ri, ok := st.place.Footprint(st.comps[i])
-		if !ok {
+	for i := range st.comps {
+		if !st.placed[i] {
 			continue
 		}
-		ri = ri.Inflate(Spacing / 2)
-		for j := i + 1; j < len(st.comps); j++ {
-			rj, ok := st.place.Footprint(st.comps[j])
-			if !ok {
-				continue
-			}
-			total += intrusion(ri, rj.Inflate(Spacing/2))
-		}
+		total += st.ovl.overlapAfter(i, st.infl)
 	}
 	return total
 }
 
-// overlapWith sums the intrusion of component k against all others.
+// overlapWith sums the intrusion of component k against all others,
+// consulting only the buckets k's inflated footprint touches.
 func (st *annealState) overlapWith(k int) int64 {
-	rk, ok := st.place.Footprint(st.comps[k])
-	if !ok {
+	if !st.placed[k] {
 		return 0
 	}
-	rk = rk.Inflate(Spacing / 2)
-	var total int64
-	for j := range st.comps {
-		if j == k {
-			continue
-		}
-		rj, ok := st.place.Footprint(st.comps[j])
-		if !ok {
-			continue
-		}
-		total += intrusion(rk, rj.Inflate(Spacing/2))
-	}
-	return total
+	return st.ovl.overlapWith(k, st.infl)
 }
 
 // intrusion measures how deeply two rectangles interpenetrate: the
@@ -228,8 +346,8 @@ func (st *annealState) calibrateTemperature(accept float64) float64 {
 	n := 0
 	for i := 0; i < samples; i++ {
 		k := st.rng.Intn(len(st.comps))
-		old := st.place.Origins[st.comps[k].ID]
-		delta := st.applyDisplace(k, st.randomOrigin(st.comps[k]))
+		old := st.origins[k]
+		delta := st.applyDisplace(k, st.randomOrigin(k))
 		if delta > 0 {
 			sum += delta
 			n++
@@ -244,15 +362,16 @@ func (st *annealState) calibrateTemperature(accept float64) float64 {
 	return -meanUp / math.Log(accept)
 }
 
-// randomOrigin proposes a new origin for c within the current displacement
-// window of its present position, clamped to the die.
-func (st *annealState) randomOrigin(c *core.Component) geom.Point {
-	die := st.place.Die
+// randomOrigin proposes a new origin for component k within the current
+// displacement window of its present position, clamped to the die.
+func (st *annealState) randomOrigin(k int) geom.Point {
+	die := st.die
 	w := st.window
 	if w <= 0 {
 		w = die.Dx()
 	}
-	cur := st.place.Origins[c.ID]
+	c := st.comps[k]
+	cur := st.origins[k]
 	x := cur.X + st.rng.Int63n(2*w+1) - w
 	y := cur.Y + st.rng.Int63n(2*w+1) - w
 	maxX := die.Max.X - c.XSpan
@@ -278,27 +397,31 @@ func (st *annealState) applyDisplace(k int, o geom.Point) float64 {
 	c := st.comps[k]
 	beforeOverlap := st.overlapWith(k)
 	var beforeHPWL int64
-	for _, ni := range st.netsOf[c.ID] {
+	for _, ni := range st.netsOf[k] {
 		beforeHPWL += st.netHPWL[ni]
 	}
-	st.place.Origins[c.ID] = o
+	st.origins[k] = o
+	st.placed[k] = true
+	st.infl[k] = c.Footprint(o).Inflate(Spacing / 2)
+	st.ovl.update(k, st.infl[k])
 	afterOverlap := st.overlapWith(k)
 	var afterHPWL int64
-	for _, ni := range st.netsOf[c.ID] {
-		h := geom.HPWL(netPins(st.place, st.ix, &st.device.Connections[ni]))
+	for _, ni := range st.netsOf[k] {
+		h := st.netHPWLOf(int(ni))
 		st.netHPWL[ni] = h
 		afterHPWL += h
 	}
 	delta := float64(afterHPWL-beforeHPWL) + overlapWeight*float64(afterOverlap-beforeOverlap)
 	st.cost += delta
+	st.markDirty(k)
 	return delta
 }
 
 // applySwap exchanges the origins of components a and b and returns the
 // cost delta.
 func (st *annealState) applySwap(a, b int) float64 {
-	oa := st.place.Origins[st.comps[a].ID]
-	ob := st.place.Origins[st.comps[b].ID]
+	oa := st.origins[a]
+	ob := st.origins[b]
 	d1 := st.applyDisplace(a, ob)
 	d2 := st.applyDisplace(b, oa)
 	return d1 + d2
@@ -309,8 +432,8 @@ func (st *annealState) applySwap(a, b int) float64 {
 func (st *annealState) tryMove(temp float64) bool {
 	if st.rng.Intn(2) == 0 {
 		k := st.rng.Intn(len(st.comps))
-		old := st.place.Origins[st.comps[k].ID]
-		delta := st.applyDisplace(k, st.randomOrigin(st.comps[k]))
+		old := st.origins[k]
+		delta := st.applyDisplace(k, st.randomOrigin(k))
 		if !st.accept(delta, temp) {
 			st.applyDisplace(k, old)
 			return false

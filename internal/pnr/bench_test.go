@@ -1,0 +1,25 @@
+package pnr
+
+import (
+	"testing"
+)
+
+// BenchmarkPnR is the end-to-end flow number — anneal placement, A*
+// routing, feature attach — on three suite devices spanning the size
+// range. make bench snapshots it into BENCH_pnr.json so every PR leaves
+// a perf trajectory.
+func BenchmarkPnR(b *testing.B) {
+	for _, name := range []string{"aquaflex_3b", "rotary_pcr", "general_purpose_mfd"} {
+		d := device(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(d, NewOptions(WithSeed(1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.RouteReport.TotalExpansions()), "expansions/op")
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package route
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/geom"
+	"repro/internal/place"
+)
+
+// benchGrid builds a congested 160x160 grid: a field of blocked component
+// footprints with channel gaps, the shape maze searches actually see.
+func benchGrid(b *testing.B) *geom.Grid {
+	b.Helper()
+	g, err := geom.NewGrid(geom.R(0, 0, 16000, 16000), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for row := 10; row < 150; row += 20 {
+		for col := 10; col < 150; col += 20 {
+			g.BlockRect(geom.R(int64(col)*100, int64(row)*100,
+				int64(col+8)*100, int64(row+8)*100))
+		}
+	}
+	return g
+}
+
+// BenchmarkSearch tracks the per-search cost of each maze engine on the
+// congested grid: ns/op and — the arena's target — allocs/op. A corner to
+// corner query keeps all three engines expanding thousands of cells.
+func BenchmarkSearch(b *testing.B) {
+	for _, r := range Engines() {
+		b.Run(r.Name(), func(b *testing.B) {
+			g := benchGrid(b)
+			sources := []geom.Cell{{Col: 0, Row: 0}, {Col: 0, Row: 159}}
+			target := geom.Cell{Col: 159, Row: 80}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var expansions int
+			for i := 0; i < b.N; i++ {
+				_, exp, ok := r.Search(context.Background(), g, sources, target)
+				if !ok {
+					b.Fatal("no path on benchmark grid")
+				}
+				expansions = exp
+			}
+			b.ReportMetric(float64(expansions), "expansions/op")
+		})
+	}
+}
+
+// BenchmarkRouteAll is the router-facing end-to-end number: route every
+// net of a placed suite device, including rip-up and round snapshots.
+func BenchmarkRouteAll(b *testing.B) {
+	for _, name := range []string{"aquaflex_3b", "rotary_pcr", "general_purpose_mfd"} {
+		bm, err := bench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := bm.Build()
+		p, err := (place.Greedy{}).Place(context.Background(), d, place.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				report, err := RouteAll(context.Background(), p, AStar{}, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(report.TotalExpansions()), "expansions/op")
+			}
+		})
+	}
+}

@@ -8,7 +8,6 @@
 package route
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -58,41 +57,6 @@ func EngineByName(name string) (Router, error) {
 	return nil, fmt.Errorf("route: unknown router %q (lee, astar, hadlock)", name)
 }
 
-// searchState is the per-search scratch shared by the three engines.
-type searchState struct {
-	g       *geom.Grid
-	parent  []int32 // cell index -> predecessor cell index, -1 unset, -2 root
-	scratch []geom.Cell
-}
-
-func newSearchState(g *geom.Grid) *searchState {
-	st := &searchState{g: g, parent: make([]int32, g.NumCells())}
-	for i := range st.parent {
-		st.parent[i] = -1
-	}
-	return st
-}
-
-func (st *searchState) index(c geom.Cell) int32 { return int32(c.Row*st.g.Cols() + c.Col) }
-
-func (st *searchState) cell(i int32) geom.Cell {
-	cols := st.g.Cols()
-	return geom.Cell{Col: int(i) % cols, Row: int(i) / cols}
-}
-
-// unwind rebuilds the path from a root to the target.
-func (st *searchState) unwind(target geom.Cell) []geom.Cell {
-	var rev []geom.Cell
-	for i := st.index(target); i != -2; i = st.parent[i] {
-		rev = append(rev, st.cell(i))
-	}
-	out := make([]geom.Cell, len(rev))
-	for i, c := range rev {
-		out[len(rev)-1-i] = c
-	}
-	return out
-}
-
 // passable reports whether the router may enter cell c while hunting for
 // target: blocked cells are closed except the target itself (targets are
 // ports sitting on component boundaries, whose cells are blocked by the
@@ -110,35 +74,38 @@ func (Lee) Name() string { return "lee" }
 
 // Search runs breadth-first wavefront expansion.
 func (Lee) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
-	st := newSearchState(g)
-	queue := make([]geom.Cell, 0, len(sources))
+	a := acquireArena(g)
+	defer a.release()
 	for _, s := range sources {
 		if !g.InBounds(s) {
 			continue
 		}
-		if st.parent[st.index(s)] == -1 {
-			st.parent[st.index(s)] = -2
-			queue = append(queue, s)
+		if i := a.index(s); !a.visited(i) {
+			a.visit(i)
+			a.parent[i] = -2
+			a.queue = append(a.queue, s)
 		}
 	}
 	expansions := 0
-	for head := 0; head < len(queue); head++ {
-		cur := queue[head]
+	for head := 0; head < len(a.queue); head++ {
+		cur := a.queue[head]
 		if cancelled(ctx, expansions) {
 			return nil, expansions, false
 		}
 		expansions++
 		if cur == target {
-			return st.unwind(cur), expansions, true
+			return a.unwind(cur), expansions, true
 		}
-		st.scratch = g.Neighbors4(st.scratch[:0], cur)
-		for _, nb := range st.scratch {
+		ci := a.index(cur)
+		a.scratch = g.Neighbors4(a.scratch[:0], cur)
+		for _, nb := range a.scratch {
 			if !passable(g, nb, target) {
 				continue
 			}
-			if i := st.index(nb); st.parent[i] == -1 {
-				st.parent[i] = st.index(cur)
-				queue = append(queue, nb)
+			if i := a.index(nb); !a.visited(i) {
+				a.visit(i)
+				a.parent[i] = ci
+				a.queue = append(a.queue, nb)
 			}
 		}
 	}
@@ -153,25 +120,6 @@ type pqItem struct {
 	seq  int64 // FIFO tiebreak for determinism
 }
 
-type priorityQueue []pqItem
-
-func (q priorityQueue) Len() int { return len(q) }
-func (q priorityQueue) Less(i, j int) bool {
-	if q[i].prio != q[j].prio {
-		return q[i].prio < q[j].prio
-	}
-	return q[i].seq < q[j].seq
-}
-func (q priorityQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *priorityQueue) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *priorityQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // AStar is best-first search with the Manhattan-distance heuristic:
 // shortest paths like Lee, with far fewer expansions on open dies.
 type AStar struct{}
@@ -181,11 +129,8 @@ func (AStar) Name() string { return "astar" }
 
 // Search runs A* from the source set toward the target.
 func (AStar) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
-	st := newSearchState(g)
-	dist := make([]int64, g.NumCells())
-	for i := range dist {
-		dist[i] = -1
-	}
+	a := acquireArena(g)
+	defer a.release()
 	h := func(c geom.Cell) int64 {
 		dx := int64(c.Col - target.Col)
 		if dx < 0 {
@@ -197,24 +142,24 @@ func (AStar) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, targ
 		}
 		return dx + dy
 	}
-	var q priorityQueue
 	var seq int64
 	for _, s := range sources {
 		if !g.InBounds(s) {
 			continue
 		}
-		if i := st.index(s); dist[i] == -1 {
-			dist[i] = 0
-			st.parent[i] = -2
-			heap.Push(&q, pqItem{cell: s, prio: h(s), g: 0, seq: seq})
+		if i := a.index(s); !a.visited(i) {
+			a.visit(i)
+			a.dist[i] = 0
+			a.parent[i] = -2
+			a.heapPush(pqItem{cell: s, prio: h(s), g: 0, seq: seq})
 			seq++
 		}
 	}
 	expansions := 0
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		i := st.index(it.cell)
-		if it.g > dist[i] {
+	for a.heapLen() > 0 {
+		it := a.heapPop()
+		i := a.index(it.cell)
+		if it.g > a.dist[i] {
 			continue // stale entry
 		}
 		if cancelled(ctx, expansions) {
@@ -222,19 +167,20 @@ func (AStar) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, targ
 		}
 		expansions++
 		if it.cell == target {
-			return st.unwind(it.cell), expansions, true
+			return a.unwind(it.cell), expansions, true
 		}
-		st.scratch = g.Neighbors4(st.scratch[:0], it.cell)
-		for _, nb := range st.scratch {
+		a.scratch = g.Neighbors4(a.scratch[:0], it.cell)
+		for _, nb := range a.scratch {
 			if !passable(g, nb, target) {
 				continue
 			}
-			ni := st.index(nb)
+			ni := a.index(nb)
 			ng := it.g + 1 + int64(g.Cost(nb))
-			if dist[ni] == -1 || ng < dist[ni] {
-				dist[ni] = ng
-				st.parent[ni] = i
-				heap.Push(&q, pqItem{cell: nb, prio: ng + h(nb), g: ng, seq: seq})
+			if !a.visited(ni) || ng < a.dist[ni] {
+				a.visit(ni)
+				a.dist[ni] = ng
+				a.parent[ni] = i
+				a.heapPush(pqItem{cell: nb, prio: ng + h(nb), g: ng, seq: seq})
 				seq++
 			}
 		}
@@ -253,11 +199,8 @@ func (Hadlock) Name() string { return "hadlock" }
 
 // Search runs 0-1 breadth-first search on detour counts.
 func (Hadlock) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
-	st := newSearchState(g)
-	detour := make([]int32, g.NumCells())
-	for i := range detour {
-		detour[i] = -1
-	}
+	a := acquireArena(g)
+	defer a.release()
 	manhattan := func(c geom.Cell) int {
 		dx := c.Col - target.Col
 		if dx < 0 {
@@ -271,53 +214,55 @@ func (Hadlock) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, ta
 	}
 	// Level queues for 0-1 BFS over the detour count: toward-moves stay in
 	// the current level, away-moves wait in the next one.
-	current := make([]geom.Cell, 0, 64)
-	next := make([]geom.Cell, 0, 64)
 	for _, s := range sources {
 		if !g.InBounds(s) {
 			continue
 		}
-		if i := st.index(s); detour[i] == -1 {
-			detour[i] = 0
-			st.parent[i] = -2
-			current = append(current, s)
+		if i := a.index(s); !a.visited(i) {
+			a.visit(i)
+			a.detour[i] = 0
+			a.parent[i] = -2
+			a.queue = append(a.queue, s)
 		}
 	}
 	expansions := 0
-	for len(current) > 0 {
-		for head := 0; head < len(current); head++ {
-			cur := current[head]
-			ci := st.index(cur)
+	for len(a.queue) > 0 {
+		for head := 0; head < len(a.queue); head++ {
+			cur := a.queue[head]
+			ci := a.index(cur)
 			if cancelled(ctx, expansions) {
 				return nil, expansions, false
 			}
 			expansions++
 			if cur == target {
-				return st.unwind(cur), expansions, true
+				return a.unwind(cur), expansions, true
 			}
-			st.scratch = g.Neighbors4(st.scratch[:0], cur)
-			for _, nb := range st.scratch {
+			curDetour := a.detour[ci]
+			curDist := manhattan(cur)
+			a.scratch = g.Neighbors4(a.scratch[:0], cur)
+			for _, nb := range a.scratch {
 				if !passable(g, nb, target) {
 					continue
 				}
-				ni := st.index(nb)
+				ni := a.index(nb)
 				away := int32(0)
-				if manhattan(nb) > manhattan(cur) {
+				if manhattan(nb) > curDist {
 					away = 1
 				}
-				nd := detour[ci] + away
-				if detour[ni] == -1 || nd < detour[ni] {
-					detour[ni] = nd
-					st.parent[ni] = ci
+				nd := curDetour + away
+				if !a.visited(ni) || nd < a.detour[ni] {
+					a.visit(ni)
+					a.detour[ni] = nd
+					a.parent[ni] = ci
 					if away == 0 {
-						current = append(current, nb)
+						a.queue = append(a.queue, nb)
 					} else {
-						next = append(next, nb)
+						a.next = append(a.next, nb)
 					}
 				}
 			}
 		}
-		current, next = next, current[:0]
+		a.queue, a.next = a.next, a.queue[:0]
 	}
 	return nil, expansions, false
 }
