@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke trace-smoke check
 
 all: build
 
@@ -87,4 +87,15 @@ serve-smoke: build
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "serve-smoke: ok"
 
-check: build vet test race fuzz-smoke bench-smoke serve-smoke
+# Run the full flow with span tracing on, then validate the emitted
+# Chrome trace_event JSON: well-formed, and every pipeline stage span
+# present. Catches a telemetry layer that silently stopped recording.
+trace-smoke:
+	@set -e; \
+	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/parchmint-pnr -trace "$$tmp" -o /dev/null bench:rotary_pcr 2>/dev/null; \
+	$(GO) run ./cmd/parchmint-perf -check-trace "$$tmp" \
+		-trace-spans "bench.build,pnr.flow,place.anneal,route.astar,pnr.attach"; \
+	echo "trace-smoke: ok"
+
+check: build vet test race fuzz-smoke bench-smoke serve-smoke trace-smoke

@@ -7,13 +7,17 @@
 //	parchmint-bench -list
 //	parchmint-bench -exp table1
 //	parchmint-bench -exp all -j 8 -outdir results/
-//	parchmint-bench -exp timing
+//	parchmint-bench -exp timing -trace timing-trace.json
 //
 // -j sets the worker count (default: all CPUs). Artifacts are
-// byte-identical at every worker count; only wall time changes.
+// byte-identical at every worker count; only wall time changes. -trace
+// records a Chrome trace_event span timeline of the run (experiment
+// spans, and per-stage pipeline spans under -exp timing) without
+// affecting the artifacts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -41,6 +46,7 @@ func main() {
 	exp := flag.String("exp", "", `experiment ID, "all", or "timing"`)
 	outdir := flag.String("outdir", "", "write artifacts to files in this directory instead of stdout")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker count for parallel execution (0 = all CPUs)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span trace of the run to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -48,6 +54,7 @@ func main() {
 		*jobs = runtime.NumCPU()
 	}
 	runner.SetParallelism(*jobs)
+	ctx, flushTrace := cli.TraceContext(context.Background(), *traceOut)
 
 	switch {
 	case *list:
@@ -56,19 +63,21 @@ func main() {
 		}
 		fmt.Printf("%-14s%s\n", timingID, `pipeline stage wall-time profile (pseudo-experiment, not in "all")`)
 	case *exp == "all":
+		_, sp := obs.Start(ctx, "exp.all")
 		var arts []experiments.Artifact
 		if *jobs > 1 {
 			arts = experiments.AllParallel(*jobs)
 		} else {
 			arts = experiments.All()
 		}
+		sp.End()
 		for _, a := range arts {
 			if err := emit(a, *outdir); err != nil {
 				cli.Fatalf("%s: %v", a.ID, err)
 			}
 		}
 	case *exp == timingID:
-		tb := runner.TimingTable(bench.Suite(), runner.TimingOptions{
+		tb := runner.TimingTableContext(ctx, bench.Suite(), runner.TimingOptions{
 			Workers: *jobs,
 			Seed:    experiments.Seed,
 		})
@@ -76,7 +85,9 @@ func main() {
 			cli.Fatalf("%s: %v", timingID, err)
 		}
 	case *exp != "":
+		_, sp := obs.Start(ctx, "exp."+*exp)
 		text, err := experiments.Run(*exp)
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "parchmint-bench: %v\n", err)
 			usage()
@@ -88,6 +99,9 @@ func main() {
 	default:
 		usage()
 		os.Exit(2)
+	}
+	if err := flushTrace(); err != nil {
+		cli.Fatalf("trace: %v", err)
 	}
 }
 

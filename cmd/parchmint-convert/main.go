@@ -6,7 +6,7 @@
 //
 //	parchmint-convert -to json device.mint -o device.json
 //	parchmint-convert -to mint device.json -o device.mint
-//	parchmint-convert -to mint bench:planar_synthetic_1
+//	parchmint-convert -to mint -trace trace.json bench:planar_synthetic_1
 package main
 
 import (
@@ -18,19 +18,22 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/mint"
+	"repro/internal/obs"
 )
 
 func main() {
 	to := flag.String("to", "", `target format: "json" or "mint"`)
 	out := flag.String("o", "", "output file (default stdout)")
 	strict := flag.Bool("strict", false, "fail when the conversion is lossy")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
 	flag.Parse()
 	if flag.NArg() != 1 || (*to != "json" && *to != "mint") {
-		cli.Fatalf("usage: parchmint-convert -to json|mint [-strict] [-o FILE] <input>")
+		cli.Fatalf("usage: parchmint-convert -to json|mint [-strict] [-trace FILE] [-o FILE] <input>")
 	}
 	src := flag.Arg(0)
 
-	loaded, err := cli.LoadArg(context.Background(), src)
+	ctx, flushTrace := cli.TraceContext(context.Background(), *traceOut)
+	loaded, err := cli.LoadArg(ctx, src)
 	if err != nil {
 		cli.Fatalf("%s: %v", src, err)
 	}
@@ -38,6 +41,8 @@ func main() {
 	d := loaded.Device
 
 	var data []byte
+	_, sp := obs.Start(ctx, "convert."+*to)
+	sp.SetAttr("device", d.Name)
 	switch *to {
 	case "json":
 		data, err = core.Marshal(d)
@@ -56,6 +61,10 @@ func main() {
 			cli.Fatalf("conversion is lossy (%d notes) and -strict is set", len(fid.Notes))
 		}
 		data = []byte(mint.Print(f))
+	}
+	sp.End()
+	if err := flushTrace(); err != nil {
+		cli.Fatalf("trace: %v", err)
 	}
 	if err := cli.WriteOutput(*out, data); err != nil {
 		cli.Fatalf("%v", err)

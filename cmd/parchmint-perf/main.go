@@ -11,10 +11,13 @@
 //	parchmint-perf -o BENCH_pnr.json          # full measurement
 //	parchmint-perf -quick -o /tmp/smoke.json  # one iteration per kernel
 //	parchmint-perf -check BENCH_pnr.json      # validate an existing snapshot
+//	parchmint-perf -check-trace trace.json -trace-spans "pnr.flow,place.anneal"
 //
 // An existing output file's "baseline" block is preserved across
 // regenerations; -baseline FILE installs the "results" of another
-// snapshot as the baseline instead.
+// snapshot as the baseline instead. -check-trace validates that a file
+// is well-formed Chrome trace_event JSON containing every span named in
+// -trace-spans (the make trace-smoke assertion).
 package main
 
 import (
@@ -24,12 +27,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/pnr"
 	"repro/internal/route"
@@ -45,13 +50,23 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Environment pins the machine context the numbers were measured in, so
+// snapshot diffs across machines are recognizable as such.
+type Environment struct {
+	Go     string `json:"go"`
+	OS     string `json:"os"`
+	Arch   string `json:"arch"`
+	NumCPU int    `json:"num_cpu"`
+}
+
 // Snapshot is the BENCH_pnr.json document.
 type Snapshot struct {
-	Schema   string   `json:"schema"`
-	Go       string   `json:"go"`
-	Quick    bool     `json:"quick"`
-	Results  []Result `json:"results"`
-	Baseline []Result `json:"baseline,omitempty"`
+	Schema      string      `json:"schema"`
+	Go          string      `json:"go"`
+	Environment Environment `json:"environment"`
+	Quick       bool        `json:"quick"`
+	Results     []Result    `json:"results"`
+	Baseline    []Result    `json:"baseline,omitempty"`
 }
 
 const schemaID = "parchmint-perf/v1"
@@ -61,6 +76,8 @@ func main() {
 	quick := flag.Bool("quick", false, "one iteration per kernel (CI smoke)")
 	baseline := flag.String("baseline", "", "snapshot file whose results become this snapshot's baseline")
 	check := flag.String("check", "", "validate the given snapshot and exit")
+	checkTrace := flag.String("check-trace", "", "validate the given Chrome trace_event JSON file and exit")
+	traceSpans := flag.String("trace-spans", "", "comma-separated span names -check-trace requires to be present")
 	flag.Parse()
 
 	if *check != "" {
@@ -70,8 +87,25 @@ func main() {
 		fmt.Printf("parchmint-perf: %s is a well-formed %s snapshot\n", *check, schemaID)
 		return
 	}
+	if *checkTrace != "" {
+		if err := checkTraceFile(*checkTrace, *traceSpans); err != nil {
+			cli.Fatalf("parchmint-perf: %v", err)
+		}
+		fmt.Printf("parchmint-perf: %s is a well-formed trace\n", *checkTrace)
+		return
+	}
 
-	snap := Snapshot{Schema: schemaID, Go: runtime.Version(), Quick: *quick}
+	snap := Snapshot{
+		Schema: schemaID,
+		Go:     runtime.Version(),
+		Environment: Environment{
+			Go:     runtime.Version(),
+			OS:     runtime.GOOS,
+			Arch:   runtime.GOARCH,
+			NumCPU: runtime.NumCPU(),
+		},
+		Quick: *quick,
+	}
 	snap.Baseline = loadBaseline(*baseline, *out)
 	for _, k := range kernels() {
 		iters := k.iters
@@ -136,6 +170,25 @@ func checkSnapshot(path string) error {
 		if r.Name == "" || r.Iterations <= 0 || r.NsPerOp <= 0 {
 			return fmt.Errorf("%s: malformed result %+v", path, r)
 		}
+	}
+	return nil
+}
+
+// checkTraceFile validates a Chrome trace_event JSON file, optionally
+// requiring a comma-separated set of span names to be present.
+func checkTraceFile(path, spans string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want []string
+	for _, s := range strings.Split(spans, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			want = append(want, s)
+		}
+	}
+	if err := obs.CheckTrace(data, want...); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //	parchmint-pnr bench:aquaflex_3b -o placed.json
 //	parchmint-pnr -placer greedy -router lee device.json
 //	parchmint-pnr -seed 7 -utilization 0.25 bench:planar_synthetic_2
+//	parchmint-pnr -trace trace.json -o /dev/null bench:rotary_pcr
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the flow) to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span trace of the flow to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		cli.Fatalf("usage: parchmint-pnr [flags] <file.json|bench:NAME|->")
@@ -59,7 +61,8 @@ func main() {
 	if err != nil {
 		cli.Fatalf("%v", err)
 	}
-	loaded, err := cli.LoadArg(context.Background(), flag.Arg(0))
+	ctx, flushTrace := cli.TraceContext(context.Background(), *traceOut)
+	loaded, err := cli.LoadArg(ctx, flag.Arg(0))
 	if err != nil {
 		cli.Fatalf("%s: %v", flag.Arg(0), err)
 	}
@@ -74,9 +77,12 @@ func main() {
 	if *utilization > 0 {
 		opts = append(opts, pnr.WithUtilization(*utilization))
 	}
-	res, err := pnr.Run(loaded.Device, pnr.NewOptions(opts...))
+	res, err := pnr.RunContext(ctx, loaded.Device, pnr.NewOptions(opts...))
 	if err != nil {
 		cli.Fatalf("%v", err)
+	}
+	if err := flushTrace(); err != nil {
+		cli.Fatalf("trace: %v", err)
 	}
 
 	if *memprofile != "" {

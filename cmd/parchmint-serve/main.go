@@ -8,7 +8,8 @@
 // Usage:
 //
 //	parchmint-serve [-addr :8080] [-j N] [-seed N] [-max-body BYTES]
-//	                [-timeout D] [-port-file PATH]
+//	                [-timeout D] [-port-file PATH] [-log-format text|json]
+//	                [-trace-events N]
 //
 // Endpoints:
 //
@@ -19,8 +20,9 @@
 //	POST /v1/render.svg  SVG drawing
 //	GET  /v1/bench       suite catalog
 //	GET  /v1/bench/{name} one benchmark's ParchMint document
-//	GET  /healthz        liveness
+//	GET  /healthz        liveness, build info, uptime
 //	GET  /metrics        Prometheus text metrics
+//	GET  /debug/trace    span ring buffer as Chrome trace_event JSON (?n= last n)
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -48,13 +51,20 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request pipeline timeout")
 	portFile := flag.String("port-file", "", "write the bound port number to this file (for scripts using :0)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; keep off on untrusted networks)")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	traceEvents := flag.Int("trace-events", 0, "span ring buffer capacity for /debug/trace (0 = default)")
 	flag.Parse()
+	if *logFormat != "text" && *logFormat != "json" {
+		cli.Fatalf("parchmint-serve: -log-format must be text or json, got %q", *logFormat)
+	}
 
 	s := serve.New(serve.Config{
 		Workers:        *workers,
 		BaseSeed:       *seed,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
+		Logger:         obs.NewLogger(*logFormat, os.Stderr),
+		TraceEvents:    *traceEvents,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

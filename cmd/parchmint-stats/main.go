@@ -20,11 +20,13 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
 func main() {
 	suite := flag.Bool("suite", false, "profile every suite benchmark")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
 	flag.Parse()
 	srcs := flag.Args()
 	if *suite {
@@ -33,22 +35,29 @@ func main() {
 		}
 	}
 	if len(srcs) == 0 {
-		cli.Fatalf("usage: parchmint-stats [-suite] <file.json|bench:NAME|-> ...")
+		cli.Fatalf("usage: parchmint-stats [-suite] [-trace FILE] <file.json|bench:NAME|-> ...")
 	}
+	ctx, flushTrace := cli.TraceContext(context.Background(), *traceOut)
 	for _, src := range srcs {
-		loaded, err := cli.LoadArg(context.Background(), src)
+		loaded, err := cli.LoadArg(ctx, src)
 		if err != nil {
 			cli.Fatalf("%s: %v", src, err)
 		}
 		loaded.PrintNotes(os.Stderr)
 		d := loaded.Device
-		printProfile(d)
+		printProfile(ctx, d)
+	}
+	if err := flushTrace(); err != nil {
+		cli.Fatalf("trace: %v", err)
 	}
 }
 
-func printProfile(d *core.Device) {
+func printProfile(ctx context.Context, d *core.Device) {
+	_, sp := obs.Start(ctx, "stats.profile")
+	sp.SetAttr("device", d.Name)
 	p := stats.ProfileDevice(d, "")
 	g := netlist.Build(d)
+	sp.End()
 	fmt.Printf("device %q\n", d.Name)
 	fmt.Printf("  layers           %d\n", p.Layers)
 	fmt.Printf("  components       %d\n", p.Components)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	parchmint-validate [-q] [-schema-only] file.json [file2.json ...]
+//	parchmint-validate [-q] [-schema-only] [-trace FILE] file.json [file2.json ...]
 //	parchmint-validate bench:aquaflex_3b
 //	cat device.json | parchmint-validate -
 package main
@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/validate"
 )
@@ -26,15 +27,20 @@ import (
 func main() {
 	quiet := flag.Bool("q", false, "suppress warnings, report only errors")
 	schemaOnly := flag.Bool("schema-only", false, "run only the structural schema check")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		cli.Fatalf("usage: parchmint-validate [-q] [-schema-only] <file.json|bench:NAME|-> ...")
+		cli.Fatalf("usage: parchmint-validate [-q] [-schema-only] [-trace FILE] <file.json|bench:NAME|-> ...")
 	}
+	ctx, flushTrace := cli.TraceContext(context.Background(), *traceOut)
 	failed := false
 	for _, src := range flag.Args() {
-		if !checkOne(src, *quiet, *schemaOnly) {
+		if !checkOne(ctx, src, *quiet, *schemaOnly) {
 			failed = true
 		}
+	}
+	if err := flushTrace(); err != nil {
+		cli.Fatalf("trace: %v", err)
 	}
 	if failed {
 		os.Exit(1)
@@ -42,7 +48,7 @@ func main() {
 }
 
 // checkOne validates a single source and reports whether it passed.
-func checkOne(src string, quiet, schemaOnly bool) bool {
+func checkOne(ctx context.Context, src string, quiet, schemaOnly bool) bool {
 	// Benchmark sources skip the schema stage (they are built, not parsed).
 	if !strings.HasPrefix(src, "bench:") && src != "-" {
 		data, err := cli.ReadAll(src)
@@ -50,7 +56,9 @@ func checkOne(src string, quiet, schemaOnly bool) bool {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", src, err)
 			return false
 		}
+		_, ssp := obs.Start(ctx, "schema.check")
 		sr := schema.Check(data)
+		ssp.End()
 		if !sr.OK() {
 			fmt.Printf("%s: structural check failed\n%s", src, sr)
 			return false
@@ -64,20 +72,23 @@ func checkOne(src string, quiet, schemaOnly bool) bool {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", src, err)
 			return false
 		}
-		return report(src, d, quiet)
+		return report(ctx, src, d, quiet)
 	}
-	loaded, err := cli.LoadArg(context.Background(), src)
+	loaded, err := cli.LoadArg(ctx, src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", src, err)
 		return false
 	}
 	loaded.PrintNotes(os.Stderr)
 	d := loaded.Device
-	return report(src, d, quiet)
+	return report(ctx, src, d, quiet)
 }
 
-func report(src string, d *core.Device, quiet bool) bool {
+func report(ctx context.Context, src string, d *core.Device, quiet bool) bool {
+	_, sp := obs.Start(ctx, "validate.semantic")
+	sp.SetAttr("device", d.Name)
 	r := validate.ValidateWith(d, validate.Options{SkipWarnings: quiet})
+	sp.End()
 	fmt.Printf("%s: %s", src, r)
 	return r.OK()
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mint"
+	"repro/internal/obs"
 )
 
 // Format classifies a device input's encoding.
@@ -98,9 +99,16 @@ func Load(ctx context.Context, src Source) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Device: b.Build(), Format: FormatBench}, nil
+		_, sp := obs.Start(ctx, "bench.build")
+		sp.SetAttr("bench", name)
+		d := b.Build()
+		sp.End()
+		return &Result{Device: d, Format: FormatBench}, nil
 	case FormatJSON:
+		_, sp := obs.Start(ctx, "parse.json")
+		sp.SetAttr("source", src.Name)
 		d, err := core.Decode(src.Reader)
+		sp.End()
 		if err != nil {
 			return nil, named(err, src.Name)
 		}
@@ -113,11 +121,16 @@ func Load(ctx context.Context, src Source) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, sp := obs.Start(ctx, "parse.mint")
+		sp.SetAttr("source", src.Name)
 		f, err := mint.Parse(string(data))
+		sp.End()
 		if err != nil {
 			return nil, &core.ParseError{Format: "mint", Source: src.Name, Err: err}
 		}
+		_, sc := obs.Start(ctx, "convert.mint")
 		d, fid, err := mint.ToDevice(f)
+		sc.End()
 		if err != nil {
 			return nil, &core.ParseError{Format: "mint", Source: src.Name, Err: err}
 		}

@@ -1,0 +1,25 @@
+package cli
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// TraceContext implements the CLIs' shared -trace flag: when path is
+// non-empty it attaches a span recorder to the context and returns a flush
+// that writes the collected trace to path as Chrome trace_event JSON. An
+// empty path returns ctx unchanged and a no-op flush, so commands call
+// both unconditionally:
+//
+//	ctx, flush := cli.TraceContext(ctx, *traceOut)
+//	... run the pipeline under ctx ...
+//	if err := flush(); err != nil { ... }
+func TraceContext(ctx context.Context, path string) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	tracer := obs.NewTracer(0)
+	ctx = obs.WithRecorder(ctx, obs.NewRecorder(tracer, nil, nil))
+	return ctx, func() error { return tracer.WriteFile(path) }
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled-telemetry path must stay free: PR 3 drove the anneal and
+// route hot loops to near-zero allocs/op, and these hooks sit inside them.
+
+func TestDisabledHooksAllocFree(t *testing.T) {
+	ctx := context.Background()
+	var rec *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		rec = FromContext(ctx)
+		rec.AnnealBatch(1.0, 64, 32)
+		rec.RouteBatch("astar", 1024, 2048)
+	}); n != 0 {
+		t.Fatalf("disabled telemetry hooks allocate %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		c, sp := Start(ctx, "place.anneal")
+		_ = c
+		sp.SetAttr("k", 1)
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled Start/End allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkDisabledAnnealBatch(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.AnnealBatch(1.0, 64, 32)
+	}
+}
+
+func BenchmarkDisabledRouteBatch(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.RouteBatch("astar", 1024, 2048)
+	}
+}
+
+func BenchmarkDisabledStartEnd(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "place.anneal")
+		sp.End()
+	}
+}

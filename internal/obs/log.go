@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the repository's standard structured logger writing to
+// w: "json" selects slog's JSON handler (one object per line, for log
+// shippers), anything else the human-readable text handler. This is the
+// single point deciding log shape, so every CLI's -log-format flag and the
+// server agree.
+func NewLogger(format string, w io.Writer) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func scrape(reg *Registry) string {
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	return buf.String()
+}
+
+func TestCounterRendering(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Requests served.", "endpoint", "status")
+	c.Inc("validate", "200")
+	c.Inc("validate", "200")
+	c.Inc("pnr", "499")
+	out := scrape(reg)
+	want := `# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{endpoint="pnr",status="499"} 1
+requests_total{endpoint="validate",status="200"} 2
+`
+	if out != want {
+		t.Fatalf("scrape:\n%s\nwant:\n%s", out, want)
+	}
+	if got := c.Value("validate", "200"); got != 2 {
+		t.Fatalf("Value = %v, want 2", got)
+	}
+}
+
+func TestGaugeAndValueFormat(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("workers", "Configured workers.")
+	g.Set(2)
+	s := reg.Counter("seconds_total", "Seconds.", "endpoint")
+	s.Add(0.1234567, "pnr")
+	out := scrape(reg)
+	if !strings.Contains(out, "workers 2\n") {
+		t.Errorf("whole value should render as integer, got:\n%s", out)
+	}
+	if !strings.Contains(out, `seconds_total{endpoint="pnr"} 0.123457`+"\n") {
+		t.Errorf("fractional value should render with 6 decimals, got:\n%s", out)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	v := 3.0
+	reg.GaugeFunc("inflight", "In-flight requests.", func() float64 { return v })
+	if !strings.Contains(scrape(reg), "inflight 3\n") {
+		t.Fatalf("gauge func value missing:\n%s", scrape(reg))
+	}
+	v = 5
+	if !strings.Contains(scrape(reg), "inflight 5\n") {
+		t.Fatalf("gauge func should re-read at scrape:\n%s", scrape(reg))
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "endpoint")
+	h.Observe(0.005, "pnr")
+	h.Observe(0.05, "pnr")
+	h.Observe(5, "pnr")
+	out := scrape(reg)
+	want := `# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{endpoint="pnr",le="0.01"} 1
+latency_seconds_bucket{endpoint="pnr",le="0.1"} 2
+latency_seconds_bucket{endpoint="pnr",le="1"} 2
+latency_seconds_bucket{endpoint="pnr",le="+Inf"} 3
+latency_seconds_sum{endpoint="pnr"} 5.055000
+latency_seconds_count{endpoint="pnr"} 3
+`
+	if out != want {
+		t.Fatalf("scrape:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestDefaultBucketsAndFamilyOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_first", "First registered.")
+	reg.Gauge("aa_second", "Second registered.")
+	h := reg.Histogram("lat", "Latency.", nil)
+	h.Observe(0.002)
+	out := scrape(reg)
+	if strings.Index(out, "zz_first") > strings.Index(out, "aa_second") {
+		t.Errorf("families must render in registration order, got:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_bucket{le="0.001"} 0`) || !strings.Contains(out, `lat_bucket{le="60"} 1`) {
+		t.Errorf("default latency buckets missing:\n%s", out)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("hits", "Hits.", "k")
+	b := reg.Counter("hits", "Hits.", "k")
+	a.Inc("x")
+	b.Inc("x")
+	if got := a.Value("x"); got != 2 {
+		t.Fatalf("re-registered counter split state: %v", got)
+	}
+	if strings.Count(scrape(reg), "# TYPE hits counter") != 1 {
+		t.Fatalf("family duplicated:\n%s", scrape(reg))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("type-mismatched re-registration should panic")
+		}
+	}()
+	reg.Gauge("hits", "Hits.", "k")
+}
+
+func TestLabelMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits", "Hits.", "endpoint")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("wrong label cardinality should panic")
+		}
+	}()
+	c.Inc("a", "b")
+}

@@ -1,0 +1,187 @@
+// Package obs is the unified telemetry layer of the repository: one span
+// tracer, one metrics registry, and one structured-logging convention
+// shared by the CLIs, the HTTP service, and the PnR engines.
+//
+// Telemetry is strictly out-of-band. A Recorder travels in the context;
+// the default — no recorder attached — is a nil *Recorder whose every
+// method is a nil-check and a return, so hot paths (the annealer's move
+// loop, the maze routers' expansion loops) pay nothing when telemetry is
+// disabled, and algorithm outputs are byte-identical with telemetry on or
+// off: the recorder only ever reads the computation, never feeds it.
+//
+// The three instruments:
+//
+//   - Spans (trace.go): obs.Start(ctx, "place.anneal") opens a nested
+//     span; End records it into the Tracer's ring buffer, exportable as a
+//     Chrome trace_event JSON file (chrome://tracing, Perfetto).
+//   - Metrics (metrics.go): a Registry of counters, gauges, and
+//     fixed-bucket histograms rendered in the Prometheus text format.
+//   - Logs (log.go): log/slog with request IDs propagated through the
+//     context into handler logs and span attributes.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Recorder bundles the telemetry sinks one run records into. Any field
+// may be nil: a Recorder with only a tracer records spans and drops
+// metrics, and vice versa. The nil *Recorder is the disabled state — all
+// methods are safe and free on it.
+type Recorder struct {
+	tracer *Tracer
+	reg    *Registry
+	logger *slog.Logger
+
+	// Pre-resolved algorithm instruments, so the per-batch hot-loop hooks
+	// never do registry lookups.
+	annealTemp     *Gauge
+	annealRatio    *Gauge
+	annealMoves    *Counter
+	annealAccepted *Counter
+	routeExp       *Counter
+	routePush      *Counter
+}
+
+// NewRecorder builds a recorder over the given sinks; any may be nil.
+// When a registry is supplied, the algorithm-level instrument families
+// (anneal temperature/acceptance, route expansions/pushes) are registered
+// on it immediately so they appear in scrapes even before the first run.
+func NewRecorder(tracer *Tracer, reg *Registry, logger *slog.Logger) *Recorder {
+	r := &Recorder{tracer: tracer, reg: reg, logger: logger}
+	if reg != nil {
+		r.annealTemp = reg.Gauge("parchmint_anneal_temperature",
+			"Current temperature of the most recent annealing batch.")
+		r.annealRatio = reg.Gauge("parchmint_anneal_accept_ratio",
+			"Move acceptance ratio of the most recent annealing batch.")
+		r.annealMoves = reg.Counter("parchmint_anneal_moves_total",
+			"Annealing moves proposed.")
+		r.annealAccepted = reg.Counter("parchmint_anneal_accepted_total",
+			"Annealing moves accepted.")
+		r.routeExp = reg.Counter("parchmint_route_expansions_total",
+			"Maze-search node expansions, by engine.", "engine")
+		r.routePush = reg.Counter("parchmint_route_pushes_total",
+			"Maze-search frontier pushes, by engine.", "engine")
+	}
+	return r
+}
+
+// Tracer returns the recorder's span sink; nil when tracing is disabled.
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Metrics returns the recorder's registry; nil when metrics are disabled.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// discard swallows log records; Logger never returns nil so call sites
+// need no guards.
+var discard = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 128}))
+
+// Logger returns the recorder's structured logger, or a discarding logger
+// when none is configured.
+func (r *Recorder) Logger() *slog.Logger {
+	if r == nil || r.logger == nil {
+		return discard
+	}
+	return r.logger
+}
+
+// AnnealBatch records one batch of simulated-annealing work: moves
+// proposed and accepted at the given temperature. The annealer calls it
+// at its MoveBatch cancellation polls, so a live scrape sees the cooling
+// schedule as it runs. Free (one nil check) when telemetry is off.
+func (r *Recorder) AnnealBatch(temp float64, moves, accepted int) {
+	if r == nil || r.reg == nil || moves <= 0 {
+		return
+	}
+	r.annealTemp.Set(temp)
+	r.annealRatio.Set(float64(accepted) / float64(moves))
+	r.annealMoves.Add(float64(moves))
+	r.annealAccepted.Add(float64(accepted))
+}
+
+// RouteBatch records one batch of maze-search work by the named engine:
+// node expansions and frontier pushes since the previous batch. The
+// routers call it at their ExpansionBatch cancellation polls. Free (one
+// nil check) when telemetry is off.
+func (r *Recorder) RouteBatch(engine string, expansions, pushes int) {
+	if r == nil || r.reg == nil || (expansions == 0 && pushes == 0) {
+		return
+	}
+	if expansions > 0 {
+		r.routeExp.Add(float64(expansions), engine)
+	}
+	if pushes > 0 {
+		r.routePush.Add(float64(pushes), engine)
+	}
+}
+
+// Context plumbing. Recorder, current span, and request ID ride the
+// context under unexported keys; absence is always a valid state.
+type (
+	recorderKey struct{}
+	spanKey     struct{}
+	requestKey  struct{}
+)
+
+// WithRecorder attaches a recorder to the context. Passing nil returns
+// ctx unchanged, keeping the disabled path allocation-free.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil when telemetry is
+// disabled. The nil result is safe to use directly: every Recorder method
+// no-ops on it.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
+
+// WithRequestID stamps a request identifier onto the context; handlers
+// set it once and every span and log line opened under the context
+// carries it.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestKey{}, id)
+}
+
+// RequestID returns the context's request identifier, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestKey{}).(string)
+	return id
+}
+
+// Start opens a span named name under the context's recorder and returns
+// a derived context carrying it, so child spans nest beneath it in the
+// exported trace. Without a recorder (or without a tracer) it returns ctx
+// unchanged and a nil span — End and SetAttr on a nil span are no-ops, so
+// call sites never branch on the telemetry state.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	r := FromContext(ctx)
+	if r == nil || r.tracer == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	sp := r.tracer.start(name, parent)
+	if id := RequestID(ctx); id != "" {
+		sp.SetAttr("request_id", id)
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

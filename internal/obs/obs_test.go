@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartWithoutRecorder(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "noop")
+	if sp != nil {
+		t.Fatalf("Start without recorder returned a span: %+v", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatalf("Start without recorder derived a new context")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+	if FromContext(ctx) != nil {
+		t.Fatalf("FromContext on bare context != nil")
+	}
+}
+
+func TestWithRecorderNil(t *testing.T) {
+	ctx := context.Background()
+	if WithRecorder(ctx, nil) != ctx {
+		t.Fatalf("WithRecorder(ctx, nil) should return ctx unchanged")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithRecorder(context.Background(), NewRecorder(tr, nil, nil))
+
+	ctx1, root := Start(ctx, "root")
+	_, child := Start(ctx1, "child")
+	child.End()
+	root.End()
+	_, other := Start(ctx, "other-root")
+	other.End()
+
+	evs := tr.Events(0)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	if byName["child"].TID != byName["root"].TID {
+		t.Errorf("child tid %d != root tid %d", byName["child"].TID, byName["root"].TID)
+	}
+	if byName["other-root"].TID == byName["root"].TID {
+		t.Errorf("independent roots share tid %d", byName["root"].TID)
+	}
+	// Children end before parents, so the child event records first.
+	if evs[0].Name != "child" || evs[1].Name != "root" {
+		t.Errorf("record order = %q, %q; want child, root", evs[0].Name, evs[1].Name)
+	}
+	if byName["root"].TS > byName["child"].TS {
+		t.Errorf("root starts (ts=%d) after child (ts=%d)", byName["root"].TS, byName["child"].TS)
+	}
+}
+
+func TestRequestIDOnSpans(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithRecorder(context.Background(), NewRecorder(tr, nil, nil))
+	ctx = WithRequestID(ctx, "req-42")
+	if got := RequestID(ctx); got != "req-42" {
+		t.Fatalf("RequestID = %q, want req-42", got)
+	}
+	_, sp := Start(ctx, "handler")
+	sp.End()
+	evs := tr.Events(0)
+	if len(evs) != 1 || evs[0].Args["request_id"] != "req-42" {
+		t.Fatalf("span args = %+v, want request_id=req-42", evs[0].Args)
+	}
+	if WithRequestID(context.Background(), "") != context.Background() {
+		t.Fatalf("WithRequestID with empty id should return ctx unchanged")
+	}
+}
+
+func TestRingWrapAndEvents(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithRecorder(context.Background(), NewRecorder(tr, nil, nil))
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		_, sp := Start(ctx, n)
+		sp.End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	var got []string
+	for _, e := range tr.Events(0) {
+		got = append(got, e.Name)
+	}
+	if strings.Join(got, "") != "cdef" {
+		t.Fatalf("retained events = %v, want [c d e f]", got)
+	}
+	var last []string
+	for _, e := range tr.Events(2) {
+		last = append(last, e.Name)
+	}
+	if strings.Join(last, "") != "ef" {
+		t.Fatalf("Events(2) = %v, want [e f]", last)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithRecorder(context.Background(), NewRecorder(tr, nil, nil))
+	ctx1, root := Start(ctx, "pnr.flow")
+	_, p := Start(ctx1, "place.anneal")
+	p.SetAttr("moves", 128)
+	p.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, 0); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := CheckTrace(buf.Bytes(), "pnr.flow", "place.anneal"); err != nil {
+		t.Fatalf("CheckTrace: %v", err)
+	}
+	if err := CheckTrace(buf.Bytes(), "no.such.span"); err == nil {
+		t.Fatalf("CheckTrace accepted a missing span name")
+	}
+	if err := CheckTrace([]byte("not json")); err == nil {
+		t.Fatalf("CheckTrace accepted garbage")
+	}
+	if err := CheckTrace([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Fatalf("CheckTrace accepted an empty trace")
+	}
+}
+
+func TestWriteJSONEmptyTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTracer(0).WriteJSON(&buf, 0); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Fatalf("empty trace should render an empty array, got:\n%s", buf.String())
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(64)
+	ctx := WithRecorder(context.Background(), NewRecorder(tr, nil, nil))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := Start(ctx, "worker")
+				_, inner := Start(c, "inner")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d, want full ring 64", tr.Len())
+	}
+	if tr.Dropped() != 8*50*2-64 {
+		t.Fatalf("Dropped = %d, want %d", tr.Dropped(), 8*50*2-64)
+	}
+}
+
+func TestRecorderBatchHooks(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRecorder(nil, reg, nil)
+	r.AnnealBatch(12.5, 64, 16)
+	r.AnnealBatch(6.25, 64, 8)
+	r.RouteBatch("astar", 1024, 2048)
+	r.RouteBatch("lee", 512, 512)
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"parchmint_anneal_temperature 6.25",
+		"parchmint_anneal_accept_ratio 0.125",
+		"parchmint_anneal_moves_total 128",
+		"parchmint_anneal_accepted_total 24",
+		`parchmint_route_expansions_total{engine="astar"} 1024`,
+		`parchmint_route_pushes_total{engine="astar"} 2048`,
+		`parchmint_route_expansions_total{engine="lee"} 512`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The nil recorder and the metrics-less recorder both swallow batches.
+	var nilRec *Recorder
+	nilRec.AnnealBatch(1, 10, 5)
+	nilRec.RouteBatch("astar", 1, 1)
+	NewRecorder(nil, nil, nil).AnnealBatch(1, 10, 5)
+}
+
+func TestLoggerFallback(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Logger() == nil {
+		t.Fatalf("nil recorder Logger() returned nil")
+	}
+	nilRec.Logger().Info("dropped") // must not panic
+	if NewRecorder(nil, nil, nil).Logger() == nil {
+		t.Fatalf("logger-less recorder Logger() returned nil")
+	}
+	var buf bytes.Buffer
+	lg := NewLogger("json", &buf)
+	if NewRecorder(nil, nil, lg).Logger() != lg {
+		t.Fatalf("recorder did not return its configured logger")
+	}
+	lg.Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), `"msg":"hello"`) {
+		t.Fatalf("json logger output = %q", buf.String())
+	}
+	var tbuf bytes.Buffer
+	NewLogger("text", &tbuf).Info("hello")
+	if !strings.Contains(tbuf.String(), "msg=hello") {
+		t.Fatalf("text logger output = %q", tbuf.String())
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-guard tests skip under race: the instrumentation
+// itself allocates, which would fail the zero-alloc assertions for
+// reasons unrelated to the code under test.
+const RaceEnabled = true

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one finished span in the Chrome trace_event JSON format: a
+// complete ("X") event with microsecond timestamp and duration relative
+// to the tracer's start. Load the exported file in chrome://tracing or
+// https://ui.perfetto.dev to see the nested flame view.
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event JSON object form (the one with metadata,
+// as opposed to the bare event array, which viewers also accept).
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Tracer records finished spans into a bounded ring buffer. It is safe
+// for concurrent use: spans may start and end on any goroutine. Each root
+// span gets its own trace_event "thread" lane (tid) and child spans
+// inherit their parent's, which is what makes the viewer nest them.
+type Tracer struct {
+	begin   time.Time
+	nextTID atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []Event
+	cap     int
+	next    int    // write index once the ring is full
+	dropped uint64 // events overwritten after the ring wrapped
+}
+
+// DefaultTraceEvents is the ring capacity NewTracer(0) selects — enough
+// for thousands of requests' stage spans without unbounded growth in a
+// long-lived server.
+const DefaultTraceEvents = 16384
+
+// NewTracer creates a tracer retaining the most recent capacity events;
+// capacity <= 0 selects DefaultTraceEvents.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Tracer{begin: time.Now(), cap: capacity}
+}
+
+// Span is one in-flight span. It is owned by the goroutine that started
+// it until End; SetAttr must not race with End.
+type Span struct {
+	tracer *Tracer
+	name   string
+	tid    uint64
+	start  time.Time
+	args   map[string]any
+}
+
+// start opens a span; parent may be nil (a new root lane).
+func (t *Tracer) start(name string, parent *Span) *Span {
+	tid := uint64(0)
+	if parent != nil {
+		tid = parent.tid
+	} else {
+		tid = t.nextTID.Add(1)
+	}
+	return &Span{tracer: t, name: name, tid: tid, start: time.Now()}
+}
+
+// SetAttr attaches an attribute rendered into the event's args. No-op on
+// a nil span, so call sites never guard on the telemetry state.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = value
+}
+
+// End finishes the span and records it. No-op on a nil span. End must be
+// called exactly once; the span must not be reused afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	e := Event{
+		Name:  s.name,
+		Phase: "X",
+		TS:    s.start.Sub(t.begin).Microseconds(),
+		Dur:   time.Since(s.start).Microseconds(),
+		PID:   1,
+		TID:   s.tid,
+		Args:  s.args,
+	}
+	t.mu.Lock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % t.cap
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped reports how many events were overwritten after the ring filled.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the most recent n events in record order; n <= 0 means
+// all retained events. The result is a copy, safe to hold while spans
+// keep ending.
+func (t *Tracer) Events(n int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ordered []Event
+	if len(t.ring) < t.cap {
+		ordered = append(ordered, t.ring...)
+	} else {
+		ordered = append(ordered, t.ring[t.next:]...)
+		ordered = append(ordered, t.ring[:t.next]...)
+	}
+	if n > 0 && n < len(ordered) {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}
+
+// WriteJSON renders the most recent n events (n <= 0: all) as a Chrome
+// trace_event JSON document.
+func (t *Tracer) WriteJSON(w io.Writer, n int) error {
+	doc := traceFile{TraceEvents: t.Events(n), DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []Event{}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteFile writes the full retained trace to path; the conventional
+// export behind the CLIs' -trace flag.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := t.WriteJSON(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CheckTrace validates data as a Chrome trace_event document: it must
+// parse, hold at least one event, every event must be well-formed (name,
+// "X" phase, non-negative timing), and every name in want must appear.
+// It backs `parchmint-perf -check-trace` and the trace-smoke CI gate.
+func CheckTrace(data []byte, want ...string) error {
+	var doc traceFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace does not parse: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace holds no events")
+	}
+	seen := make(map[string]bool, len(doc.TraceEvents))
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Phase != "X" || e.TS < 0 || e.Dur < 0 {
+			return fmt.Errorf("obs: malformed event %d: %+v", i, e)
+		}
+		seen[e.Name] = true
+	}
+	for _, name := range want {
+		if !seen[name] {
+			return fmt.Errorf("obs: trace is missing span %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The telemetry hooks of PR 4 sit inside the move loop PR 3 made
+// allocation-free. With no recorder on the context they must stay free:
+// this guard fails if the disabled-telemetry path ever starts allocating.
+func TestMoveKernelAllocFreeWithoutTelemetry(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard is meaningless under -race")
+	}
+	d := benchDevice(t, "rotary_pcr")
+	die := DieFor(d, 0.35)
+	start, err := greedyPlace(d, die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newAnnealState(d, start, 1)
+	st.window = die.Dx()
+	// The kernel amortizes rare slice growth (dirty set, overlap buckets);
+	// warm it first, then require a near-zero steady state.
+	for i := 0; i < 2000; i++ {
+		st.tryMove(1000)
+	}
+	avg := testing.AllocsPerRun(2000, func() { st.tryMove(1000) })
+	if avg >= 1 {
+		t.Fatalf("tryMove allocates %.2f allocs/op with telemetry disabled, want < 1", avg)
+	}
+}
+
+// BenchmarkAnnealMovesNoTelemetry is the tracked disabled-path number: the
+// same kernel as BenchmarkAnnealMoves, named so the comparison against a
+// telemetry-enabled context is explicit in benchmark output.
+func BenchmarkAnnealMovesNoTelemetry(b *testing.B) {
+	d := benchDevice(b, "rotary_pcr")
+	die := DieFor(d, 0.35)
+	start, err := greedyPlace(d, die)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := newAnnealState(d, start, 1)
+	st.window = die.Dx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.tryMove(1000)
+	}
+}

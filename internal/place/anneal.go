@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -122,11 +123,21 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 	// the restored state.
 	st.bestCost = st.cost
 	st.syncBest()
+	// Telemetry rides the MoveBatch poll points: deltas since the last
+	// flush go to the recorder, which is a nil no-op when disabled. The
+	// recorder only reads the schedule — it never feeds it — so outputs are
+	// identical with telemetry on or off.
+	rec := obs.FromContext(ctx)
 	moves := 0
 	for temp > defaultFinalTemp {
 		accepted := 0
+		flushedMoves, flushedAccepted := 0, 0
 		for m := 0; m < movesPerTemp; m++ {
 			if m%MoveBatch == 0 {
+				if m > 0 {
+					rec.AnnealBatch(temp, m-flushedMoves, accepted-flushedAccepted)
+					flushedMoves, flushedAccepted = m, accepted
+				}
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
@@ -139,6 +150,7 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 				st.syncBest()
 			}
 		}
+		rec.AnnealBatch(temp, movesPerTemp-flushedMoves, accepted-flushedAccepted)
 		moves += movesPerTemp
 		rate := float64(accepted) / float64(movesPerTemp)
 		if rate < 0.44 {

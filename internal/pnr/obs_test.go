@@ -1,0 +1,190 @@
+package pnr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/place"
+)
+
+// stageCounter counts Observe calls per stage, so the exactly-once
+// contract is checkable on both the success and the cancellation path.
+type stageCounter struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+func (sc *stageCounter) hook() func(stage string, d time.Duration) {
+	return func(stage string, d time.Duration) {
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		if sc.n == nil {
+			sc.n = make(map[string]int)
+		}
+		sc.n[stage]++
+	}
+}
+
+func (sc *stageCounter) count(stage string) int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.n[stage]
+}
+
+// cancellingPlacer cancels its own request mid-placement.
+type cancellingPlacer struct{ cancel context.CancelFunc }
+
+func (cancellingPlacer) Name() string { return "cancelling" }
+
+func (p cancellingPlacer) Place(ctx context.Context, d *core.Device, o place.Options) (*place.Placement, error) {
+	p.cancel()
+	return nil, ctx.Err()
+}
+
+// cancellingRouter cancels its own request on the first search.
+type cancellingRouter struct{ cancel context.CancelFunc }
+
+func (cancellingRouter) Name() string { return "cancelling" }
+
+func (r cancellingRouter) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
+	r.cancel()
+	return nil, 0, false
+}
+
+func TestObserveExactlyOnceOnSuccess(t *testing.T) {
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc stageCounter
+	if _, err := RunContext(context.Background(), b.Build(),
+		NewOptions(WithSeed(7), WithObserver(sc.hook()))); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range Stages() {
+		if got := sc.count(stage); got != 1 {
+			t.Errorf("stage %q observed %d times, want 1", stage, got)
+		}
+	}
+}
+
+func TestObserveExactlyOnceOnPlaceCancel(t *testing.T) {
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sc stageCounter
+	_, err = RunContext(ctx, b.Build(), NewOptions(WithObserver(sc.hook()),
+		WithPlacer(cancellingPlacer{cancel: cancel})))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	// The aborted place stage reports its partial duration exactly once;
+	// the stages never started report nothing.
+	if got := sc.count(StagePlace); got != 1 {
+		t.Errorf("cancelled place stage observed %d times, want 1", got)
+	}
+	if got := sc.count(StageRoute); got != 0 {
+		t.Errorf("unreached route stage observed %d times, want 0", got)
+	}
+	if got := sc.count(StageAttach); got != 0 {
+		t.Errorf("unreached attach stage observed %d times, want 0", got)
+	}
+}
+
+func TestObserveExactlyOnceOnRouteCancel(t *testing.T) {
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sc stageCounter
+	_, err = RunContext(ctx, b.Build(), NewOptions(WithObserver(sc.hook()),
+		WithPlacer(place.Greedy{}), WithRouter(cancellingRouter{cancel: cancel})))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if got := sc.count(StagePlace); got != 1 {
+		t.Errorf("place stage observed %d times, want 1", got)
+	}
+	if got := sc.count(StageRoute); got != 1 {
+		t.Errorf("cancelled route stage observed %d times, want 1", got)
+	}
+	if got := sc.count(StageAttach); got != 0 {
+		t.Errorf("unreached attach stage observed %d times, want 0", got)
+	}
+}
+
+// encode renders a result's device in wire form for byte comparison.
+func encodeDevice(t *testing.T, d *core.Device) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestOutputsByteIdenticalWithTracing(t *testing.T) {
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NewOptions(WithSeed(2018))
+	plain, err := RunContext(context.Background(), b.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer(0)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(tracer, reg, nil))
+	traced, err := RunContext(ctx, b.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(encodeDevice(t, plain.Device), encodeDevice(t, traced.Device)) {
+		t.Errorf("device output diverges with tracing enabled")
+	}
+	if plain.PlaceMetrics != traced.PlaceMetrics {
+		t.Errorf("placement metrics diverge with tracing: %+v vs %+v",
+			plain.PlaceMetrics, traced.PlaceMetrics)
+	}
+	if plain.RouteReport.TotalExpansions() != traced.RouteReport.TotalExpansions() {
+		t.Errorf("route expansions diverge with tracing: %d vs %d",
+			plain.RouteReport.TotalExpansions(), traced.RouteReport.TotalExpansions())
+	}
+
+	// The traced run recorded the flow's stage spans...
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckTrace(buf.Bytes(), "pnr.flow", "place.anneal", "route.astar", "pnr.attach"); err != nil {
+		t.Errorf("trace: %v", err)
+	}
+	// ...and the algorithm metrics flowed into the registry.
+	var scrape bytes.Buffer
+	reg.WritePrometheus(&scrape)
+	for _, needle := range []string{
+		"parchmint_anneal_moves_total",
+		`parchmint_route_expansions_total{engine="astar"}`,
+		`parchmint_route_pushes_total{engine="astar"}`,
+	} {
+		if !bytes.Contains(scrape.Bytes(), []byte(needle)) {
+			t.Errorf("metrics scrape missing %s:\n%s", needle, scrape.String())
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 )
@@ -42,8 +43,10 @@ type Options struct {
 	SkipValveMap bool
 	// Observe, when non-nil, receives each stage's wall-clock duration as
 	// the stage completes (stage names: StagePlace, StageRoute,
-	// StageAttach). The runner's timing harness and the benchmark service
-	// use this to profile the flow without the flow knowing about them.
+	// StageAttach). A stage aborted by an error or cancellation reports
+	// its partial duration — every started stage is observed exactly once.
+	// The runner's timing harness and the benchmark service use this to
+	// profile the flow without the flow knowing about them.
 	Observe func(stage string, d time.Duration)
 }
 
@@ -133,19 +136,41 @@ func RunContext(ctx context.Context, d *core.Device, opts Options) (*Result, err
 	if router == nil {
 		router = route.AStar{}
 	}
+	ctx, flow := obs.Start(ctx, "pnr.flow")
+	flow.SetAttr("device", d.Name)
+	defer flow.End()
+
+	// Each started stage is observed exactly once: on success with its full
+	// duration, on error or cancellation with the partial duration up to the
+	// abort. Telemetry spans mirror the same timing but are a separate sink,
+	// so stage seconds are never counted twice.
 	start := time.Now()
-	p, err := placer.Place(ctx, d, opts.Place)
+	pctx, sp := obs.Start(ctx, "place."+placer.Name())
+	p, err := placer.Place(pctx, d, opts.Place)
+	if err == nil {
+		sp.SetAttr("moves", p.Moves)
+	}
+	sp.End()
+	opts.observe(StagePlace, start)
 	if err != nil {
 		return nil, fmt.Errorf("pnr: placement (%s): %w", placer.Name(), err)
 	}
-	opts.observe(StagePlace, start)
+
 	start = time.Now()
-	report, err := route.RouteAll(ctx, p, router, opts.Route)
+	rctx, sr := obs.Start(ctx, "route."+router.Name())
+	report, err := route.RouteAll(rctx, p, router, opts.Route)
+	if err == nil {
+		sr.SetAttr("routed", report.Routed())
+		sr.SetAttr("expansions", report.TotalExpansions())
+	}
+	sr.End()
+	opts.observe(StageRoute, start)
 	if err != nil {
 		return nil, fmt.Errorf("pnr: routing (%s): %w", router.Name(), err)
 	}
-	opts.observe(StageRoute, start)
+
 	start = time.Now()
+	_, sa := obs.Start(ctx, "pnr.attach")
 	out := d.Clone()
 	out.Features = append(place.ToFeatures(p), report.Features()...)
 	if !opts.SkipPaths {
@@ -154,6 +179,7 @@ func RunContext(ctx context.Context, d *core.Device, opts Options) (*Result, err
 	if !opts.SkipValveMap {
 		attachValveMap(out)
 	}
+	sa.End()
 	opts.observe(StageAttach, start)
 	return &Result{
 		Device:       out,

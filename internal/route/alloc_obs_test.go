@@ -1,0 +1,71 @@
+package route
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// allocGrid builds the congested benchmark grid for alloc measurements.
+func allocGrid(t testing.TB) *geom.Grid {
+	t.Helper()
+	g, err := geom.NewGrid(geom.R(0, 0, 16000, 16000), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 10; row < 150; row += 20 {
+		for col := 10; col < 150; col += 20 {
+			g.BlockRect(geom.R(int64(col)*100, int64(row)*100,
+				int64(col+8)*100, int64(row+8)*100))
+		}
+	}
+	return g
+}
+
+// The ExpansionBatch telemetry flush sits inside the search loops PR 3
+// made allocation-free via the pooled arena. With no recorder on the
+// context each engine must stay at the arena steady state: ~1 alloc/op for
+// the returned path, nothing from telemetry.
+func TestSearchAllocFreeWithoutTelemetry(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard is meaningless under -race")
+	}
+	for _, r := range Engines() {
+		t.Run(r.Name(), func(t *testing.T) {
+			g := allocGrid(t)
+			sources := []geom.Cell{{Col: 0, Row: 0}, {Col: 0, Row: 159}}
+			target := geom.Cell{Col: 159, Row: 80}
+			ctx := context.Background()
+			// Warm the arena pool and the engine's queue/heap capacity.
+			for i := 0; i < 3; i++ {
+				if _, _, ok := r.Search(ctx, g, sources, target); !ok {
+					t.Fatal("no path on alloc grid")
+				}
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				r.Search(ctx, g, sources, target)
+			})
+			if avg > 2 {
+				t.Fatalf("%s Search allocates %.2f allocs/op with telemetry disabled, want <= 2",
+					r.Name(), avg)
+			}
+		})
+	}
+}
+
+// BenchmarkSearchNoTelemetry is the tracked disabled-path number for the
+// search loop, alongside BenchmarkSearch.
+func BenchmarkSearchNoTelemetry(b *testing.B) {
+	g := allocGrid(b)
+	sources := []geom.Cell{{Col: 0, Row: 0}, {Col: 0, Row: 159}}
+	target := geom.Cell{Col: 159, Row: 80}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := (AStar{}).Search(context.Background(), g, sources, target); !ok {
+			b.Fatal("no path")
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Router finds a path on an occupancy grid from any of a set of source
@@ -33,9 +34,25 @@ type Router interface {
 // request abandons an in-flight maze search within one batch.
 const ExpansionBatch = 1024
 
-// cancelled polls ctx once per ExpansionBatch expansions.
-func cancelled(ctx context.Context, expansions int) bool {
-	return expansions%ExpansionBatch == 0 && ctx.Err() != nil
+// searchObs batches one search's telemetry: each engine flushes the
+// expansion and frontier-push deltas since the previous flush at its
+// ExpansionBatch poll points and once more on return. The struct lives on
+// the searching goroutine's stack and the recorder is nil when telemetry
+// is disabled, so the hot loop pays one nil check per batch.
+type searchObs struct {
+	rec      *obs.Recorder
+	engine   string
+	lastExp  int
+	lastPush int
+}
+
+func newSearchObs(ctx context.Context, engine string) searchObs {
+	return searchObs{rec: obs.FromContext(ctx), engine: engine}
+}
+
+func (so *searchObs) flush(expansions, pushes int) {
+	so.rec.RouteBatch(so.engine, expansions-so.lastExp, pushes-so.lastPush)
+	so.lastExp, so.lastPush = expansions, pushes
 }
 
 // Engines returns the three routers in comparison order.
@@ -76,6 +93,8 @@ func (Lee) Name() string { return "lee" }
 func (Lee) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target geom.Cell) ([]geom.Cell, int, bool) {
 	a := acquireArena(g)
 	defer a.release()
+	so := newSearchObs(ctx, "lee")
+	pushes := 0
 	for _, s := range sources {
 		if !g.InBounds(s) {
 			continue
@@ -84,16 +103,21 @@ func (Lee) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target
 			a.visit(i)
 			a.parent[i] = -2
 			a.queue = append(a.queue, s)
+			pushes++
 		}
 	}
 	expansions := 0
 	for head := 0; head < len(a.queue); head++ {
 		cur := a.queue[head]
-		if cancelled(ctx, expansions) {
-			return nil, expansions, false
+		if expansions%ExpansionBatch == 0 {
+			so.flush(expansions, pushes)
+			if ctx.Err() != nil {
+				return nil, expansions, false
+			}
 		}
 		expansions++
 		if cur == target {
+			so.flush(expansions, pushes)
 			return a.unwind(cur), expansions, true
 		}
 		ci := a.index(cur)
@@ -106,9 +130,11 @@ func (Lee) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, target
 				a.visit(i)
 				a.parent[i] = ci
 				a.queue = append(a.queue, nb)
+				pushes++
 			}
 		}
 	}
+	so.flush(expansions, pushes)
 	return nil, expansions, false
 }
 
@@ -142,6 +168,9 @@ func (AStar) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, targ
 		}
 		return dx + dy
 	}
+	so := newSearchObs(ctx, "astar")
+	// seq doubles as the frontier push count: it increments at every
+	// heapPush and nowhere else.
 	var seq int64
 	for _, s := range sources {
 		if !g.InBounds(s) {
@@ -162,11 +191,15 @@ func (AStar) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, targ
 		if it.g > a.dist[i] {
 			continue // stale entry
 		}
-		if cancelled(ctx, expansions) {
-			return nil, expansions, false
+		if expansions%ExpansionBatch == 0 {
+			so.flush(expansions, int(seq))
+			if ctx.Err() != nil {
+				return nil, expansions, false
+			}
 		}
 		expansions++
 		if it.cell == target {
+			so.flush(expansions, int(seq))
 			return a.unwind(it.cell), expansions, true
 		}
 		a.scratch = g.Neighbors4(a.scratch[:0], it.cell)
@@ -185,6 +218,7 @@ func (AStar) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, targ
 			}
 		}
 	}
+	so.flush(expansions, int(seq))
 	return nil, expansions, false
 }
 
@@ -212,6 +246,8 @@ func (Hadlock) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, ta
 		}
 		return dx + dy
 	}
+	so := newSearchObs(ctx, "hadlock")
+	pushes := 0
 	// Level queues for 0-1 BFS over the detour count: toward-moves stay in
 	// the current level, away-moves wait in the next one.
 	for _, s := range sources {
@@ -223,6 +259,7 @@ func (Hadlock) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, ta
 			a.detour[i] = 0
 			a.parent[i] = -2
 			a.queue = append(a.queue, s)
+			pushes++
 		}
 	}
 	expansions := 0
@@ -230,11 +267,15 @@ func (Hadlock) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, ta
 		for head := 0; head < len(a.queue); head++ {
 			cur := a.queue[head]
 			ci := a.index(cur)
-			if cancelled(ctx, expansions) {
-				return nil, expansions, false
+			if expansions%ExpansionBatch == 0 {
+				so.flush(expansions, pushes)
+				if ctx.Err() != nil {
+					return nil, expansions, false
+				}
 			}
 			expansions++
 			if cur == target {
+				so.flush(expansions, pushes)
 				return a.unwind(cur), expansions, true
 			}
 			curDetour := a.detour[ci]
@@ -259,10 +300,12 @@ func (Hadlock) Search(ctx context.Context, g *geom.Grid, sources []geom.Cell, ta
 					} else {
 						a.next = append(a.next, nb)
 					}
+					pushes++
 				}
 			}
 		}
 		a.queue, a.next = a.next, a.queue[:0]
 	}
+	so.flush(expansions, pushes)
 	return nil, expansions, false
 }

@@ -8,6 +8,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/pnr"
 	"repro/internal/route"
@@ -94,13 +96,20 @@ type TimingOptions struct {
 // timingStages is the column order of the timing table.
 var timingStages = []string{"build", "validate", pnr.StagePlace, pnr.StageRoute, pnr.StageAttach, "profile"}
 
-// TimingTable profiles the full pipeline over the given benchmarks on a
-// worker pool and reports per-stage wall time in milliseconds plus the
-// process-wide allocation delta attributed to each benchmark's task
+// TimingTable profiles the pipeline with a background context; see
+// TimingTableContext.
+func TimingTable(benchmarks []bench.Benchmark, opts TimingOptions) *stats.Table {
+	return TimingTableContext(context.Background(), benchmarks, opts)
+}
+
+// TimingTableContext profiles the full pipeline over the given benchmarks
+// on a worker pool and reports per-stage wall time in milliseconds plus
+// the process-wide allocation delta attributed to each benchmark's task
 // (approximate under concurrency: allocation is sampled around the whole
 // task, not per goroutine). Rows appear in benchmark order regardless of
-// completion order.
-func TimingTable(benchmarks []bench.Benchmark, opts TimingOptions) *stats.Table {
+// completion order. A telemetry recorder on ctx sees one span per
+// benchmark wrapping the flow's stage spans.
+func TimingTableContext(ctx context.Context, benchmarks []bench.Benchmark, opts TimingOptions) *stats.Table {
 	placer := opts.Placer
 	if placer == nil {
 		placer = place.Greedy{}
@@ -121,6 +130,8 @@ func TimingTable(benchmarks []bench.Benchmark, opts TimingOptions) *stats.Table 
 			Run: func(t Task) error {
 				var before, after runtime.MemStats
 				runtime.ReadMemStats(&before)
+				tctx, span := obs.Start(ctx, "timing."+b.Name)
+				defer span.End()
 				var d *core.Device
 				tm.timed(b.Name, "build", func() { d = b.Build() })
 				tm.timed(b.Name, "validate", func() {
@@ -128,7 +139,7 @@ func TimingTable(benchmarks []bench.Benchmark, opts TimingOptions) *stats.Table 
 						panic(fmt.Sprintf("runner: %s fails validation: %s", b.Name, vr))
 					}
 				})
-				if _, err := pnr.Run(d, pnr.Options{
+				if _, err := pnr.RunContext(tctx, d, pnr.Options{
 					Placer:  placer,
 					Router:  router,
 					Place:   place.Options{Seed: t.Seed},

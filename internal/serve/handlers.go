@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cli"
@@ -266,7 +269,7 @@ func (s *Server) handlePNR(w http.ResponseWriter, r *http.Request) error {
 			pnr.WithPlacer(placer),
 			pnr.WithRouter(router),
 			pnr.WithSeed(seed),
-			pnr.WithObserver(s.timings.Observer(res.Device.Name)),
+			pnr.WithObserver(s.stageObserver(res.Device.Name)),
 		}
 		if req.Utilization > 0 {
 			opts = append(opts, pnr.WithUtilization(req.Utilization))
@@ -343,7 +346,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) error {
 		err := s.gate.Do(r.Context(), d.Name, func(seed uint64) error {
 			result, err := pnr.RunContext(r.Context(), d, pnr.NewOptions(
 				pnr.WithSeed(seed),
-				pnr.WithObserver(s.timings.Observer(d.Name)),
+				pnr.WithObserver(s.stageObserver(d.Name)),
 			))
 			if err != nil {
 				return err
@@ -411,12 +414,48 @@ func (s *Server) handleBenchGet(w http.ResponseWriter, r *http.Request) error {
 type healthResponse struct {
 	Status  string `json:"status"`
 	Workers int    `json:"workers"`
+	// Version and Revision identify the running build: the main module
+	// version and the VCS commit, from runtime/debug.ReadBuildInfo.
+	// Empty when the binary carries no build metadata (plain go test).
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// UptimeSeconds counts whole seconds since the server was constructed.
+	UptimeSeconds int64 `json:"uptime_seconds"`
 }
 
-// handleHealthz reports liveness and the gate's admission limit. The body
-// is deterministic (no in-flight count) so probes are stable.
+// buildInfo reads the main-module version and VCS revision baked into the
+// binary; both come back empty when the build carries no metadata.
+func buildInfo() (version, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	return version, revision
+}
+
+// handleHealthz reports liveness, the gate's admission limit, and build
+// identity. Status and workers are deterministic; uptime is the one field
+// probes should expect to move.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	return writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Workers: s.gate.Workers()})
+	version, revision := buildInfo()
+	return writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		Workers:       s.gate.Workers(),
+		Version:       version,
+		Revision:      revision,
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
 }
 
 // BaseSeedDefault is the service's default base seed, matching the

@@ -1,98 +1,59 @@
 package serve
 
 import (
-	"fmt"
 	"net/http"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
 	"time"
 )
 
-// metrics is the hand-rolled per-endpoint instrument set: request counts
-// by status, cumulative latency, and error counts. Pipeline stage timings
-// live in the server's runner.Timings and are merged in at render time.
-type metrics struct {
-	mu       sync.Mutex
-	requests map[string]map[int]uint64 // endpoint -> status -> count
-	latency  map[string]time.Duration  // endpoint -> summed wall time
-	errors   map[string]uint64         // endpoint -> responses with status >= 400
-}
+// The service's instruments live on the shared obs.Registry (newInstruments
+// in serve.go): the per-endpoint request counters the hand-rolled exporter
+// used to own, a latency histogram over obs.DefLatencyBuckets, and — via
+// the recorder the handlers put on every request context — the algorithm
+// series the annealer and routers emit at their batch poll points.
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests: make(map[string]map[int]uint64),
-		latency:  make(map[string]time.Duration),
-		errors:   make(map[string]uint64),
-	}
-}
-
-// observe records one finished request.
-func (m *metrics) observe(endpoint string, status int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.requests[endpoint] == nil {
-		m.requests[endpoint] = make(map[int]uint64)
-	}
-	m.requests[endpoint][status]++
-	m.latency[endpoint] += d
+// observe records one finished request into the endpoint instruments.
+func (s *Server) observe(endpoint string, status int, d time.Duration) {
+	secs := d.Seconds()
+	s.mRequests.Inc(endpoint, strconv.Itoa(status))
+	s.mLatency.Add(secs, endpoint)
 	if status >= 400 {
-		m.errors[endpoint]++
+		s.mErrors.Inc(endpoint)
+	}
+	s.mDuration.Observe(secs, endpoint)
+}
+
+// stageObserver adapts the pnr stage hook to the stage-seconds counter for
+// one device task. It is the single sink for stage durations — the flow
+// reports each started stage exactly once, including stages aborted by
+// cancellation, so the scrape never double-counts.
+func (s *Server) stageObserver(task string) func(stage string, d time.Duration) {
+	return func(stage string, d time.Duration) {
+		s.mStage.Add(d.Seconds(), task, stage)
 	}
 }
 
-// handleMetrics renders the Prometheus text exposition format. Keys are
-// sorted so scrapes are stable; no client library is involved.
+// handleMetrics renders every registered family in the Prometheus text
+// exposition format. Rendering is deterministic (registration order,
+// sorted series), so scrapes are stable; no client library is involved.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var sb strings.Builder
-	m := s.metrics
-	m.mu.Lock()
-	sb.WriteString("# HELP parchmint_requests_total Requests served, by endpoint and status.\n")
-	sb.WriteString("# TYPE parchmint_requests_total counter\n")
-	for _, ep := range sortedKeys(m.requests) {
-		statuses := make([]int, 0, len(m.requests[ep]))
-		for st := range m.requests[ep] {
-			statuses = append(statuses, st)
-		}
-		sort.Ints(statuses)
-		for _, st := range statuses {
-			fmt.Fprintf(&sb, "parchmint_requests_total{endpoint=%q,status=\"%d\"} %d\n", ep, st, m.requests[ep][st])
-		}
-	}
-	sb.WriteString("# HELP parchmint_request_seconds_total Cumulative request wall time, by endpoint.\n")
-	sb.WriteString("# TYPE parchmint_request_seconds_total counter\n")
-	for _, ep := range sortedKeys(m.latency) {
-		fmt.Fprintf(&sb, "parchmint_request_seconds_total{endpoint=%q} %.6f\n", ep, m.latency[ep].Seconds())
-	}
-	sb.WriteString("# HELP parchmint_errors_total Responses with status >= 400, by endpoint.\n")
-	sb.WriteString("# TYPE parchmint_errors_total counter\n")
-	for _, ep := range sortedKeys(m.errors) {
-		fmt.Fprintf(&sb, "parchmint_errors_total{endpoint=%q} %d\n", ep, m.errors[ep])
-	}
-	m.mu.Unlock()
-	sb.WriteString("# HELP parchmint_stage_seconds_total Cumulative pipeline stage wall time, by device task and stage.\n")
-	sb.WriteString("# TYPE parchmint_stage_seconds_total counter\n")
-	stages := s.timings.Snapshot()
-	for _, task := range sortedKeys(stages) {
-		for _, stage := range sortedKeys(stages[task]) {
-			fmt.Fprintf(&sb, "parchmint_stage_seconds_total{task=%q,stage=%q} %.6f\n", task, stage, stages[task][stage].Seconds())
-		}
-	}
-	sb.WriteString("# HELP parchmint_workers Admission limit of the pipeline worker gate.\n")
-	sb.WriteString("# TYPE parchmint_workers gauge\n")
-	fmt.Fprintf(&sb, "parchmint_workers %d\n", s.gate.Workers())
-	sb.WriteString("# HELP parchmint_inflight Pipeline computations currently admitted.\n")
-	sb.WriteString("# TYPE parchmint_inflight gauge\n")
-	fmt.Fprintf(&sb, "parchmint_inflight %d\n", s.gate.InFlight())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(sb.String()))
+	s.reg.WritePrometheus(w)
 }
 
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// handleTrace serves the tracer's ring buffer as Chrome trace_event JSON:
+// GET /debug/trace returns every retained span, ?n= limits to the most
+// recent n. Load the body in chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if arg := r.URL.Query().Get("n"); arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 0 {
+			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = v
 	}
-	sort.Strings(keys)
-	return keys
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tracer.WriteJSON(w, n)
 }

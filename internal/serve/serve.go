@@ -4,15 +4,21 @@
 // API as the command-line tools (cli.Load, pnr.RunContext, stats, render),
 // admission is bounded by a runner.Gate, and seeds follow the runner's
 // determinism contract: identical request bodies produce byte-identical
-// responses at any worker count.
+// responses at any worker count. Telemetry — spans into a ring buffer
+// served at /debug/trace, metrics on the shared obs.Registry at /metrics,
+// structured request logs with propagated request IDs — is out-of-band
+// and never feeds the computation.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -27,6 +33,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// RequestTimeout bounds each request's pipeline work; 0 means 60s.
 	RequestTimeout time.Duration
+	// Logger receives one structured record per finished request; nil
+	// disables request logging.
+	Logger *slog.Logger
+	// TraceEvents caps the span ring buffer served at /debug/trace; 0
+	// selects obs.DefaultTraceEvents.
+	TraceEvents int
 }
 
 func (c Config) maxBody() int64 {
@@ -43,28 +55,64 @@ func (c Config) timeout() time.Duration {
 	return c.RequestTimeout
 }
 
-// Server is the service state: configuration, the admission gate, the
-// stage-timing accumulator, and the request counters.
+// Server is the service state: configuration, the admission gate, and the
+// telemetry spine (registry, tracer, recorder) every request context
+// carries.
 type Server struct {
-	cfg     Config
-	gate    *runner.Gate
-	timings *runner.Timings
-	metrics *metrics
+	cfg    Config
+	gate   *runner.Gate
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	rec    *obs.Recorder
+	start  time.Time
+	reqSeq atomic.Uint64
+
+	// Pre-resolved endpoint instruments.
+	mRequests *obs.Counter   // {endpoint, status}
+	mLatency  *obs.Counter   // {endpoint}
+	mErrors   *obs.Counter   // {endpoint}
+	mStage    *obs.Counter   // {task, stage}
+	mDuration *obs.Histogram // {endpoint}
 }
 
 // New builds a server; the zero Config selects all defaults.
 func New(cfg Config) *Server {
-	return &Server{
-		cfg:     cfg,
-		gate:    runner.NewGate(cfg.Workers, cfg.BaseSeed),
-		timings: &runner.Timings{},
-		metrics: newMetrics(),
+	s := &Server{
+		cfg:    cfg,
+		gate:   runner.NewGate(cfg.Workers, cfg.BaseSeed),
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(cfg.TraceEvents),
+		start:  time.Now(),
 	}
+	// Registration order is scrape order; the first six families keep the
+	// names and order of the exporter this registry replaced.
+	s.mRequests = s.reg.Counter("parchmint_requests_total",
+		"Requests served, by endpoint and status.", "endpoint", "status")
+	s.mLatency = s.reg.Counter("parchmint_request_seconds_total",
+		"Cumulative request wall time, by endpoint.", "endpoint")
+	s.mErrors = s.reg.Counter("parchmint_errors_total",
+		"Responses with status >= 400, by endpoint.", "endpoint")
+	s.mStage = s.reg.Counter("parchmint_stage_seconds_total",
+		"Cumulative pipeline stage wall time, by device task and stage.", "task", "stage")
+	s.reg.GaugeFunc("parchmint_workers",
+		"Admission limit of the pipeline worker gate.",
+		func() float64 { return float64(s.gate.Workers()) })
+	s.reg.GaugeFunc("parchmint_inflight",
+		"Pipeline computations currently admitted.",
+		func() float64 { return float64(s.gate.InFlight()) })
+	s.mDuration = s.reg.Histogram("parchmint_request_duration_seconds",
+		"Request latency distribution, by endpoint.", nil, "endpoint")
+	// The recorder registers the algorithm families (anneal temperature and
+	// acceptance, route expansions and pushes) and is what the handlers
+	// attach to every request context.
+	s.rec = obs.NewRecorder(s.tracer, s.reg, cfg.Logger)
+	return s
 }
 
 // Handler returns the service's routing table. Every pipeline endpoint is
 // wrapped with the request body limit, the per-request timeout, and the
-// metrics middleware.
+// telemetry middleware; /metrics and /debug/trace serve the raw telemetry
+// and are deliberately unwrapped so they never gate on the worker pool.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/validate", s.wrap("validate", s.handleValidate))
@@ -76,6 +124,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/bench/{name}", s.wrap("bench-get", s.handleBenchGet))
 	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	return mux
 }
 
@@ -105,7 +154,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // wrap applies the service middleware: body size limit, request timeout,
-// status capture, error-to-status mapping, and per-endpoint metrics.
+// status capture, error-to-status mapping, and telemetry. Each request
+// gets an ID (echoed in X-Request-Id, stamped on spans and the request
+// log), a root span named http.<endpoint>, and the server's recorder on
+// its context so pipeline spans and algorithm metrics flow from the
+// engines without the handlers knowing. Telemetry never touches seeds or
+// response bodies: identical request bodies stay byte-identical.
 func (s *Server) wrap(endpoint string, h apiHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -115,13 +169,30 @@ func (s *Server) wrap(endpoint string, h apiHandler) http.Handler {
 		}
 		ctx, cancel := withTimeout(r.Context(), s.cfg.timeout())
 		defer cancel()
+		reqID := fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		ctx = obs.WithRecorder(ctx, s.rec)
+		ctx = obs.WithRequestID(ctx, reqID)
+		ctx, span := obs.Start(ctx, "http."+endpoint)
+		sw.Header().Set("X-Request-Id", reqID)
 		if err := h(sw, r.WithContext(ctx)); err != nil {
 			writeError(sw, err)
 		}
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		s.metrics.observe(endpoint, sw.status, time.Since(start))
+		span.SetAttr("status", sw.status)
+		span.End()
+		d := time.Since(start)
+		s.observe(endpoint, sw.status, d)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("request",
+				"id", reqID,
+				"endpoint", endpoint,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(d.Microseconds())/1000)
+		}
 	})
 }
 
