@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke trace-smoke check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke cache-smoke trace-smoke check
 
 all: build
 
@@ -87,6 +87,28 @@ serve-smoke: build
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "serve-smoke: ok"
 
+# Boot parchmint-serve with the result cache on and send the same stats
+# request twice: the first response must be a cache miss, the second a
+# byte-identical hit. Catches cache wiring that tests with in-process
+# handlers cannot see (header casing over real HTTP, flag plumbing).
+# Skips quietly when curl is unavailable.
+cache-smoke: build
+	@command -v curl >/dev/null 2>&1 || { echo "cache-smoke: curl not found, skipping"; exit 0; }
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/parchmint-serve" ./cmd/parchmint-serve; \
+	"$$tmp/parchmint-serve" -addr 127.0.0.1:0 -cache-bytes 67108864 -port-file "$$tmp/port" & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
+	port=$$(cat "$$tmp/port"); \
+	curl -sfS -D "$$tmp/h1" -o "$$tmp/b1" -X POST -d '{"bench":"rotary_pcr"}' "http://127.0.0.1:$$port/v1/stats"; \
+	curl -sfS -D "$$tmp/h2" -o "$$tmp/b2" -X POST -d '{"bench":"rotary_pcr"}' "http://127.0.0.1:$$port/v1/stats"; \
+	grep -qi '^x-parchmint-cache: miss' "$$tmp/h1"; \
+	grep -qi '^x-parchmint-cache: hit' "$$tmp/h2"; \
+	cmp -s "$$tmp/b1" "$$tmp/b2"; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "cache-smoke: ok"
+
 # Run the full flow with span tracing on, then validate the emitted
 # Chrome trace_event JSON: well-formed, and every pipeline stage span
 # present. Catches a telemetry layer that silently stopped recording.
@@ -98,4 +120,4 @@ trace-smoke:
 		-trace-spans "bench.build,pnr.flow,place.anneal,route.astar,pnr.attach"; \
 	echo "trace-smoke: ok"
 
-check: build vet test race fuzz-smoke bench-smoke serve-smoke trace-smoke
+check: build vet test race fuzz-smoke bench-smoke serve-smoke cache-smoke trace-smoke

@@ -3,12 +3,16 @@
 // place-and-route, characterization, and SVG rendering, plus the suite
 // device catalog, health, and Prometheus metrics. Pipeline work is bounded
 // by a worker gate and seeded deterministically, so identical request
-// bodies produce byte-identical responses at any worker count.
+// bodies produce byte-identical responses at any worker count — which also
+// makes results content-addressable: repeated requests replay from an LRU
+// result cache (X-Parchmint-Cache: hit|miss|coalesced), and admission
+// sheds with 429 + Retry-After instead of queueing past -queue-depth.
 //
 // Usage:
 //
 //	parchmint-serve [-addr :8080] [-j N] [-seed N] [-max-body BYTES]
-//	                [-timeout D] [-port-file PATH] [-log-format text|json]
+//	                [-timeout D] [-cache-bytes BYTES] [-queue-depth N]
+//	                [-port-file PATH] [-log-format text|json]
 //	                [-trace-events N]
 //
 // Endpoints:
@@ -18,6 +22,7 @@
 //	POST /v1/pnr         place-and-route, metrics + annotated device
 //	POST /v1/stats       characterization profile (paper Table 1)
 //	POST /v1/render.svg  SVG drawing
+//	POST /v1/batch       many pipeline requests in one body, fanned through the pool
 //	GET  /v1/bench       suite catalog
 //	GET  /v1/bench/{name} one benchmark's ParchMint document
 //	GET  /healthz        liveness, build info, uptime
@@ -49,6 +54,8 @@ func main() {
 	seed := flag.Uint64("seed", serve.BaseSeedDefault, "base seed for derived per-device seeds")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request pipeline timeout")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache size in bytes (0 disables caching)")
+	queueDepth := flag.Int("queue-depth", 256, "max requests queued for a worker slot before shedding with 429 (0 = unbounded)")
 	portFile := flag.String("port-file", "", "write the bound port number to this file (for scripts using :0)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; keep off on untrusted networks)")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
@@ -63,6 +70,8 @@ func main() {
 		BaseSeed:       *seed,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
+		CacheBytes:     *cacheBytes,
+		QueueDepth:     *queueDepth,
 		Logger:         obs.NewLogger(*logFormat, os.Stderr),
 		TraceEvents:    *traceEvents,
 	})

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// IDSource mints process-unique request identifiers of the form
+// req-<nonce>-<seq>: an 8-hex-digit per-boot nonce followed by a
+// monotonically increasing sequence number. A bare sequence would restart
+// at 1 on every process boot and collide across restarts in aggregated
+// logs and traces; the random nonce keeps IDs from different boots (and
+// from concurrently running replicas) disjoint while the sequence keeps
+// them orderable within one boot.
+type IDSource struct {
+	nonce string
+	seq   atomic.Uint64
+}
+
+// NewIDSource creates a source with a fresh random boot nonce.
+func NewIDSource() *IDSource {
+	var b [4]byte
+	// crypto/rand.Read never fails on supported platforms (it aborts the
+	// program instead), so the error path is unreachable; the check keeps
+	// the contract explicit.
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("obs: reading boot nonce: %v", err))
+	}
+	return &IDSource{nonce: hex.EncodeToString(b[:])}
+}
+
+// Nonce returns the source's per-boot nonce (8 lowercase hex digits).
+func (s *IDSource) Nonce() string { return s.nonce }
+
+// Next returns the next identifier. It is safe for concurrent use; the
+// first call returns sequence 1.
+func (s *IDSource) Next() string {
+	return fmt.Sprintf("req-%s-%08d", s.nonce, s.seq.Add(1))
+}

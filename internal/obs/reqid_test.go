@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"regexp"
+	"sync"
+	"testing"
+)
+
+var reqIDPattern = regexp.MustCompile(`^req-[0-9a-f]{8}-\d{8,}$`)
+
+func TestIDSourceFormatAndSequence(t *testing.T) {
+	s := NewIDSource()
+	first := s.Next()
+	if !reqIDPattern.MatchString(first) {
+		t.Errorf("Next() = %q, want req-<8 hex>-<seq>", first)
+	}
+	if want := "req-" + s.Nonce() + "-00000001"; first != want {
+		t.Errorf("first ID = %q, want %q", first, want)
+	}
+	if second := s.Next(); second != "req-"+s.Nonce()+"-00000002" {
+		t.Errorf("second ID = %q, want sequence 2", second)
+	}
+}
+
+// TestIDSourcesUseDistinctNonces pins the cross-boot collision fix: two
+// sources (two process boots) must not mint the same IDs even though both
+// sequences restart at 1.
+func TestIDSourcesUseDistinctNonces(t *testing.T) {
+	a, b := NewIDSource(), NewIDSource()
+	if a.Nonce() == b.Nonce() {
+		t.Fatalf("two boots share nonce %q; IDs would collide across restarts", a.Nonce())
+	}
+	if a.Next() == b.Next() {
+		t.Error("first IDs of two boots collide")
+	}
+}
+
+func TestIDSourceConcurrentUniqueness(t *testing.T) {
+	s := NewIDSource()
+	const goroutines, per = 8, 100
+	ids := make([][]string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]string, per)
+			for i := 0; i < per; i++ {
+				ids[g][i] = s.Next()
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[string]bool, goroutines*per)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate ID %q", id)
+			}
+			seen[id] = true
+		}
+	}
+}

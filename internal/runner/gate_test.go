@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestGateDerivesSeeds(t *testing.T) {
@@ -79,5 +80,151 @@ func TestGateReleasesSlotOnError(t *testing.T) {
 	// The slot must be free again: a second call succeeds immediately.
 	if err := g.Do(context.Background(), "b", func(uint64) error { return nil }); err != nil {
 		t.Fatalf("second Do = %v", err)
+	}
+}
+
+// hold occupies one gate slot until release is closed, reporting on held
+// once the slot is acquired.
+func hold(t *testing.T, g *Gate, held, release chan struct{}) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = g.Do(context.Background(), "hold", func(uint64) error {
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	return &wg
+}
+
+func TestBoundedGateShedsWhenQueueFull(t *testing.T) {
+	g := NewBoundedGate(1, 0, 1)
+	held, release := make(chan struct{}), make(chan struct{})
+	wg := hold(t, g, held, release)
+	<-held
+	err := g.Do(context.Background(), "t", func(uint64) error {
+		t.Error("fn ran on a saturated gate with queue depth 0")
+		return nil
+	})
+	if !errors.Is(err, ErrSaturated) {
+		t.Errorf("Do = %v, want ErrSaturated", err)
+	}
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("Do = %T, want *SaturatedError", err)
+	}
+	if sat.Workers != 1 {
+		t.Errorf("SaturatedError.Workers = %d, want 1", sat.Workers)
+	}
+	close(release)
+	wg.Wait()
+	// With the slot free again the same call is admitted.
+	if err := g.Do(context.Background(), "t", func(uint64) error { return nil }); err != nil {
+		t.Errorf("Do after drain = %v", err)
+	}
+}
+
+func TestBoundedGateQueuesUpToDepth(t *testing.T) {
+	g := NewBoundedGate(1, 1, 1)
+	held, release := make(chan struct{}), make(chan struct{})
+	wg := hold(t, g, held, release)
+	<-held
+	// One waiter fits in the queue.
+	waiterErr := make(chan error, 1)
+	go func() {
+		waiterErr <- g.Do(context.Background(), "w", func(uint64) error { return nil })
+	}()
+	for i := 0; i < 200 && g.Waiting() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Waiting() != 1 {
+		t.Fatalf("Waiting = %d, want 1", g.Waiting())
+	}
+	// A second would-be waiter is refused.
+	if err := g.Do(context.Background(), "x", func(uint64) error { return nil }); !errors.Is(err, ErrSaturated) {
+		t.Errorf("second waiter Do = %v, want ErrSaturated", err)
+	}
+	close(release)
+	wg.Wait()
+	if err := <-waiterErr; err != nil {
+		t.Errorf("queued waiter Do = %v, want nil", err)
+	}
+}
+
+func TestGateShedsWhenDeadlineShorterThanEstimate(t *testing.T) {
+	g := NewGate(1, 1)
+	// Seed the service-time estimator with one slow call.
+	if err := g.Do(context.Background(), "seed", func(uint64) error {
+		time.Sleep(120 * time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatalf("seed Do = %v", err)
+	}
+	if g.EstimatedWait() <= 0 {
+		t.Fatalf("EstimatedWait = %v after a served call, want > 0", g.EstimatedWait())
+	}
+	held, release := make(chan struct{}), make(chan struct{})
+	wg := hold(t, g, held, release)
+	<-held
+	// A deadline far shorter than the ~120ms estimate is refused at
+	// admission instead of queueing to certain failure.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := g.Do(ctx, "t", func(uint64) error {
+		t.Error("fn ran despite a hopeless deadline")
+		return nil
+	})
+	if !errors.Is(err, ErrSaturated) {
+		t.Errorf("Do = %v, want ErrSaturated", err)
+	}
+	var sat *SaturatedError
+	if errors.As(err, &sat) && sat.EstimatedWait <= 0 {
+		t.Errorf("EstimatedWait = %v, want > 0", sat.EstimatedWait)
+	}
+	// A generous deadline still queues: deadline-aware shedding must not
+	// turn into unconditional shedding.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- g.Do(ctx, "ok", func(uint64) error { return nil })
+	}()
+	for i := 0; i < 200 && g.Waiting() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Errorf("patient waiter Do = %v, want nil", err)
+	}
+}
+
+func TestUnboundedGateNeverShedsOnDepth(t *testing.T) {
+	g := NewGate(1, 1)
+	if g.QueueDepth() >= 0 {
+		t.Fatalf("NewGate queue depth = %d, want unbounded (negative)", g.QueueDepth())
+	}
+	held, release := make(chan struct{}), make(chan struct{})
+	wg := hold(t, g, held, release)
+	<-held
+	const waiters = 5
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			errs <- g.Do(context.Background(), "w", func(uint64) error { return nil })
+		}()
+	}
+	for i := 0; i < 500 && g.Waiting() < waiters; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
 	}
 }

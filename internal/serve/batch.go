@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/runner"
+)
+
+// maxBatchItems caps one batch request; larger workloads should shard
+// across requests so a single body cannot monopolize the pool forever.
+const maxBatchItems = 256
+
+// batchItem is one pipeline request inside a batch: the shared envelope
+// plus the operation selecting the endpoint logic to run it through.
+type batchItem struct {
+	// Op selects the operation: "validate", "convert", "pnr", or "stats".
+	// ("render" is excluded: its SVG body is not JSON-embeddable.)
+	Op string `json:"op"`
+	request
+}
+
+type batchRequest struct {
+	Items []batchItem `json:"items"`
+}
+
+// batchResult is one item's outcome, in the same slot order as the
+// request. Exactly one of Body and Error is set; Status carries the HTTP
+// status the item would have received as a standalone request.
+type batchResult struct {
+	Op     string          `json:"op"`
+	Status int             `json:"status"`
+	Cache  string          `json:"cache,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  *errorBody      `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Items []batchResult `json:"items"`
+}
+
+// handleBatch fans a list of pipeline requests through the worker pool.
+// Items run concurrently (at most the gate's worker count at once) but
+// results land in request order, and each item takes exactly the path its
+// standalone endpoint would: the same seed derivation, the same result
+// cache (identical items inside one batch coalesce to a single
+// computation), the same admission gate and load shedding. Item failures
+// are values in the response — the batch itself is a 200 unless the
+// envelope is malformed.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	var breq batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err
+		}
+		return fmt.Errorf("%w: decoding batch body: %v", errBadRequest, err)
+	}
+	if len(breq.Items) == 0 {
+		return fmt.Errorf("%w: batch requires at least one item", errBadRequest)
+	}
+	if len(breq.Items) > maxBatchItems {
+		return fmt.Errorf("%w: batch of %d items exceeds the limit of %d", errBadRequest, len(breq.Items), maxBatchItems)
+	}
+	ctx := r.Context()
+	results := make([]batchResult, len(breq.Items))
+	tasks := make([]runner.Task, len(breq.Items))
+	for i := range breq.Items {
+		i := i
+		tasks[i] = runner.Task{
+			ID: fmt.Sprintf("item-%d", i),
+			Run: func(runner.Task) error {
+				results[i] = s.runBatchItem(ctx, &breq.Items[i])
+				return nil
+			},
+		}
+	}
+	// Item errors are captured in the result slots, so the pool never
+	// reports one; its only job here is bounded, order-stable fan-out.
+	_ = runner.NewPool(s.gate.Workers()).Run(tasks)
+	return writeJSON(w, http.StatusOK, batchResponse{Items: results})
+}
+
+// runBatchItem executes one item through the shared cached-execution
+// path, folding failures into the result value.
+func (s *Server) runBatchItem(ctx context.Context, item *batchItem) batchResult {
+	switch item.Op {
+	case opValidate, opConvert, opPNR, opStats:
+	default:
+		err := fmt.Errorf("%w: op must be one of validate, convert, pnr, stats; got %q", errBadRequest, item.Op)
+		body := newErrorBody(err)
+		return batchResult{Op: item.Op, Status: httpStatus(err), Error: &body}
+	}
+	ent, outcome, err := s.runCached(ctx, item.Op, &item.request)
+	if err != nil {
+		body := newErrorBody(err)
+		return batchResult{Op: item.Op, Status: httpStatus(err), Error: &body}
+	}
+	return batchResult{Op: item.Op, Status: http.StatusOK, Cache: outcome, Body: json.RawMessage(ent.Body)}
+}

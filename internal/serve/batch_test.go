@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func decodeBatch(t *testing.T, body []byte) batchResponse {
+	t.Helper()
+	var resp batchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding batch response: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// TestBatchMixedOps: a batch is a 200 envelope whose items carry their
+// own standalone statuses — successes and failures side by side, in
+// request order.
+func TestBatchMixedOps(t *testing.T) {
+	h := newTestServer(2)
+	w := do(t, h, "POST", "/v1/batch", `{"items":[
+		{"op":"stats","bench":"rotary_pcr"},
+		{"op":"validate","bench":"aquaflex_3b"},
+		{"op":"stats","bench":"no_such_bench"},
+		{"op":"render","bench":"rotary_pcr"}
+	]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %s", w.Code, w.Body)
+	}
+	resp := decodeBatch(t, w.Body.Bytes())
+	if len(resp.Items) != 4 {
+		t.Fatalf("items = %d, want 4", len(resp.Items))
+	}
+	wantStatus := []int{200, 200, 404, 400}
+	for i, item := range resp.Items {
+		if item.Status != wantStatus[i] {
+			t.Errorf("item %d: status = %d (%v), want %d", i, item.Status, item.Error, wantStatus[i])
+		}
+		if item.Status == http.StatusOK && (len(item.Body) == 0 || item.Error != nil) {
+			t.Errorf("item %d: ok item should carry a body and no error", i)
+		}
+		if item.Status != http.StatusOK && (len(item.Body) != 0 || item.Error == nil) {
+			t.Errorf("item %d: failed item should carry an error and no body", i)
+		}
+	}
+	var stats struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(resp.Items[0].Body, &stats); err != nil || stats.Name != "rotary_pcr" {
+		t.Errorf("item 0 body = %s (err %v), want rotary_pcr profile", resp.Items[0].Body, err)
+	}
+	if !strings.Contains(resp.Items[3].Error.Error, "op") {
+		t.Errorf("render rejection should name the op field: %+v", resp.Items[3].Error)
+	}
+}
+
+// TestBatchMatchesSingleEndpointAndSharesCache: a batch item computes
+// exactly what its standalone endpoint computes, and both draw on the
+// same result cache — a single request warms the batch and vice versa.
+func TestBatchMatchesSingleEndpointAndSharesCache(t *testing.T) {
+	s, h := newCachedServer(t, Config{Workers: 2})
+	single := do(t, h, "POST", "/v1/pnr", `{"bench":"rotary_pcr","seed":7}`)
+	if single.Code != http.StatusOK {
+		t.Fatalf("single: status = %d: %s", single.Code, single.Body)
+	}
+	const batchBody = `{"items":[{"op":"pnr","bench":"rotary_pcr","seed":7}]}`
+	first := do(t, h, "POST", "/v1/batch", batchBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("batch: status = %d: %s", first.Code, first.Body)
+	}
+	item := decodeBatch(t, first.Body.Bytes()).Items[0]
+	if item.Cache != "hit" {
+		t.Errorf("batch item cache = %q, want hit from the single request", item.Cache)
+	}
+	// json.Marshal re-compacts the cached RawMessage, so compare the
+	// decoded values, not the bytes.
+	var fromSingle, fromBatch any
+	if err := json.Unmarshal(single.Body.Bytes(), &fromSingle); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(item.Body, &fromBatch); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromSingle, fromBatch) {
+		t.Error("batch item result differs from the standalone endpoint result")
+	}
+	// Identical batches are byte-identical responses — the determinism
+	// contract carries through the fan-out.
+	second := do(t, h, "POST", "/v1/batch", batchBody)
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("identical batches produced different bytes")
+	}
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 shared computation", st.Misses)
+	}
+}
+
+// TestBatchIdenticalItemsCoalesce: duplicates inside one batch fold onto
+// a single computation via the cache's singleflight.
+func TestBatchIdenticalItemsCoalesce(t *testing.T) {
+	s, h := newCachedServer(t, Config{Workers: 4})
+	items := make([]string, 8)
+	for i := range items {
+		items[i] = `{"op":"stats","bench":"rotary_pcr"}`
+	}
+	w := do(t, h, "POST", "/v1/batch", `{"items":[`+strings.Join(items, ",")+`]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBatch(t, w.Body.Bytes())
+	for i, item := range resp.Items {
+		if item.Status != http.StatusOK {
+			t.Errorf("item %d: status = %d", i, item.Status)
+		}
+		if !bytes.Equal(item.Body, resp.Items[0].Body) {
+			t.Errorf("item %d body differs", i)
+		}
+	}
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 for %d identical items", st.Misses, len(items))
+	}
+}
+
+// TestBatchEnvelopeValidation: malformed envelopes fail the whole batch.
+func TestBatchEnvelopeValidation(t *testing.T) {
+	h := newTestServer(1)
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed JSON", `{"items":`, http.StatusBadRequest},
+		{"empty batch", `{"items":[]}`, http.StatusBadRequest},
+		{"too many items", oversizeBatch(), http.StatusBadRequest},
+	} {
+		if w := do(t, h, "POST", "/v1/batch", tc.body); w.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d: %s", tc.name, w.Code, tc.status, w.Body)
+		}
+	}
+}
+
+func oversizeBatch() string {
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i <= maxBatchItems; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"op":"stats","bench":"rotary_pcr"}`)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}

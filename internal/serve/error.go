@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/bench"
@@ -19,6 +21,37 @@ const StatusClientClosedRequest = 499
 // malformed device payloads, which carry *core.ParseError).
 var errBadRequest = errors.New("bad request")
 
+// OverloadedError reports that admission shed the request instead of
+// queueing it: the worker gate's wait queue was full, or the estimated
+// queueing delay already exceeded the request's deadline. It maps to 429
+// with a Retry-After header carrying the wait hint.
+type OverloadedError struct {
+	// RetryAfter is the client guidance surfaced in the Retry-After
+	// header; always at least one second.
+	RetryAfter time.Duration
+	cause      error
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service overloaded, retry in %s", e.RetryAfter)
+}
+
+// Code returns the stable machine-readable identifier for error bodies.
+func (e *OverloadedError) Code() string { return "overloaded" }
+
+// Unwrap exposes the underlying gate saturation error.
+func (e *OverloadedError) Unwrap() error { return e.cause }
+
+// retryAfterHint rounds a wait estimate up to whole seconds (the
+// Retry-After unit), with a floor of one second so a cold estimator never
+// tells clients to hammer immediately.
+func retryAfterHint(estimate time.Duration) time.Duration {
+	if estimate <= 0 {
+		return time.Second
+	}
+	return time.Duration((estimate + time.Second - 1) / time.Second * time.Second)
+}
+
 // coded is implemented by the typed pipeline errors; Code() is the stable
 // machine-readable identifier surfaced in error response bodies.
 type coded interface{ Code() string }
@@ -27,13 +60,17 @@ type coded interface{ Code() string }
 // hierarchy does the classification: parse failures are the client's
 // fault (400), semantically invalid devices are unprocessable (422),
 // unknown benchmarks are absent resources (404), oversized bodies are 413,
-// and context expiry distinguishes server deadline (504) from client
-// cancellation (499). Anything else is a server fault (500).
+// shed admissions are 429, and context expiry distinguishes server
+// deadline (504) from client cancellation (499). Anything else is a
+// server fault (500).
 func httpStatus(err error) int {
 	var tooBig *http.MaxBytesError
+	var over *OverloadedError
 	switch {
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &over):
+		return http.StatusTooManyRequests
 	case errors.Is(err, bench.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrParse), errors.Is(err, errBadRequest):
@@ -55,16 +92,27 @@ type errorBody struct {
 	Code  string `json:"code,omitempty"`
 }
 
-// writeError renders err as a JSON error response. A cancelled client is
-// likely gone, but the write is attempted anyway — it is harmless and
-// keeps the status visible to tests and proxies.
-func writeError(w http.ResponseWriter, err error) {
+// newErrorBody renders err with its stable code, if it defines one.
+func newErrorBody(err error) errorBody {
 	body := errorBody{Error: err.Error()}
 	var c coded
 	if errors.As(err, &c) {
 		body.Code = c.Code()
 	}
-	_ = writeJSON(w, httpStatus(err), body)
+	return body
+}
+
+// writeError renders err as a JSON error response. A cancelled client is
+// likely gone, but the write is attempted anyway — it is harmless and
+// keeps the status visible to tests and proxies. Shed requests carry a
+// Retry-After header so well-behaved clients back off instead of
+// retrying into the same saturated gate.
+func writeError(w http.ResponseWriter, err error) {
+	var over *OverloadedError
+	if errors.As(err, &over) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
+	}
+	_ = writeJSON(w, httpStatus(err), newErrorBody(err))
 }
 
 // withTimeout bounds a request context; d <= 0 means no limit.

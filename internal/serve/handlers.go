@@ -2,6 +2,8 @@ package serve
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/mint"
@@ -19,10 +22,27 @@ import (
 	"repro/internal/pnr"
 	"repro/internal/render"
 	"repro/internal/route"
+	"repro/internal/runner"
 	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/validate"
 )
+
+// The pipeline operations. The names double as metric endpoint labels,
+// batch item "op" values, and the first component of cache keys.
+const (
+	opValidate = "validate"
+	opConvert  = "convert"
+	opPNR      = "pnr"
+	opStats    = "stats"
+	opRender   = "render"
+)
+
+// cacheHeader reports how a cached endpoint's response was produced:
+// "hit" (served from the LRU), "miss" (computed and stored), or
+// "coalesced" (piggybacked on a concurrent identical computation). Absent
+// when caching is disabled.
+const cacheHeader = "X-Parchmint-Cache"
 
 // request is the shared JSON envelope of the pipeline endpoints. Exactly
 // one device source must be given: a suite benchmark name, an inline
@@ -70,8 +90,7 @@ func decodeRequest(r *http.Request) (*request, error) {
 // resolve loads the request's device through the same cli.Load path the
 // command-line tools use. The raw JSON bytes (when the source was JSON)
 // come back too, so the validate endpoint can schema-check them.
-func resolve(r *http.Request, req *request) (*cli.Result, []byte, error) {
-	ctx := r.Context()
+func resolve(ctx context.Context, req *request) (*cli.Result, []byte, error) {
 	switch {
 	case req.Bench != "":
 		res, err := cli.Load(ctx, cli.Source{Name: req.Bench, Format: cli.FormatBench})
@@ -95,6 +114,116 @@ func resolve(r *http.Request, req *request) (*cli.Result, []byte, error) {
 	}
 }
 
+// jsonEntry materializes v exactly as writeJSON would have rendered it,
+// so cached replays are byte-identical to direct responses.
+func jsonEntry(v any) (cache.Entry, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return cache.Entry{}, fmt.Errorf("serve: encoding response: %w", err)
+	}
+	return cache.Entry{ContentType: "application/json", Body: append(data, '\n')}, nil
+}
+
+// serveOp adapts one pipeline operation into an apiHandler: decode the
+// envelope, run the operation through the result cache, and replay the
+// materialized entry.
+func (s *Server) serveOp(op string) apiHandler {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		req, err := decodeRequest(r)
+		if err != nil {
+			return err
+		}
+		ent, outcome, err := s.runCached(r.Context(), op, req)
+		if err != nil {
+			return err
+		}
+		if outcome != "" {
+			w.Header().Set(cacheHeader, outcome)
+		}
+		w.Header().Set("Content-Type", ent.ContentType)
+		w.WriteHeader(http.StatusOK)
+		_, err = w.Write(ent.Body)
+		return err
+	}
+}
+
+// runCached executes op through the content-addressed result cache:
+// concurrent identical requests coalesce onto one computation, repeated
+// ones replay stored bytes. With caching disabled it computes directly
+// and reports no outcome. Only successful responses are ever stored, so
+// error statuses are recomputed per request.
+func (s *Server) runCached(ctx context.Context, op string, req *request) (cache.Entry, string, error) {
+	if s.cache == nil {
+		ent, err := s.exec(ctx, op, req)
+		return ent, "", err
+	}
+	ent, outcome, err := s.cache.Do(ctx, s.cacheKey(op, req), func() (cache.Entry, error) {
+		return s.exec(ctx, op, req)
+	})
+	if err != nil {
+		return cache.Entry{}, "", err
+	}
+	s.mCacheReq.Inc(op, outcome.String())
+	return ent, outcome.String(), nil
+}
+
+// cacheKey derives the content address of one computation: SHA-256 over
+// the operation, the canonicalized request body, and the resolved seed.
+// Canonicalization re-marshals the decoded envelope, so formatting
+// differences and unknown fields — which cannot influence the output —
+// map to the same address, while every field that does influence it
+// (device source bytes, engine options, render options) is covered. The
+// seed component folds the explicit request seed or, for derived seeds,
+// the server's base seed (the device name completing the derivation is
+// already pinned by the canonical body), so servers seeded differently
+// never share entries.
+func (s *Server) cacheKey(op string, req *request) string {
+	canon, err := json.Marshal(req)
+	if err != nil {
+		// The envelope round-trips by construction; treat failure as a
+		// never-matching key rather than a request failure.
+		canon = []byte(fmt.Sprintf("unmarshalable:%p", req))
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = runner.DeriveSeed(s.cfg.BaseSeed, req.Bench)
+	}
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], seed)
+	return cache.Key([]byte(op), canon, sb[:])
+}
+
+// exec dispatches one pipeline operation and materializes its full
+// response entry. This is the single computation path under the cache,
+// the batch fan-out, and the plain uncached route.
+func (s *Server) exec(ctx context.Context, op string, req *request) (cache.Entry, error) {
+	switch op {
+	case opValidate:
+		return s.execValidate(ctx, req)
+	case opConvert:
+		return s.execConvert(ctx, req)
+	case opPNR:
+		return s.execPNR(ctx, req)
+	case opStats:
+		return s.execStats(ctx, req)
+	case opRender:
+		return s.execRender(ctx, req)
+	default:
+		return cache.Entry{}, fmt.Errorf("%w: unknown operation %q", errBadRequest, op)
+	}
+}
+
+// gateDo admits fn through the worker gate, translating gate saturation
+// into the service's typed overload error (429 + Retry-After).
+func (s *Server) gateDo(ctx context.Context, id string, fn func(seed uint64) error) error {
+	err := s.gate.Do(ctx, id, fn)
+	var sat *runner.SaturatedError
+	if errors.As(err, &sat) {
+		return &OverloadedError{RetryAfter: retryAfterHint(sat.EstimatedWait), cause: sat}
+	}
+	return err
+}
+
 // diagDTO is the JSON rendering of one validation diagnostic.
 type diagDTO struct {
 	Severity string `json:"severity"`
@@ -113,17 +242,13 @@ type validateResponse struct {
 	Schema []string `json:"schema,omitempty"`
 }
 
-// handleValidate reports semantic diagnostics (and, for JSON sources,
+// execValidate reports semantic diagnostics (and, for JSON sources,
 // schema issues) as a 200 response; an invalid device is a successful
 // validation, not a failed request.
-func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) error {
-	req, err := decodeRequest(r)
+func (s *Server) execValidate(ctx context.Context, req *request) (cache.Entry, error) {
+	res, raw, err := resolve(ctx, req)
 	if err != nil {
-		return err
-	}
-	res, raw, err := resolve(r, req)
-	if err != nil {
-		return err
+		return cache.Entry{}, err
 	}
 	report := validate.Validate(res.Device)
 	resp := validateResponse{
@@ -147,7 +272,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) error {
 			resp.Schema = append(resp.Schema, issue.String())
 		}
 	}
-	return writeJSON(w, http.StatusOK, resp)
+	return jsonEntry(resp)
 }
 
 type convertResponse struct {
@@ -160,17 +285,13 @@ type convertResponse struct {
 	Notes    []string        `json:"notes,omitempty"`
 }
 
-// handleConvert translates between MINT and ParchMint JSON. Fidelity
+// execConvert translates between MINT and ParchMint JSON. Fidelity
 // notes from both the load and the conversion are returned as values —
 // exactly what the cli.Result redesign exists for.
-func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) error {
-	req, err := decodeRequest(r)
+func (s *Server) execConvert(ctx context.Context, req *request) (cache.Entry, error) {
+	res, _, err := resolve(ctx, req)
 	if err != nil {
-		return err
-	}
-	res, _, err := resolve(r, req)
-	if err != nil {
-		return err
+		return cache.Entry{}, err
 	}
 	target := req.To
 	if target == "" {
@@ -185,10 +306,10 @@ func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) error {
 	case "mint":
 		f, fid, err := mint.FromDevice(res.Device)
 		if err != nil {
-			return fmt.Errorf("serve: converting to MINT: %w", err)
+			return cache.Entry{}, fmt.Errorf("serve: converting to MINT: %w", err)
 		}
 		notes = append(notes, fid.Notes...)
-		return writeJSON(w, http.StatusOK, convertResponse{
+		return jsonEntry(convertResponse{
 			Target:   "mint",
 			Output:   mint.Print(f),
 			Lossless: len(notes) == 0,
@@ -197,16 +318,16 @@ func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) error {
 	case "json":
 		data, err := core.Marshal(res.Device)
 		if err != nil {
-			return fmt.Errorf("serve: encoding device: %w", err)
+			return cache.Entry{}, fmt.Errorf("serve: encoding device: %w", err)
 		}
-		return writeJSON(w, http.StatusOK, convertResponse{
+		return jsonEntry(convertResponse{
 			Target:   "json",
 			Device:   data,
 			Lossless: len(notes) == 0,
 			Notes:    notes,
 		})
 	default:
-		return fmt.Errorf("%w: to must be \"mint\" or \"json\", got %q", errBadRequest, req.To)
+		return cache.Entry{}, fmt.Errorf("%w: to must be \"mint\" or \"json\", got %q", errBadRequest, req.To)
 	}
 }
 
@@ -235,32 +356,28 @@ type pnrResponse struct {
 	Route  routeSummary    `json:"route"`
 }
 
-// handlePNR runs the full place-and-route flow inside the worker gate.
+// execPNR runs the full place-and-route flow inside the worker gate.
 // The device must validate (422 otherwise); the effective seed is the
 // request's, or DeriveSeed(BaseSeed, deviceName) — a pure function of the
 // request body, never of arrival order.
-func (s *Server) handlePNR(w http.ResponseWriter, r *http.Request) error {
-	req, err := decodeRequest(r)
+func (s *Server) execPNR(ctx context.Context, req *request) (cache.Entry, error) {
+	res, _, err := resolve(ctx, req)
 	if err != nil {
-		return err
-	}
-	res, _, err := resolve(r, req)
-	if err != nil {
-		return err
+		return cache.Entry{}, err
 	}
 	if verr := validate.Validate(res.Device).Err(); verr != nil {
-		return verr
+		return cache.Entry{}, verr
 	}
 	placer, err := place.EngineByName(req.Placer)
 	if err != nil {
-		return fmt.Errorf("%w: %v", errBadRequest, err)
+		return cache.Entry{}, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
 	router, err := route.EngineByName(req.Router)
 	if err != nil {
-		return fmt.Errorf("%w: %v", errBadRequest, err)
+		return cache.Entry{}, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
 	var resp pnrResponse
-	err = s.gate.Do(r.Context(), res.Device.Name, func(derived uint64) error {
+	err = s.gateDo(ctx, res.Device.Name, func(derived uint64) error {
 		seed := req.Seed
 		if seed == 0 {
 			seed = derived
@@ -274,7 +391,7 @@ func (s *Server) handlePNR(w http.ResponseWriter, r *http.Request) error {
 		if req.Utilization > 0 {
 			opts = append(opts, pnr.WithUtilization(req.Utilization))
 		}
-		result, err := pnr.RunContext(r.Context(), res.Device, pnr.NewOptions(opts...))
+		result, err := pnr.RunContext(ctx, res.Device, pnr.NewOptions(opts...))
 		if err != nil {
 			return err
 		}
@@ -305,20 +422,16 @@ func (s *Server) handlePNR(w http.ResponseWriter, r *http.Request) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return cache.Entry{}, err
 	}
-	return writeJSON(w, http.StatusOK, resp)
+	return jsonEntry(resp)
 }
 
-// handleStats returns the paper's Table 1 characterization profile.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
-	req, err := decodeRequest(r)
+// execStats returns the paper's Table 1 characterization profile.
+func (s *Server) execStats(ctx context.Context, req *request) (cache.Entry, error) {
+	res, _, err := resolve(ctx, req)
 	if err != nil {
-		return err
-	}
-	res, _, err := resolve(r, req)
-	if err != nil {
-		return err
+		return cache.Entry{}, err
 	}
 	class := "custom"
 	if req.Bench != "" {
@@ -326,25 +439,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			class = string(b.Class)
 		}
 	}
-	return writeJSON(w, http.StatusOK, stats.ProfileDevice(res.Device, class))
+	return jsonEntry(stats.ProfileDevice(res.Device, class))
 }
 
-// handleRender returns the device drawn as SVG. Devices without physical
+// execRender returns the device drawn as SVG. Devices without physical
 // features are placed and routed first (inside the worker gate, with the
 // device's derived seed) so any source renders.
-func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) error {
-	req, err := decodeRequest(r)
+func (s *Server) execRender(ctx context.Context, req *request) (cache.Entry, error) {
+	res, _, err := resolve(ctx, req)
 	if err != nil {
-		return err
-	}
-	res, _, err := resolve(r, req)
-	if err != nil {
-		return err
+		return cache.Entry{}, err
 	}
 	d := res.Device
 	if !d.HasFeatures() {
-		err := s.gate.Do(r.Context(), d.Name, func(seed uint64) error {
-			result, err := pnr.RunContext(r.Context(), d, pnr.NewOptions(
+		err := s.gateDo(ctx, d.Name, func(seed uint64) error {
+			result, err := pnr.RunContext(ctx, d, pnr.NewOptions(
 				pnr.WithSeed(seed),
 				pnr.WithObserver(s.stageObserver(d.Name)),
 			))
@@ -355,16 +464,14 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) error {
 			return nil
 		})
 		if err != nil {
-			return err
+			return cache.Entry{}, err
 		}
 	}
 	svg, err := render.SVG(d, render.Options{Scale: req.Scale, ShowLabels: req.Labels})
 	if err != nil {
-		return fmt.Errorf("serve: rendering: %w", err)
+		return cache.Entry{}, fmt.Errorf("serve: rendering: %w", err)
 	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	_, err = w.Write([]byte(svg))
-	return err
+	return cache.Entry{ContentType: "image/svg+xml", Body: []byte(svg)}, nil
 }
 
 // benchEntry is one row of the suite listing.

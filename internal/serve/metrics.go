@@ -20,6 +20,9 @@ func (s *Server) observe(endpoint string, status int, d time.Duration) {
 	if status >= 400 {
 		s.mErrors.Inc(endpoint)
 	}
+	if status == http.StatusTooManyRequests {
+		s.mShed.Inc(endpoint)
+	}
 	s.mDuration.Observe(secs, endpoint)
 }
 

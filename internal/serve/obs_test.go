@@ -143,6 +143,14 @@ func TestRequestIDAndLog(t *testing.T) {
 	if reqID == "" {
 		t.Fatal("response is missing X-Request-Id")
 	}
+	// IDs carry a per-boot nonce so two service boots never mint the same
+	// ID; the sequence still starts at 1 within one boot.
+	if !bootIDPattern.MatchString(reqID) {
+		t.Errorf("X-Request-Id = %q, want req-<boot nonce>-<seq>", reqID)
+	}
+	if !strings.HasSuffix(reqID, "-00000001") {
+		t.Errorf("first request of a boot minted %q, want sequence 00000001", reqID)
+	}
 	var rec struct {
 		Msg      string `json:"msg"`
 		ID       string `json:"id"`

@@ -2,22 +2,25 @@
 // conversion, place-and-route, characterization, and SVG rendering — as a
 // concurrent HTTP JSON service. Handlers consume the same public pipeline
 // API as the command-line tools (cli.Load, pnr.RunContext, stats, render),
-// admission is bounded by a runner.Gate, and seeds follow the runner's
-// determinism contract: identical request bodies produce byte-identical
-// responses at any worker count. Telemetry — spans into a ring buffer
-// served at /debug/trace, metrics on the shared obs.Registry at /metrics,
-// structured request logs with propagated request IDs — is out-of-band
-// and never feeds the computation.
+// admission is bounded by a runner.Gate with optional load shedding, and
+// seeds follow the runner's determinism contract: identical request bodies
+// produce byte-identical responses at any worker count. That contract is
+// what makes the content-addressed result cache safe: a stored response is
+// indistinguishable from a recomputed one. Telemetry — spans into a ring
+// buffer served at /debug/trace, metrics on the shared obs.Registry at
+// /metrics, structured request logs with propagated request IDs — is
+// out-of-band and never feeds the computation.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/runner"
 )
@@ -39,6 +42,13 @@ type Config struct {
 	// TraceEvents caps the span ring buffer served at /debug/trace; 0
 	// selects obs.DefaultTraceEvents.
 	TraceEvents int
+	// CacheBytes bounds the content-addressed result cache; 0 disables
+	// caching entirely.
+	CacheBytes int64
+	// QueueDepth bounds how many requests may wait for a worker slot
+	// before admission sheds with 429; 0 means unbounded (never shed on
+	// queue depth).
+	QueueDepth int
 }
 
 func (c Config) maxBody() int64 {
@@ -55,37 +65,52 @@ func (c Config) timeout() time.Duration {
 	return c.RequestTimeout
 }
 
-// Server is the service state: configuration, the admission gate, and the
-// telemetry spine (registry, tracer, recorder) every request context
-// carries.
+// queueDepth maps the config's 0-means-unbounded convention onto the
+// gate's negative-means-unbounded one.
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return -1
+	}
+	return c.QueueDepth
+}
+
+// Server is the service state: configuration, the admission gate, the
+// result cache, and the telemetry spine (registry, tracer, recorder)
+// every request context carries.
 type Server struct {
 	cfg    Config
 	gate   *runner.Gate
+	cache  *cache.Cache // nil when caching is disabled
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	rec    *obs.Recorder
 	start  time.Time
-	reqSeq atomic.Uint64
+	ids    *obs.IDSource
 
 	// Pre-resolved endpoint instruments.
-	mRequests *obs.Counter   // {endpoint, status}
-	mLatency  *obs.Counter   // {endpoint}
-	mErrors   *obs.Counter   // {endpoint}
-	mStage    *obs.Counter   // {task, stage}
-	mDuration *obs.Histogram // {endpoint}
+	mRequests   *obs.Counter   // {endpoint, status}
+	mLatency    *obs.Counter   // {endpoint}
+	mErrors     *obs.Counter   // {endpoint}
+	mStage      *obs.Counter   // {task, stage}
+	mDuration   *obs.Histogram // {endpoint}
+	mCacheReq   *obs.Counter   // {endpoint, outcome}
+	mCacheEvict *obs.Counter
+	mShed       *obs.Counter // {endpoint}
 }
 
 // New builds a server; the zero Config selects all defaults.
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
-		gate:   runner.NewGate(cfg.Workers, cfg.BaseSeed),
+		gate:   runner.NewBoundedGate(cfg.Workers, cfg.queueDepth(), cfg.BaseSeed),
 		reg:    obs.NewRegistry(),
 		tracer: obs.NewTracer(cfg.TraceEvents),
 		start:  time.Now(),
+		ids:    obs.NewIDSource(),
 	}
 	// Registration order is scrape order; the first six families keep the
-	// names and order of the exporter this registry replaced.
+	// names and order of the exporter this registry replaced, and the
+	// cache/shed families append after them.
 	s.mRequests = s.reg.Counter("parchmint_requests_total",
 		"Requests served, by endpoint and status.", "endpoint", "status")
 	s.mLatency = s.reg.Counter("parchmint_request_seconds_total",
@@ -102,6 +127,35 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.gate.InFlight()) })
 	s.mDuration = s.reg.Histogram("parchmint_request_duration_seconds",
 		"Request latency distribution, by endpoint.", nil, "endpoint")
+	s.mCacheReq = s.reg.Counter("parchmint_cache_requests_total",
+		"Result cache lookups, by endpoint and outcome (hit, miss, coalesced).", "endpoint", "outcome")
+	s.mCacheEvict = s.reg.Counter("parchmint_cache_evictions_total",
+		"Result cache entries evicted to stay under the byte bound.")
+	s.reg.GaugeFunc("parchmint_cache_bytes",
+		"Bytes held by the result cache.",
+		func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.Stats().Bytes)
+		})
+	s.reg.GaugeFunc("parchmint_cache_entries",
+		"Entries held by the result cache.",
+		func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.Stats().Entries)
+		})
+	s.mShed = s.reg.Counter("parchmint_shed_total",
+		"Requests refused at admission with 429, by endpoint.", "endpoint")
+	s.reg.GaugeFunc("parchmint_queue_waiting",
+		"Requests waiting for a worker slot.",
+		func() float64 { return float64(s.gate.Waiting()) })
+	if cfg.CacheBytes > 0 {
+		s.cache = cache.New(cfg.CacheBytes)
+		s.cache.OnEvict(func(n int) { s.mCacheEvict.Add(float64(n)) })
+	}
 	// The recorder registers the algorithm families (anneal temperature and
 	// acceptance, route expansions and pushes) and is what the handlers
 	// attach to every request context.
@@ -111,18 +165,22 @@ func New(cfg Config) *Server {
 
 // Handler returns the service's routing table. Every pipeline endpoint is
 // wrapped with the request body limit, the per-request timeout, and the
-// telemetry middleware; /metrics and /debug/trace serve the raw telemetry
-// and are deliberately unwrapped so they never gate on the worker pool.
+// telemetry middleware. Body-less GET endpoints skip the body limit, and
+// the health endpoint additionally skips the pipeline timeout — a probe
+// must answer even when every worker is saturated. /metrics and
+// /debug/trace serve the raw telemetry and are deliberately unwrapped so
+// they never gate on the worker pool.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/validate", s.wrap("validate", s.handleValidate))
-	mux.Handle("POST /v1/convert", s.wrap("convert", s.handleConvert))
-	mux.Handle("POST /v1/pnr", s.wrap("pnr", s.handlePNR))
-	mux.Handle("POST /v1/stats", s.wrap("stats", s.handleStats))
-	mux.Handle("POST /v1/render.svg", s.wrap("render", s.handleRender))
-	mux.Handle("GET /v1/bench", s.wrap("bench-list", s.handleBenchList))
-	mux.Handle("GET /v1/bench/{name}", s.wrap("bench-get", s.handleBenchGet))
-	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.Handle("POST /v1/validate", s.wrap(opValidate, s.serveOp(opValidate)))
+	mux.Handle("POST /v1/convert", s.wrap(opConvert, s.serveOp(opConvert)))
+	mux.Handle("POST /v1/pnr", s.wrap(opPNR, s.serveOp(opPNR)))
+	mux.Handle("POST /v1/stats", s.wrap(opStats, s.serveOp(opStats)))
+	mux.Handle("POST /v1/render.svg", s.wrap(opRender, s.serveOp(opRender)))
+	mux.Handle("POST /v1/batch", s.wrap("batch", s.handleBatch))
+	mux.Handle("GET /v1/bench", s.wrapWith("bench-list", s.handleBenchList, wrapOpts{noBodyLimit: true}))
+	mux.Handle("GET /v1/bench/{name}", s.wrapWith("bench-get", s.handleBenchGet, wrapOpts{noBodyLimit: true}))
+	mux.Handle("GET /healthz", s.wrapWith("healthz", s.handleHealthz, wrapOpts{noBodyLimit: true, noTimeout: true}))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	return mux
@@ -133,11 +191,20 @@ func (s *Server) Handler() http.Handler {
 // lives in exactly one place (httpStatus).
 type apiHandler func(w http.ResponseWriter, r *http.Request) error
 
-// statusWriter captures the status code for the metrics middleware.
+// statusWriter captures the status code for the metrics middleware while
+// preserving the underlying writer's optional interfaces: without the
+// Flush/ReadFrom passthroughs and Unwrap, wrapping would silently disable
+// streaming (http.Flusher) and sendfile (io.ReaderFrom) for every
+// wrapped handler.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 }
+
+var (
+	_ http.Flusher  = (*statusWriter)(nil)
+	_ io.ReaderFrom = (*statusWriter)(nil)
+)
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
@@ -153,23 +220,72 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// wrap applies the service middleware: body size limit, request timeout,
-// status capture, error-to-status mapping, and telemetry. Each request
-// gets an ID (echoed in X-Request-Id, stamped on spans and the request
-// log), a root span named http.<endpoint>, and the server's recorder on
-// its context so pipeline spans and algorithm metrics flow from the
-// engines without the handlers knowing. Telemetry never touches seeds or
-// response bodies: identical request bodies stay byte-identical.
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// discover upgrades (Flush, SetWriteDeadline, Hijack) through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush forwards to the underlying writer's http.Flusher, if any.
+func (w *statusWriter) Flush() {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom forwards to the underlying writer's io.ReaderFrom (the
+// sendfile path), falling back to a plain copy.
+func (w *statusWriter) ReadFrom(src io.Reader) (int64, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	// Hide the underlying writer's other methods so io.Copy does not
+	// rediscover this ReadFrom and recurse.
+	return io.Copy(struct{ io.Writer }{w.ResponseWriter}, src)
+}
+
+// wrapOpts selects which middleware layers an endpoint gets.
+type wrapOpts struct {
+	// noBodyLimit skips http.MaxBytesReader — for body-less GET endpoints,
+	// where limiting only wraps http.NoBody in dead machinery.
+	noBodyLimit bool
+	// noTimeout skips the pipeline deadline — for health and debug
+	// endpoints that must answer even when the pipeline is saturated or
+	// the configured timeout is pathological.
+	noTimeout bool
+}
+
+// wrap applies the full service middleware stack: body size limit,
+// request timeout, status capture, error-to-status mapping, and
+// telemetry.
 func (s *Server) wrap(endpoint string, h apiHandler) http.Handler {
+	return s.wrapWith(endpoint, h, wrapOpts{})
+}
+
+// wrapWith is wrap with per-endpoint layer selection. Each request gets
+// an ID (echoed in X-Request-Id, stamped on spans and the request log), a
+// root span named http.<endpoint>, and the server's recorder on its
+// context so pipeline spans and algorithm metrics flow from the engines
+// without the handlers knowing. Telemetry never touches seeds or response
+// bodies: identical request bodies stay byte-identical.
+func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
-		if r.Body != nil {
+		if !o.noBodyLimit && r.Body != nil && r.Body != http.NoBody {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.maxBody())
 		}
-		ctx, cancel := withTimeout(r.Context(), s.cfg.timeout())
-		defer cancel()
-		reqID := fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		ctx := r.Context()
+		if !o.noTimeout {
+			var cancel func()
+			ctx, cancel = withTimeout(ctx, s.cfg.timeout())
+			defer cancel()
+		}
+		reqID := s.ids.Next()
 		ctx = obs.WithRecorder(ctx, s.rec)
 		ctx = obs.WithRequestID(ctx, reqID)
 		ctx, span := obs.Start(ctx, "http."+endpoint)
