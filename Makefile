@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke cache-smoke trace-smoke check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke cache-smoke trace-smoke hammer hammer-full check
 
 all: build
 
@@ -49,9 +49,23 @@ bench: bench-pnr
 
 # Regenerate the committed perf snapshot. parchmint-perf preserves the
 # existing file's "baseline" block, so the before/after trajectory of the
-# current optimization round survives regeneration.
+# current optimization round survives regeneration. REPLICAS sets the
+# annealing replica count for the paired seq/par flow kernels and is
+# recorded in the snapshot's environment block.
+REPLICAS ?= 2
 bench-pnr:
-	$(GO) run ./cmd/parchmint-perf -o BENCH_pnr.json
+	$(GO) run ./cmd/parchmint-perf -replicas $(REPLICAS) -o BENCH_pnr.json
+
+# Determinism hammer under the race detector: parallel replicas,
+# speculative net routing, and starved CPU budgets must reproduce the
+# sequential golden byte for byte. -short trims the matrix to the small
+# devices so the race scheduler stays affordable in the commit gate;
+# hammer-full sweeps every bench device at replicas {1,2,4,8}.
+hammer:
+	$(GO) test -race -short -run TestDeterminismHammer ./internal/pnr
+
+hammer-full:
+	PARCHMINT_HAMMER_FULL=1 $(GO) test -run TestDeterminismHammer -timeout 60m ./internal/pnr
 
 # CI gate: one quick iteration per kernel into a throwaway file, then
 # schema-validate it and the committed snapshot. Catches a broken
@@ -120,4 +134,4 @@ trace-smoke:
 		-trace-spans "bench.build,pnr.flow,place.anneal,route.astar,pnr.attach"; \
 	echo "trace-smoke: ok"
 
-check: build vet test race fuzz-smoke bench-smoke serve-smoke cache-smoke trace-smoke
+check: build vet test race hammer fuzz-smoke bench-smoke serve-smoke cache-smoke trace-smoke

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/place"
 	"repro/internal/pnr"
 	"repro/internal/route"
@@ -51,12 +52,16 @@ type Result struct {
 }
 
 // Environment pins the machine context the numbers were measured in, so
-// snapshot diffs across machines are recognizable as such.
+// snapshot diffs across machines are recognizable as such. NumReplicas is
+// the annealing replica count the parallel-flow kernels ran with — a
+// snapshot measured at a different count is a different workload, not a
+// regression.
 type Environment struct {
-	Go     string `json:"go"`
-	OS     string `json:"os"`
-	Arch   string `json:"arch"`
-	NumCPU int    `json:"num_cpu"`
+	Go          string `json:"go"`
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+	NumCPU      int    `json:"num_cpu"`
+	NumReplicas int    `json:"num_replicas"`
 }
 
 // Snapshot is the BENCH_pnr.json document.
@@ -75,6 +80,7 @@ func main() {
 	out := flag.String("o", "BENCH_pnr.json", "output snapshot file")
 	quick := flag.Bool("quick", false, "one iteration per kernel (CI smoke)")
 	baseline := flag.String("baseline", "", "snapshot file whose results become this snapshot's baseline")
+	replicas := flag.Int("replicas", 2, "annealing replica count for the paired parallel-flow kernels")
 	check := flag.String("check", "", "validate the given snapshot and exit")
 	checkTrace := flag.String("check-trace", "", "validate the given Chrome trace_event JSON file and exit")
 	traceSpans := flag.String("trace-spans", "", "comma-separated span names -check-trace requires to be present")
@@ -99,15 +105,16 @@ func main() {
 		Schema: schemaID,
 		Go:     runtime.Version(),
 		Environment: Environment{
-			Go:     runtime.Version(),
-			OS:     runtime.GOOS,
-			Arch:   runtime.GOARCH,
-			NumCPU: runtime.NumCPU(),
+			Go:          runtime.Version(),
+			OS:          runtime.GOOS,
+			Arch:        runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			NumReplicas: *replicas,
 		},
 		Quick: *quick,
 	}
 	snap.Baseline = loadBaseline(*baseline, *out)
-	for _, k := range kernels() {
+	for _, k := range kernels(*replicas) {
 		iters := k.iters
 		if *quick {
 			iters = 1
@@ -117,6 +124,7 @@ func main() {
 			k.name, snap.Results[len(snap.Results)-1].NsPerOp,
 			snap.Results[len(snap.Results)-1].AllocsPerOp)
 	}
+	enforcePairs(snap.Results)
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		cli.Fatalf("parchmint-perf: %v", err)
@@ -251,7 +259,99 @@ func searchGrid() *geom.Grid {
 	return g
 }
 
-func kernels() []kernel {
+// pairSuffixSeq/Par name the paired parallel-flow kernels: the same
+// (device, seed, replicas) workload measured under a drained CPU budget
+// (strictly sequential schedule) and at full width with speculative net
+// routing. The determinism contract says the pair performs the identical
+// search, so enforcePairs fails the run if their work counters diverge —
+// the perf tool doubles as a determinism check on every regeneration.
+const (
+	pairSuffixSeq = "/seq"
+	pairSuffixPar = "/par"
+)
+
+// enforcePairs verifies that every seq/par kernel pair reports identical
+// work metrics (moves, expansions). A divergence means the parallel
+// schedule changed the computation, which no speedup is allowed to buy.
+func enforcePairs(results []Result) {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, r := range results {
+		if !strings.HasSuffix(r.Name, pairSuffixSeq) {
+			continue
+		}
+		parName := strings.TrimSuffix(r.Name, pairSuffixSeq) + pairSuffixPar
+		p, ok := byName[parName]
+		if !ok {
+			cli.Fatalf("parchmint-perf: %s has no paired %s kernel", r.Name, parName)
+		}
+		for key, want := range r.Metrics {
+			if got := p.Metrics[key]; got != want {
+				cli.Fatalf("parchmint-perf: determinism violation: %s %s=%v but %s %s=%v",
+					r.Name, key, want, parName, key, got)
+			}
+		}
+	}
+}
+
+// flowMetrics reduces one flow run to its work counters.
+func flowMetrics(res *pnr.Result) map[string]float64 {
+	return map[string]float64{
+		"moves":      float64(res.Placement.Moves),
+		"expansions": float64(res.RouteReport.TotalExpansions()),
+	}
+}
+
+// drainedContext returns a context whose CPU budget has no free tokens,
+// forcing every parallel section down to width 1 — the sequential
+// schedule the /seq kernels measure.
+func drainedContext() context.Context {
+	b := par.NewBudget(1)
+	b.TryAcquire(1)
+	return par.ContextWithBudget(context.Background(), b)
+}
+
+// parallelKernels builds the paired seq/par flow kernels for each perf
+// device at the given replica count.
+func parallelKernels(replicas int) []kernel {
+	var ks []kernel
+	for _, name := range perfDevices {
+		d := device(name)
+		opts := pnr.NewOptions(pnr.WithSeed(1), pnr.WithReplicas(replicas))
+		parOpts := pnr.NewOptions(pnr.WithSeed(1), pnr.WithReplicas(replicas),
+			pnr.WithParallelNets(-1))
+		base := fmt.Sprintf("pnr/flow/%s/replicas=%d", name, replicas)
+		seqCtx := drainedContext()
+		ks = append(ks,
+			kernel{
+				name:  base + pairSuffixSeq,
+				iters: 3,
+				fn: func() map[string]float64 {
+					res, err := pnr.RunContext(seqCtx, d, opts)
+					if err != nil {
+						cli.Fatalf("parchmint-perf: %v", err)
+					}
+					return flowMetrics(res)
+				},
+			},
+			kernel{
+				name:  base + pairSuffixPar,
+				iters: 3,
+				fn: func() map[string]float64 {
+					res, err := pnr.RunContext(context.Background(), d, parOpts)
+					if err != nil {
+						cli.Fatalf("parchmint-perf: %v", err)
+					}
+					return flowMetrics(res)
+				},
+			})
+	}
+	return ks
+}
+
+func kernels(replicas int) []kernel {
 	var ks []kernel
 	for _, name := range perfDevices {
 		d := device(name)
@@ -316,5 +416,6 @@ func kernels() []kernel {
 			},
 		})
 	}
+	ks = append(ks, parallelKernels(replicas)...)
 	return ks
 }

@@ -13,7 +13,7 @@
 //	parchmint-serve [-addr :8080] [-j N] [-seed N] [-max-body BYTES]
 //	                [-timeout D] [-cache-bytes BYTES] [-queue-depth N]
 //	                [-port-file PATH] [-log-format text|json]
-//	                [-trace-events N]
+//	                [-trace-events N] [-replicas N] [-route-workers N]
 //
 // Endpoints:
 //
@@ -60,6 +60,8 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; keep off on untrusted networks)")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	traceEvents := flag.Int("trace-events", 0, "span ring buffer capacity for /debug/trace (0 = default)")
+	replicas := flag.Int("replicas", 0, "default annealing replica count for pnr requests (<2 = single-replica; requests may override with \"replicas\")")
+	routeWorkers := flag.Int("route-workers", 0, "speculative net-search workers for routing (<2 = sequential, -1 = NumCPU; never changes response bytes)")
 	flag.Parse()
 	if *logFormat != "text" && *logFormat != "json" {
 		cli.Fatalf("parchmint-serve: -log-format must be text or json, got %q", *logFormat)
@@ -74,6 +76,8 @@ func main() {
 		QueueDepth:     *queueDepth,
 		Logger:         obs.NewLogger(*logFormat, os.Stderr),
 		TraceEvents:    *traceEvents,
+		Replicas:       *replicas,
+		RouteWorkers:   *routeWorkers,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

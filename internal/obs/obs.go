@@ -37,12 +37,14 @@ type Recorder struct {
 
 	// Pre-resolved algorithm instruments, so the per-batch hot-loop hooks
 	// never do registry lookups.
-	annealTemp     *Gauge
-	annealRatio    *Gauge
-	annealMoves    *Counter
-	annealAccepted *Counter
-	routeExp       *Counter
-	routePush      *Counter
+	annealTemp        *Gauge
+	annealRatio       *Gauge
+	annealMoves       *Counter
+	annealAccepted    *Counter
+	annealRepMoves    *Counter
+	annealRepAccepted *Counter
+	routeExp          *Counter
+	routePush         *Counter
 }
 
 // NewRecorder builds a recorder over the given sinks; any may be nil.
@@ -60,6 +62,10 @@ func NewRecorder(tracer *Tracer, reg *Registry, logger *slog.Logger) *Recorder {
 			"Annealing moves proposed.")
 		r.annealAccepted = reg.Counter("parchmint_anneal_accepted_total",
 			"Annealing moves accepted.")
+		r.annealRepMoves = reg.Counter("parchmint_anneal_replica_moves_total",
+			"Annealing moves proposed, by tempering replica.", "replica")
+		r.annealRepAccepted = reg.Counter("parchmint_anneal_replica_accepted_total",
+			"Annealing moves accepted, by tempering replica.", "replica")
 		r.routeExp = reg.Counter("parchmint_route_expansions_total",
 			"Maze-search node expansions, by engine.", "engine")
 		r.routePush = reg.Counter("parchmint_route_pushes_total",
@@ -109,6 +115,24 @@ func (r *Recorder) AnnealBatch(temp float64, moves, accepted int) {
 	r.annealRatio.Set(float64(accepted) / float64(moves))
 	r.annealMoves.Add(float64(moves))
 	r.annealAccepted.Add(float64(accepted))
+}
+
+// AnnealReplicaBatch records one batch of parallel-tempering work by the
+// labeled replica: the per-replica counter series plus the aggregate
+// move/accept counters the single-replica schedule feeds. Replicas run
+// concurrently, so only mutex-guarded counters are touched — the
+// last-write gauges (temperature, acceptance ratio) stay with the
+// single-replica path where they are well-defined. Free (one nil check)
+// when telemetry is off.
+func (r *Recorder) AnnealReplicaBatch(replica string, temp float64, moves, accepted int) {
+	if r == nil || r.reg == nil || moves <= 0 {
+		return
+	}
+	_ = temp
+	r.annealMoves.Add(float64(moves))
+	r.annealAccepted.Add(float64(accepted))
+	r.annealRepMoves.Add(float64(moves), replica)
+	r.annealRepAccepted.Add(float64(accepted), replica)
 }
 
 // RouteBatch records one batch of maze-search work by the named engine:

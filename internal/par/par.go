@@ -1,0 +1,182 @@
+// Package par holds the repository's low-level parallelism primitives:
+// a bounded worker pool, order-preserving parallel loops, the
+// seed-derivation rule that keeps randomized work deterministic under
+// any scheduling, and the shared CPU budget that bounds nested
+// parallelism. It sits below both the solvers (place, route) and the
+// experiment harness (runner), which re-exports it — solvers import par
+// directly so the harness can keep importing the solvers without a
+// cycle.
+//
+// The determinism contract every user of this package relies on:
+//
+//   - A task's seed is a pure function of a base seed and the task's ID
+//     (DeriveSeed), never of submission order, completion order, or which
+//     worker picked the task up.
+//   - Results land in caller-provided slots indexed by task position, so
+//     aggregation order equals task order, not completion order.
+//   - Shared inputs (cached benchmark devices) are read-only.
+//
+// Under that contract the parallel paths produce byte-identical artifacts
+// to the sequential ones, which the determinism tests assert.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the process-wide worker count the experiment inner loops
+// consult (see ForEach with n <= 0). It defaults to 1 — fully sequential —
+// and is raised by parchmint-bench's -j flag and by experiments.AllParallel.
+var parallelism atomic.Int64
+
+func init() { parallelism.Store(1) }
+
+// SetParallelism sets the default worker count used when a parallel loop
+// is invoked without an explicit count. Values below 1 select
+// runtime.NumCPU(). It returns the previous value so callers can restore it.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism reports the current default worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// DeriveSeed maps (base, id) to a task seed. The ID is folded with FNV-1a
+// and the result is diffused through a SplitMix64 round, so distinct task
+// IDs get well-separated seeds and the same task always gets the same seed
+// regardless of scheduling. This is the only sanctioned way to seed
+// randomized work inside a parallel region.
+func DeriveSeed(base uint64, id string) uint64 {
+	const (
+		fnvOffset = 1469598103934665603
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime
+	}
+	z := (base ^ h) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Task is one unit of pool work.
+type Task struct {
+	// ID names the task; it keys the derived seed and the timing table.
+	ID string
+	// Seed is the task's deterministic seed (see Pool.Run).
+	Seed uint64
+	// Run does the work. Panics propagate to the Pool.Run caller.
+	Run func(t Task) error
+}
+
+// Pool executes tasks over a fixed set of worker goroutines.
+type Pool struct {
+	workers int
+	// BaseSeed, when nonzero, fills in each task's Seed as
+	// DeriveSeed(BaseSeed, task.ID) before running it (tasks with an
+	// explicit nonzero Seed keep it).
+	BaseSeed uint64
+}
+
+// NewPool creates a pool. Worker counts below 1 select runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes every task and returns the first error in task order (all
+// tasks run even after a failure, matching the sequential loop's artifact
+// set). A panicking task stops nothing else; the first panic in task order
+// is re-raised on the caller's goroutine after all workers drain.
+func (p *Pool) Run(tasks []Task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	panics := make([]any, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				if t.Seed == 0 && p.BaseSeed != 0 {
+					t.Seed = DeriveSeed(p.BaseSeed, t.ID)
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					errs[i] = t.Run(t)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("par: task %q panicked: %v", tasks[i].ID, r))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach runs fn(0..n-1) over a worker pool and blocks until all calls
+// return. workers <= 0 selects the process default (SetParallelism); a
+// resolved worker count of 1 degenerates to a plain loop on the calling
+// goroutine, which is the sequential path the parallel one must match
+// byte-for-byte. Panics propagate like Pool.Run.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			ID:  fmt.Sprintf("i%d", i),
+			Run: func(Task) error { fn(i); return nil },
+		}
+	}
+	_ = NewPool(workers).Run(tasks)
+}

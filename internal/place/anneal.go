@@ -83,6 +83,11 @@ type annealState struct {
 	bestPlaced  []bool
 	dirty       []int32
 	isDirty     []bool
+	// replica identifies this state in multi-replica runs (-1 for the
+	// classic single-replica schedule); replicaLabel is its pre-rendered
+	// metric label so the batch flush does no conversions.
+	replica      int
+	replicaLabel string
 }
 
 // Place runs the annealing schedule and returns a legalized placement.
@@ -100,7 +105,6 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 		return start, nil
 	}
 
-	st := newAnnealState(d, start, opts.Seed)
 	cooling := opts.CoolingRate
 	if cooling <= 0 || cooling >= 1 {
 		cooling = defaultCoolingRate
@@ -114,7 +118,11 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 	if initialAccept <= 0 || initialAccept >= 1 {
 		initialAccept = defaultInitialAccept
 	}
+	if opts.replicas() > 1 {
+		return annealParallel(ctx, d, start, opts, cooling, movesPerTemp, initialAccept)
+	}
 
+	st := newAnnealState(d, start, opts.Seed)
 	temp := st.calibrateTemperature(initialAccept)
 	// Displacement window shrinks adaptively (VPR-style): target ~44%%
 	// acceptance by narrowing proposals as the schedule cools.
@@ -130,40 +138,12 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 	rec := obs.FromContext(ctx)
 	moves := 0
 	for temp > defaultFinalTemp {
-		accepted := 0
-		flushedMoves, flushedAccepted := 0, 0
-		for m := 0; m < movesPerTemp; m++ {
-			if m%MoveBatch == 0 {
-				if m > 0 {
-					rec.AnnealBatch(temp, m-flushedMoves, accepted-flushedAccepted)
-					flushedMoves, flushedAccepted = m, accepted
-				}
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			if st.tryMove(temp) {
-				accepted++
-			}
-			if st.cost < st.bestCost {
-				st.bestCost = st.cost
-				st.syncBest()
-			}
+		accepted, err := st.runMoves(ctx, rec, temp, movesPerTemp)
+		if err != nil {
+			return nil, err
 		}
-		rec.AnnealBatch(temp, movesPerTemp-flushedMoves, accepted-flushedAccepted)
 		moves += movesPerTemp
-		rate := float64(accepted) / float64(movesPerTemp)
-		if rate < 0.44 {
-			st.window = st.window * 9 / 10
-		} else {
-			st.window = st.window * 11 / 10
-		}
-		if st.window < 4*Spacing {
-			st.window = 4 * Spacing
-		}
-		if st.window > die.Dx() {
-			st.window = die.Dx()
-		}
+		st.adaptWindow(accepted, movesPerTemp)
 		temp *= cooling
 	}
 
@@ -181,12 +161,76 @@ func (Annealer) Place(ctx context.Context, d *core.Device, opts Options) (*Place
 	return legal, nil
 }
 
+// runMoves proposes n moves at the given temperature — the one move loop
+// both the classic schedule and every parallel-tempering replica run. The
+// context is polled and telemetry deltas flush at MoveBatch boundaries;
+// best-so-far tracking folds in after every accepted improvement. Returns
+// the accepted count, or the context's error if the schedule was
+// cancelled mid-level.
+func (st *annealState) runMoves(ctx context.Context, rec *obs.Recorder, temp float64, n int) (int, error) {
+	accepted := 0
+	flushedMoves, flushedAccepted := 0, 0
+	for m := 0; m < n; m++ {
+		if m%MoveBatch == 0 {
+			if m > 0 {
+				st.flushBatch(rec, temp, m-flushedMoves, accepted-flushedAccepted)
+				flushedMoves, flushedAccepted = m, accepted
+			}
+			if err := ctx.Err(); err != nil {
+				return accepted, err
+			}
+		}
+		if st.tryMove(temp) {
+			accepted++
+		}
+		if st.cost < st.bestCost {
+			st.bestCost = st.cost
+			st.syncBest()
+		}
+	}
+	st.flushBatch(rec, temp, n-flushedMoves, accepted-flushedAccepted)
+	return accepted, nil
+}
+
+// flushBatch reports one batch of schedule work to the recorder: the
+// aggregate series for the classic schedule, the per-replica series for
+// parallel-tempering states.
+func (st *annealState) flushBatch(rec *obs.Recorder, temp float64, moves, accepted int) {
+	if st.replica < 0 {
+		rec.AnnealBatch(temp, moves, accepted)
+		return
+	}
+	rec.AnnealReplicaBatch(st.replicaLabel, temp, moves, accepted)
+}
+
+// adaptWindow updates the displacement window from one temperature
+// level's acceptance rate, targeting ~44% acceptance (VPR-style),
+// clamped to [4*Spacing, die width].
+func (st *annealState) adaptWindow(accepted, n int) {
+	if n <= 0 {
+		return
+	}
+	rate := float64(accepted) / float64(n)
+	if rate < 0.44 {
+		st.window = st.window * 9 / 10
+	} else {
+		st.window = st.window * 11 / 10
+	}
+	if st.window < 4*Spacing {
+		st.window = 4 * Spacing
+	}
+	if st.window > st.die.Dx() {
+		st.window = st.die.Dx()
+	}
+}
+
 func newAnnealState(d *core.Device, start *Placement, seed uint64) *annealState {
 	n := len(d.Components)
 	st := &annealState{
-		device: d,
-		die:    start.Die,
-		rng:    xrand.New(seed ^ 0x5A5A_1234),
+		device:  d,
+		die:     start.Die,
+		rng:     xrand.New(seed ^ 0x5A5A_1234),
+		replica: -1,
 	}
 	st.comps = make([]*core.Component, n)
 	compIdx := make(map[string]int32, n)

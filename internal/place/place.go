@@ -76,6 +76,22 @@ type Options struct {
 	CoolingRate   float64
 	MovesPerTemp  int
 	InitialAccept float64
+	// Replicas selects multi-replica parallel tempering for the annealer:
+	// N replicas share each temperature level's move budget and exchange
+	// states deterministically at level boundaries (see parallel.go).
+	// Values <= 1 keep the classic single-replica schedule. The result is
+	// a pure function of (device, options, seed, Replicas) — never of how
+	// many goroutines executed the replicas.
+	Replicas int
+}
+
+// replicas resolves the replica count: anything below 2 is the sequential
+// single-replica schedule.
+func (o Options) replicas() int {
+	if o.Replicas < 2 {
+		return 1
+	}
+	return o.Replicas
 }
 
 func (o Options) utilization() float64 {
@@ -118,6 +134,10 @@ func WithMovesPerTemp(n int) Option { return func(o *Options) { o.MovesPerTemp =
 
 // WithInitialAccept sets the annealer's target initial acceptance rate.
 func WithInitialAccept(a float64) Option { return func(o *Options) { o.InitialAccept = a } }
+
+// WithReplicas sets the annealer's parallel-tempering replica count
+// (<= 1 selects the classic single-replica schedule).
+func WithReplicas(n int) Option { return func(o *Options) { o.Replicas = n } }
 
 // Placer is a placement engine.
 type Placer interface {

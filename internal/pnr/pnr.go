@@ -81,6 +81,20 @@ func WithUtilization(u float64) Option { return func(o *Options) { o.Place.Utili
 // WithOrdering selects the net routing order.
 func WithOrdering(ord route.Order) Option { return func(o *Options) { o.Route.Ordering = ord } }
 
+// WithReplicas sets the annealer's parallel-tempering replica count.
+// Values below 2 keep the classic single-replica schedule. The replica
+// count selects the search — N replicas give a different (usually better)
+// placement than one — but for a fixed N the artifact is byte-identical
+// at any worker count or CPU budget.
+func WithReplicas(n int) Option { return func(o *Options) { o.Place.Replicas = n } }
+
+// WithParallelNets sets the router's speculative net-search worker count.
+// Values above 1 search that many nets concurrently; negative selects
+// runtime.NumCPU(); 0 and 1 keep the sequential flow. Unlike replicas
+// this knob never changes the artifact — parallel routing commits in net
+// order and is byte-identical to sequential at any width.
+func WithParallelNets(workers int) Option { return func(o *Options) { o.Route.Workers = workers } }
+
 // WithPlaceOptions replaces the whole placement option block.
 func WithPlaceOptions(po place.Options) Option { return func(o *Options) { o.Place = po } }
 

@@ -1,0 +1,126 @@
+// Speculative concurrent net routing. The round's nets are searched in
+// parallel against the round-start grid state, then committed strictly in
+// net order; a speculative result is used only when it is provably the
+// result the sequential flow would have computed, so any worker count
+// yields byte-identical reports.
+//
+// The proof obligation rests on two facts:
+//
+//   - Monotonicity: between rip-ups, routing only ever blocks cells
+//     (committed paths), never unblocks them, and never changes costs
+//     (history costs move between rounds, not within one).
+//   - Read-set containment: a maze search reads exactly the blocked state
+//     of the cells it probes, and every cell it observes to be FREE gets
+//     stamped into the arena's visited set (a passable neighbor is always
+//     visited; an impassable one is skipped unstamped). Cells observed
+//     blocked stay blocked by monotonicity.
+//
+// Hence if a net's speculative visited set is disjoint from the cells
+// committed nets have blocked since the round started, a re-search on the
+// live grid would observe the identical free/blocked sequence and return
+// the identical path, expansions count and all — so the commit pass skips
+// the re-search and replays the blocking. Any overlap, or any rip-up
+// transaction (which unblocks cells and so breaks monotonicity for its
+// layer), sends the net down the ordinary sequential path on the live
+// grid, which by induction is in exactly the state sequential execution
+// would have produced.
+package route
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/par"
+)
+
+// specResult is one net's speculative search outcome against the
+// round-start grids.
+type specResult struct {
+	res   NetResult
+	paths [][]geom.Cell
+	// visited holds the stamped cell indices of every search the net ran —
+	// the cells observed free, which the commit conflict test checks
+	// against cells blocked since the round started.
+	visited []int32
+	// ok marks the speculation usable: the searches ran to completion
+	// (not cancelled mid-flight) on a declared layer.
+	ok bool
+}
+
+// commitsCleanly reports whether the speculative result can stand in for
+// the sequential search: it found a complete route and observed no cell
+// that a previously committed net has since blocked. Unrouted
+// speculations never commit — the sequential flow's rip-up recovery (and
+// its budget bookkeeping) must run exactly as it would have.
+func (sp *specResult) commitsCleanly(blockedSince []bool) bool {
+	if !sp.ok || !sp.res.Routed {
+		return false
+	}
+	if blockedSince == nil {
+		return true
+	}
+	for _, i := range sp.visited {
+		if blockedSince[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// markBlocked folds newly blocked cells into the layer's blocked-since
+// set, allocating it on first use.
+func markBlocked(blockedSince map[string][]bool, layer string, g *geom.Grid, blocked []geom.Cell) {
+	if len(blocked) == 0 {
+		return
+	}
+	set := blockedSince[layer]
+	if set == nil {
+		set = make([]bool, g.NumCells())
+		blockedSince[layer] = set
+	}
+	cols := g.Cols()
+	for _, c := range blocked {
+		set[c.Row*cols+c.Col] = true
+	}
+}
+
+// speculate searches every job concurrently against the round-start grid
+// state. Jobs are split into contiguous chunks, one per worker; each
+// worker searches its chunk sequentially on private lazy clones of the
+// layer grids (searchNet leaves the grid unchanged, so one clone serves a
+// whole chunk). Results land in job order — nothing about the outcome
+// depends on scheduling.
+func speculate(ctx context.Context, work map[string]*geom.Grid, router Router, jobs []netJob, opts Options, d *core.Device, workers int) []specResult {
+	specs := make([]specResult, len(jobs))
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	chunk := (len(jobs) + workers - 1) / workers
+	par.ForEach(workers, workers, func(w int) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		var clones map[string]*geom.Grid
+		for j := lo; j < hi; j++ {
+			job := &jobs[j]
+			g := work[job.conn.Layer]
+			if g == nil {
+				continue // undeclared layer: sequential path reports it
+			}
+			if clones == nil {
+				clones = make(map[string]*geom.Grid, 1)
+			}
+			cg := clones[job.conn.Layer]
+			if cg == nil {
+				cg = g.Clone()
+				clones[job.conn.Layer] = cg
+			}
+			col := &visitCollector{}
+			res, paths := searchNet(withCollector(ctx, col), cg, router, job, opts, d)
+			specs[j] = specResult{res: res, paths: paths, visited: col.cells, ok: ctx.Err() == nil}
+		}
+	})
+	return specs
+}

@@ -1,0 +1,146 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/place"
+)
+
+// reportBytes canonically encodes a report for byte-comparison.
+func reportBytes(t testing.TB, r *Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelNetsMatchSequential is the router's core determinism claim:
+// speculative concurrent routing commits in net order and produces
+// byte-identical reports to the sequential flow, for every engine, at any
+// worker count.
+func TestParallelNetsMatchSequential(t *testing.T) {
+	for _, name := range []string{"aquaflex_3b", "rotary_pcr", "hiv_diagnostics"} {
+		for _, router := range Engines() {
+			t.Run(name+"/"+router.Name(), func(t *testing.T) {
+				_, seq := routedDevice(t, name, router, Options{})
+				want := reportBytes(t, seq)
+				for _, w := range []int{2, 4, -1} {
+					_, par := routedDevice(t, name, router, Options{Workers: w})
+					if got := reportBytes(t, par); !bytes.Equal(got, want) {
+						t.Errorf("Workers=%d report differs from sequential", w)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelNetsUnderBudget pins that the CPU budget only narrows the
+// fan-out — never the artifact — and that the router returns every token
+// it takes.
+func TestParallelNetsUnderBudget(t *testing.T) {
+	b, err := bench.ByName("rotary_pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	p, err := (place.Greedy{}).Place(context.Background(), d, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RouteAll(context.Background(), p, AStar{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, seq)
+	for _, cap := range []int{1, 3} {
+		budget := par.NewBudget(cap)
+		ctx := par.ContextWithBudget(context.Background(), budget)
+		rep, err := RouteAll(ctx, p, AStar{}, Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+			t.Errorf("budget cap %d: report differs from sequential", cap)
+		}
+		if budget.InUse() != 0 {
+			t.Errorf("budget cap %d: %d tokens leaked", cap, budget.InUse())
+		}
+	}
+}
+
+// TestParallelNetsRepeatedRuns hammers the scheduling-independence
+// property at unit scope: the same parallel route, run repeatedly, must
+// never vary — the commit pass alone decides outcomes, not goroutine
+// interleaving.
+func TestParallelNetsRepeatedRuns(t *testing.T) {
+	b, err := bench.ByName("aquaflex_3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := (place.Greedy{}).Place(context.Background(), b.Build(), place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for run := 0; run < 6; run++ {
+		rep, err := RouteAll(context.Background(), p, Hadlock{}, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := reportBytes(t, rep)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("run %d differs from run 0", run)
+		}
+	}
+}
+
+// FuzzParallelRouteDeterminism fuzzes the commit-order property over
+// arbitrary devices, seeded from the same benchmark corpus as
+// FuzzDeviceJSON: any device the codec accepts and the greedy placer can
+// place must route identically with and without speculative workers.
+func FuzzParallelRouteDeterminism(f *testing.F) {
+	for _, b := range bench.Suite() {
+		if data, err := core.Marshal(b.Device()); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := core.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Bound the work per input: fuzzing explores the commit logic, not
+		// router throughput.
+		if len(d.Components) > 48 || len(d.Connections) > 64 {
+			return
+		}
+		p, err := (place.Greedy{}).Place(context.Background(), d, place.Options{})
+		if err != nil {
+			return
+		}
+		seq, err := RouteAll(context.Background(), p, AStar{}, Options{})
+		if err != nil {
+			return // malformed placement/die: both flows reject identically
+		}
+		par, err := RouteAll(context.Background(), p, AStar{}, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("parallel flow errored where sequential succeeded: %v", err)
+		}
+		if !bytes.Equal(reportBytes(t, seq), reportBytes(t, par)) {
+			t.Errorf("parallel report differs from sequential for device %q", d.Name)
+		}
+	})
+}

@@ -3,10 +3,12 @@ package route
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/par"
 	"repro/internal/place"
 )
 
@@ -39,6 +41,13 @@ type Options struct {
 	// max(20, nets/4). Rip-up is the expensive recovery path — every
 	// transaction re-runs searches for the victims — so it is budgeted.
 	MaxRipups int
+	// Workers sizes the speculative net-search fan-out: values above 1
+	// search that many nets concurrently (bounded by the context's CPU
+	// budget), negative selects runtime.NumCPU(), and 0 or 1 keep the
+	// classic sequential flow. Any value produces byte-identical reports —
+	// speculative results commit in net order and only when provably equal
+	// to what the sequential search would have returned (see parallel.go).
+	Workers int
 }
 
 func (o Options) maxRipups(nets int) int {
@@ -64,6 +73,16 @@ func (o Options) ordering() Order {
 		return OrderShortFirst
 	}
 	return o.Ordering
+}
+
+func (o Options) workers() int {
+	if o.Workers < 0 {
+		return runtime.NumCPU()
+	}
+	if o.Workers < 2 {
+		return 1
+	}
+	return o.Workers
 }
 
 func (o Options) rounds() int {
@@ -267,6 +286,16 @@ func RouteAll(ctx context.Context, p *place.Placement, router Router, opts Optio
 	}
 	orderJobs(jobs, opts.ordering())
 
+	// Resolve the speculative search width once per call: the context's
+	// CPU budget (when one is attached) bounds the extra workers for the
+	// whole run. Width 1 keeps every round on the classic sequential flow.
+	workers := 1
+	if w := opts.workers(); w > 1 && len(jobs) > 1 {
+		var release func()
+		workers, release = par.AcquireWorkers(ctx, w)
+		defer release()
+	}
+
 	report := &Report{Router: router.Name()}
 	// Nets can flip between routed and unrouted across rounds (rerouting a
 	// failed net first can displace another), so each round produces a
@@ -289,7 +318,7 @@ func RouteAll(ctx context.Context, p *place.Placement, router Router, opts Optio
 				return failCount[roundJobs[a].conn.ID] > failCount[roundJobs[b].conn.ID]
 			})
 		}
-		results, routed := routeRound(ctx, work, router, roundJobs, opts, d, len(d.Connections))
+		results, routed := routeRound(ctx, work, router, roundJobs, opts, d, len(d.Connections), workers)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("route: %w", err)
 		}
@@ -323,119 +352,203 @@ type routedNet struct {
 	blocked []geom.Cell
 }
 
-// routeRound routes all jobs once, with targeted rip-up-and-reroute: when
-// a net fails, the nets whose paths occupy its pin bounding box are ripped
-// up, the failed net routes through the cleared region, and the victims
-// re-route afterwards. Returns per-connection results (indexed by device
-// order) and the routed count.
-func routeRound(ctx context.Context, work map[string]*geom.Grid, router Router, roundJobs []netJob, opts Options, d *core.Device, nConns int) ([]NetResult, int) {
-	results := make([]NetResult, nConns)
-	done := make(map[string]*routedNet)
-	ripupBudget := opts.maxRipups(len(roundJobs))
+// roundState carries one routing round's mutable state: the working
+// grids, per-connection results, the routed-net index that powers
+// targeted rip-up, and the round's rip-up budget. Extracting it from the
+// old routeRound closure lets the speculative commit pass (parallel.go)
+// share the exact record/routeOne machinery the sequential flow uses.
+type roundState struct {
+	work        map[string]*geom.Grid
+	router      Router
+	opts        Options
+	d           *core.Device
+	results     []NetResult
+	done        map[string]*routedNet
+	ripupBudget int
+	// ripups counts rip-up transactions attempted this round (committed
+	// or rolled back). The speculative commit pass watches it: any rip-up
+	// breaks the blocks-only-accumulate monotonicity its conflict test
+	// relies on, so the net's layer falls back to sequential routing.
+	ripups int
+}
 
-	record := func(job *netJob, res NetResult, blocked []geom.Cell) {
-		results[job.index] = res
-		if res.Routed {
-			done[job.conn.ID] = &routedNet{job: job, res: res, blocked: blocked}
-		} else {
-			delete(done, job.conn.ID)
+func (rs *roundState) record(job *netJob, res NetResult, blocked []geom.Cell) {
+	rs.results[job.index] = res
+	if res.Routed {
+		rs.done[job.conn.ID] = &routedNet{job: job, res: res, blocked: blocked}
+	} else {
+		delete(rs.done, job.conn.ID)
+	}
+}
+
+// routeOne routes one net on the live grids, with targeted
+// rip-up-and-reroute: when a net fails, the nets whose paths occupy its
+// pin bounding box are ripped up, the failed net routes through the
+// cleared region, and the victims re-route afterwards.
+func (rs *roundState) routeOne(ctx context.Context, job *netJob, allowRipup bool) {
+	g := rs.work[job.conn.Layer]
+	res, blocked := routeNet(ctx, g, rs.router, job, rs.opts, rs.d)
+	if res.Routed || !allowRipup || g == nil || rs.ripupBudget <= 0 {
+		rs.record(job, res, blocked)
+		return
+	}
+	rs.ripupBudget--
+	rs.ripups++
+	// Targeted rip-up: clear every routed net on this layer whose path
+	// enters the failed net's pin bounding box, route the failed net
+	// through the cleared region, then re-route the victims. The whole
+	// transaction commits only if it strictly increases the routed
+	// count; otherwise the grid and results roll back.
+	region := geom.BoundingBox(job.pins).Inflate(4 * g.Pitch())
+	var victims []*routedNet
+	for _, rn := range rs.done {
+		if rn.job.conn.Layer != job.conn.Layer {
+			continue
+		}
+		for _, c := range rn.blocked {
+			if region.ContainsClosed(g.CenterOf(c)) {
+				victims = append(victims, rn)
+				break
+			}
 		}
 	}
-
-	var routeOne func(job *netJob, allowRipup bool)
-	routeOne = func(job *netJob, allowRipup bool) {
-		g := work[job.conn.Layer]
-		res, blocked := routeNet(ctx, g, router, job, opts, d)
-		if res.Routed || !allowRipup || g == nil || ripupBudget <= 0 {
-			record(job, res, blocked)
-			return
+	// No victims means the region is genuinely unreachable; too many
+	// means the transaction would be disruptive and slow — both skip.
+	const maxVictims = 8
+	if len(victims) == 0 || len(victims) > maxVictims {
+		rs.record(job, res, nil)
+		return
+	}
+	// Deterministic victim order: device order.
+	sort.Slice(victims, func(a, b int) bool { return victims[a].job.index < victims[b].job.index })
+	snapshot := g.Clone()
+	saved := make([]routedNet, len(victims))
+	for i, v := range victims {
+		saved[i] = *v
+	}
+	for _, v := range victims {
+		for _, c := range v.blocked {
+			g.Unblock(c)
 		}
-		ripupBudget--
-		// Targeted rip-up: clear every routed net on this layer whose path
-		// enters the failed net's pin bounding box, route the failed net
-		// through the cleared region, then re-route the victims. The whole
-		// transaction commits only if it strictly increases the routed
-		// count; otherwise the grid and results roll back.
-		region := geom.BoundingBox(job.pins).Inflate(4 * g.Pitch())
-		var victims []*routedNet
-		for _, rn := range done {
-			if rn.job.conn.Layer != job.conn.Layer {
-				continue
-			}
-			for _, c := range rn.blocked {
-				if region.ContainsClosed(g.CenterOf(c)) {
-					victims = append(victims, rn)
-					break
-				}
-			}
-		}
-		// No victims means the region is genuinely unreachable; too many
-		// means the transaction would be disruptive and slow — both skip.
-		const maxVictims = 8
-		if len(victims) == 0 || len(victims) > maxVictims {
-			record(job, res, nil)
-			return
-		}
-		// Deterministic victim order: device order.
-		sort.Slice(victims, func(a, b int) bool { return victims[a].job.index < victims[b].job.index })
-		snapshot := g.Clone()
-		saved := make([]routedNet, len(victims))
-		for i, v := range victims {
-			saved[i] = *v
-		}
-		for _, v := range victims {
-			for _, c := range v.blocked {
-				g.Unblock(c)
-			}
-			record(v.job, NetResult{Net: v.job.conn.ID, Layer: v.job.conn.Layer}, nil)
-		}
-		retry, retryBlocked := routeNet(ctx, g, router, job, opts, d)
-		retry.Expansions += res.Expansions
-		record(job, retry, retryBlocked)
-		for _, v := range victims {
-			routeOne(v.job, false)
-		}
-		newRouted := 0
-		if results[job.index].Routed {
+		rs.record(v.job, NetResult{Net: v.job.conn.ID, Layer: v.job.conn.Layer}, nil)
+	}
+	retry, retryBlocked := routeNet(ctx, g, rs.router, job, rs.opts, rs.d)
+	retry.Expansions += res.Expansions
+	rs.record(job, retry, retryBlocked)
+	for _, v := range victims {
+		rs.routeOne(ctx, v.job, false)
+	}
+	newRouted := 0
+	if rs.results[job.index].Routed {
+		newRouted++
+	}
+	for _, v := range victims {
+		if rs.results[v.job.index].Routed {
 			newRouted++
 		}
-		for _, v := range victims {
-			if results[v.job.index].Routed {
-				newRouted++
-			}
-		}
-		if newRouted > len(victims) {
-			return // committed: strictly more nets routed than before
-		}
-		// Roll back.
-		work[job.conn.Layer] = snapshot
-		record(job, res, nil)
-		for i := range saved {
-			record(saved[i].job, saved[i].res, saved[i].blocked)
-		}
 	}
+	if newRouted > len(victims) {
+		return // committed: strictly more nets routed than before
+	}
+	// Roll back.
+	rs.work[job.conn.Layer] = snapshot
+	rs.record(job, res, nil)
+	for i := range saved {
+		rs.record(saved[i].job, saved[i].res, saved[i].blocked)
+	}
+}
 
+// routeRound routes all jobs once. With workers > 1 a speculative search
+// phase runs first (parallel.go); the commit pass — and the sequential
+// flow it degrades to — processes jobs in round order. Returns
+// per-connection results (indexed by device order) and the routed count.
+func routeRound(ctx context.Context, work map[string]*geom.Grid, router Router, roundJobs []netJob, opts Options, d *core.Device, nConns, workers int) ([]NetResult, int) {
+	rs := &roundState{
+		work:        work,
+		router:      router,
+		opts:        opts,
+		d:           d,
+		results:     make([]NetResult, nConns),
+		done:        make(map[string]*routedNet),
+		ripupBudget: opts.maxRipups(len(roundJobs)),
+	}
 	allowRipup := opts.RipupRounds >= 0
+	var specs []specResult
+	if workers > 1 {
+		specs = speculate(ctx, work, router, roundJobs, opts, d, workers)
+	}
+	dirty := map[string]bool{}
+	blockedSince := map[string][]bool{}
 	for i := range roundJobs {
 		if ctx.Err() != nil {
 			break // RouteAll reports the cancellation
 		}
-		routeOne(&roundJobs[i], allowRipup)
+		job := &roundJobs[i]
+		lid := job.conn.Layer
+		if specs != nil && !dirty[lid] && specs[i].commitsCleanly(blockedSince[lid]) {
+			// The speculative search observed no cell a committed net has
+			// since blocked, so the sequential search would have returned
+			// the identical path: commit it without re-searching.
+			blocked := blockPaths(work[lid], specs[i].paths)
+			rs.record(job, specs[i].res, blocked)
+			markBlocked(blockedSince, lid, work[lid], blocked)
+			continue
+		}
+		before := rs.ripups
+		rs.routeOne(ctx, job, allowRipup)
+		if specs == nil {
+			continue
+		}
+		if rs.ripups != before {
+			// A rip-up transaction (even a rolled-back one) may have
+			// unblocked cells mid-flight; the conflict test's monotonicity
+			// assumption is gone for this layer, so later nets on it route
+			// sequentially.
+			dirty[lid] = true
+		} else if rn := rs.done[job.conn.ID]; rn != nil {
+			markBlocked(blockedSince, lid, work[lid], rn.blocked)
+		}
 	}
-	routed := 0
-	for id := range done {
-		_ = id
-		routed++
-	}
-	return results, routed
+	return rs.results, len(rs.done)
 }
 
-// routeNet routes one multi-terminal net: source to first sink, then each
-// further sink to the growing route tree (sequential Steiner
-// approximation). Successful paths block the grid for later nets; the
-// returned cells are exactly those this net newly blocked, enabling
+// routeNet routes one multi-terminal net on the live grid: search, then
+// block the found paths. Successful paths block the grid for later nets;
+// the returned cells are exactly those this net newly blocked, enabling
 // targeted rip-up.
 func routeNet(ctx context.Context, g *geom.Grid, router Router, job *netJob, opts Options, d *core.Device) (NetResult, []geom.Cell) {
+	res, paths := searchNet(ctx, g, router, job, opts, d)
+	if !res.Routed {
+		return res, nil
+	}
+	return res, blockPaths(g, paths)
+}
+
+// blockPaths blocks every cell of the routed paths, in path order,
+// returning exactly the free→blocked transitions (endpoints sit on cells
+// already blocked by component footprints and pin reservations) so a
+// targeted rip-up can undo them.
+func blockPaths(g *geom.Grid, paths [][]geom.Cell) []geom.Cell {
+	var newlyBlocked []geom.Cell
+	for _, path := range paths {
+		for _, c := range path {
+			if !g.Blocked(c) {
+				g.Block(c)
+				newlyBlocked = append(newlyBlocked, c)
+			}
+		}
+	}
+	return newlyBlocked
+}
+
+// searchNet runs one multi-terminal net's maze searches: source to first
+// sink, then each further sink to the growing route tree (sequential
+// Steiner approximation). The grid's net effect is zero — escape lanes
+// are restored and found paths are NOT blocked — so the same grid state
+// can host many speculative searches; committing a found route is
+// blockPaths. Segments and length are fully rendered here, making the
+// result ready to record once its paths commit.
+func searchNet(ctx context.Context, g *geom.Grid, router Router, job *netJob, opts Options, d *core.Device) (NetResult, [][]geom.Cell) {
 	res := NetResult{Net: job.conn.ID, Layer: job.conn.Layer}
 	if g == nil {
 		return res, nil // undeclared layer; validator reports it
@@ -481,17 +594,7 @@ func routeNet(ctx context.Context, g *geom.Grid, router Router, job *netJob, opt
 	}
 	res.Routed = true
 	segNum := 0
-	var newlyBlocked []geom.Cell
 	for _, path := range allPaths {
-		// Block the path so later nets cannot cross it, recording only the
-		// free->blocked transitions (endpoints sit on cells already blocked
-		// by component footprints and pin reservations).
-		for _, c := range path {
-			if !g.Blocked(c) {
-				g.Block(c)
-				newlyBlocked = append(newlyBlocked, c)
-			}
-		}
 		for _, seg := range compressPath(g, path) {
 			res.Length += seg.a.Manhattan(seg.b)
 			res.Segments = append(res.Segments, core.Feature{
@@ -508,7 +611,7 @@ func routeNet(ctx context.Context, g *geom.Grid, router Router, job *netJob, opt
 			segNum++
 		}
 	}
-	return res, newlyBlocked
+	return res, allPaths
 }
 
 type segment struct{ a, b geom.Point }

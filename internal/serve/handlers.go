@@ -64,6 +64,10 @@ type request struct {
 	Router string `json:"router,omitempty"`
 	// Utilization overrides the die utilization fraction (pnr only).
 	Utilization float64 `json:"utilization,omitempty"`
+	// Replicas overrides the server's parallel-tempering replica count
+	// for the annealing placer (pnr and render only); 0 uses the server
+	// default, values below 2 select the single-replica schedule.
+	Replicas int `json:"replicas,omitempty"`
 
 	// To selects the conversion target, "mint" or "json" (convert only);
 	// empty converts to the opposite of the input format.
@@ -190,7 +194,28 @@ func (s *Server) cacheKey(op string, req *request) string {
 	}
 	var sb [8]byte
 	binary.LittleEndian.PutUint64(sb[:], seed)
+	// The replica count selects a different annealing search, so for the
+	// operations it reaches it must be part of the address. It folds in
+	// only when a multi-replica schedule is effective: single-replica
+	// keys stay byte-for-byte what they were before the knob existed, so
+	// existing entries (and servers that never set it) are undisturbed.
+	// RouteWorkers, by contrast, never appears in any key: parallel
+	// routing is byte-identical to sequential.
+	if n := s.replicas(req); n > 1 && (op == opPNR || op == opRender) {
+		var rb [8]byte
+		binary.LittleEndian.PutUint64(rb[:], uint64(n))
+		return cache.Key([]byte(op), canon, sb[:], rb[:])
+	}
 	return cache.Key([]byte(op), canon, sb[:])
+}
+
+// replicas resolves the effective annealing replica count for a request:
+// the request's explicit value, else the server default.
+func (s *Server) replicas(req *request) int {
+	if req.Replicas != 0 {
+		return req.Replicas
+	}
+	return s.cfg.Replicas
 }
 
 // exec dispatches one pipeline operation and materializes its full
@@ -386,6 +411,8 @@ func (s *Server) execPNR(ctx context.Context, req *request) (cache.Entry, error)
 			pnr.WithPlacer(placer),
 			pnr.WithRouter(router),
 			pnr.WithSeed(seed),
+			pnr.WithReplicas(s.replicas(req)),
+			pnr.WithParallelNets(s.cfg.RouteWorkers),
 			pnr.WithObserver(s.stageObserver(res.Device.Name)),
 		}
 		if req.Utilization > 0 {
@@ -455,6 +482,8 @@ func (s *Server) execRender(ctx context.Context, req *request) (cache.Entry, err
 		err := s.gateDo(ctx, d.Name, func(seed uint64) error {
 			result, err := pnr.RunContext(ctx, d, pnr.NewOptions(
 				pnr.WithSeed(seed),
+				pnr.WithReplicas(s.replicas(req)),
+				pnr.WithParallelNets(s.cfg.RouteWorkers),
 				pnr.WithObserver(s.stageObserver(d.Name)),
 			))
 			if err != nil {

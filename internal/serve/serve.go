@@ -49,6 +49,16 @@ type Config struct {
 	// before admission sheds with 429; 0 means unbounded (never shed on
 	// queue depth).
 	QueueDepth int
+	// Replicas is the default parallel-tempering replica count for pnr
+	// (and render-triggered pnr) requests; a request's explicit
+	// "replicas" field overrides it. Values below 2 keep the classic
+	// single-replica annealing schedule.
+	Replicas int
+	// RouteWorkers is the router's speculative net-search width for pnr
+	// requests; below 2 keeps sequential routing. This knob never changes
+	// response bytes — parallel routing is byte-identical to sequential —
+	// so it takes no part in cache keys.
+	RouteWorkers int
 }
 
 func (c Config) maxBody() int64 {
@@ -80,6 +90,7 @@ func (c Config) queueDepth() int {
 type Server struct {
 	cfg    Config
 	gate   *runner.Gate
+	budget *runner.Budget
 	cache  *cache.Cache // nil when caching is disabled
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -101,8 +112,13 @@ type Server struct {
 // New builds a server; the zero Config selects all defaults.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:    cfg,
-		gate:   runner.NewBoundedGate(cfg.Workers, cfg.queueDepth(), cfg.BaseSeed),
+		cfg:  cfg,
+		gate: runner.NewBoundedGate(cfg.Workers, cfg.queueDepth(), cfg.BaseSeed),
+		// One process-wide CPU ledger for the solvers' nested parallelism
+		// (replica annealing, speculative routing): admitted requests own
+		// their goroutine; extra fan-out draws tokens from this budget, so
+		// gate × solver parallelism can never oversubscribe the machine.
+		budget: runner.NewBudget(0),
 		reg:    obs.NewRegistry(),
 		tracer: obs.NewTracer(cfg.TraceEvents),
 		start:  time.Now(),
@@ -288,6 +304,7 @@ func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handle
 		reqID := s.ids.Next()
 		ctx = obs.WithRecorder(ctx, s.rec)
 		ctx = obs.WithRequestID(ctx, reqID)
+		ctx = runner.ContextWithBudget(ctx, s.budget)
 		ctx, span := obs.Start(ctx, "http."+endpoint)
 		sw.Header().Set("X-Request-Id", reqID)
 		if err := h(sw, r.WithContext(ctx)); err != nil {
