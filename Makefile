@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke cache-smoke trace-smoke hammer hammer-full check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke cache-smoke jobs-smoke trace-smoke hammer hammer-full check
 
 all: build
 
@@ -123,6 +123,44 @@ cache-smoke: build
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "cache-smoke: ok"
 
+# Durability end to end: boot parchmint-serve with a job journal, submit
+# a pnr job, stream its SSE events to the terminal "done" event, capture
+# the result bytes, kill the server with SIGKILL (no shutdown, no flush
+# beyond the journal's own fsyncs), reboot from the same journal, and
+# assert the replayed job serves byte-identical bytes as a durable cache
+# hit. This is the acceptance scenario the in-process tests approximate;
+# here it crosses a real unclean process death. Skips without curl.
+jobs-smoke: build
+	@command -v curl >/dev/null 2>&1 || { echo "jobs-smoke: curl not found, skipping"; exit 0; }
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/parchmint-serve" ./cmd/parchmint-serve; \
+	"$$tmp/parchmint-serve" -addr 127.0.0.1:0 -cache-bytes 67108864 \
+		-journal "$$tmp/journal.jsonl" -port-file "$$tmp/port" & pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
+	port=$$(cat "$$tmp/port"); \
+	curl -sfS -X POST -d '{"op":"pnr","bench":"rotary_pcr"}' \
+		"http://127.0.0.1:$$port/v1/jobs" > "$$tmp/submit.json"; \
+	id=$$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$$tmp/submit.json"); \
+	[ -n "$$id" ] || { echo "jobs-smoke: no job id in $$(cat $$tmp/submit.json)"; exit 1; }; \
+	curl -sfS -N --max-time 60 "http://127.0.0.1:$$port/v1/jobs/$$id/events" \
+		| sed '/^event: done/,/^$$/{/^$$/q;}' > "$$tmp/events"; \
+	grep -q '^event: done' "$$tmp/events"; \
+	grep -q '"status":"completed"' "$$tmp/events"; \
+	curl -sfS -o "$$tmp/b1" "http://127.0.0.1:$$port/v1/jobs/$$id/result"; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	"$$tmp/parchmint-serve" -addr 127.0.0.1:0 -cache-bytes 67108864 \
+		-journal "$$tmp/journal.jsonl" -port-file "$$tmp/port2" & pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do [ -s "$$tmp/port2" ] && break; sleep 0.1; done; \
+	port=$$(cat "$$tmp/port2"); \
+	curl -sfS -D "$$tmp/h2" -o "$$tmp/b2" "http://127.0.0.1:$$port/v1/jobs/$$id/result"; \
+	grep -qi '^x-parchmint-cache: hit' "$$tmp/h2"; \
+	cmp -s "$$tmp/b1" "$$tmp/b2"; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "jobs-smoke: ok"
+
 # Run the full flow with span tracing on, then validate the emitted
 # Chrome trace_event JSON: well-formed, and every pipeline stage span
 # present. Catches a telemetry layer that silently stopped recording.
@@ -134,4 +172,4 @@ trace-smoke:
 		-trace-spans "bench.build,pnr.flow,place.anneal,route.astar,pnr.attach"; \
 	echo "trace-smoke: ok"
 
-check: build vet test race hammer fuzz-smoke bench-smoke serve-smoke cache-smoke trace-smoke
+check: build vet test race hammer fuzz-smoke bench-smoke serve-smoke cache-smoke jobs-smoke trace-smoke

@@ -14,20 +14,31 @@
 //	                [-timeout D] [-cache-bytes BYTES] [-queue-depth N]
 //	                [-port-file PATH] [-log-format text|json]
 //	                [-trace-events N] [-replicas N] [-route-workers N]
+//	                [-journal PATH] [-job-timeout D] [-max-jobs N]
 //
 // Endpoints:
 //
-//	POST /v1/validate    semantic + schema diagnostics
-//	POST /v1/convert     MINT <-> ParchMint JSON
-//	POST /v1/pnr         place-and-route, metrics + annotated device
-//	POST /v1/stats       characterization profile (paper Table 1)
-//	POST /v1/render.svg  SVG drawing
-//	POST /v1/batch       many pipeline requests in one body, fanned through the pool
-//	GET  /v1/bench       suite catalog
-//	GET  /v1/bench/{name} one benchmark's ParchMint document
-//	GET  /healthz        liveness, build info, uptime
-//	GET  /metrics        Prometheus text metrics
-//	GET  /debug/trace    span ring buffer as Chrome trace_event JSON (?n= last n)
+//	POST   /v1/validate    semantic + schema diagnostics
+//	POST   /v1/convert     MINT <-> ParchMint JSON
+//	POST   /v1/pnr         place-and-route, metrics + annotated device
+//	POST   /v1/stats       characterization profile (paper Table 1)
+//	POST   /v1/render.svg  SVG drawing
+//	POST   /v1/batch       many pipeline requests in one body, fanned through the pool
+//	POST   /v1/jobs        submit any operation as a durable async job
+//	GET    /v1/jobs        job listing (?status= filters)
+//	GET    /v1/jobs/{id}   job status document
+//	GET    /v1/jobs/{id}/result  completed job's bytes (X-Parchmint-Cache outcome)
+//	GET    /v1/jobs/{id}/events  live progress as Server-Sent Events
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/bench       suite catalog ({items, total}; ?prefix= filters)
+//	GET    /v1/bench/{name} one benchmark's ParchMint document
+//	GET    /healthz        liveness, build info, uptime
+//	GET    /metrics        Prometheus text metrics
+//	GET    /debug/trace    span ring buffer as Chrome trace_event JSON (?n= last n)
+//
+// With -journal, job submissions append to a JSONL transition log that is
+// replayed on boot: completed jobs answer from their journaled bytes
+// (a durable cache hit) and interrupted jobs re-run deterministically.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/job"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -62,9 +74,25 @@ func main() {
 	traceEvents := flag.Int("trace-events", 0, "span ring buffer capacity for /debug/trace (0 = default)")
 	replicas := flag.Int("replicas", 0, "default annealing replica count for pnr requests (<2 = single-replica; requests may override with \"replicas\")")
 	routeWorkers := flag.Int("route-workers", 0, "speculative net-search workers for routing (<2 = sequential, -1 = NumCPU; never changes response bytes)")
+	journalPath := flag.String("journal", "", "append job transitions to this JSONL file and replay it on boot (empty = in-memory jobs only)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution timeout (0 = unbounded)")
+	maxJobs := flag.Int("max-jobs", 0, "max retained jobs before oldest terminal ones are evicted (0 = default)")
 	flag.Parse()
 	if *logFormat != "text" && *logFormat != "json" {
 		cli.Fatalf("parchmint-serve: -log-format must be text or json, got %q", *logFormat)
+	}
+
+	var journal *job.Journal
+	if *journalPath != "" {
+		var err error
+		journal, err = job.OpenJournal(*journalPath)
+		if err != nil {
+			cli.Fatalf("parchmint-serve: %v", err)
+		}
+		defer journal.Close()
+		if n := journal.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "parchmint-serve: journal %s: skipped %d unparseable line(s)\n", *journalPath, n)
+		}
 	}
 
 	s := serve.New(serve.Config{
@@ -78,7 +106,11 @@ func main() {
 		TraceEvents:    *traceEvents,
 		Replicas:       *replicas,
 		RouteWorkers:   *routeWorkers,
+		Journal:        journal,
+		JobTimeout:     *jobTimeout,
+		MaxJobs:        *maxJobs,
 	})
+	defer s.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,99 @@
+package job
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one entry in a job's progress stream. Seq numbers start at 1
+// and are dense within a job, so an SSE client that reconnects with
+// Last-Event-ID resumes exactly where it left off. Data is the event's
+// JSON payload, marshaled once at publish time and immutable afterwards.
+type Event struct {
+	Seq  int
+	Type string
+	Data json.RawMessage
+}
+
+// Event types. Every job stream ends with exactly one EventDone.
+const (
+	// EventStatus reports a lifecycle transition: {"status": "..."}.
+	EventStatus = "status"
+	// EventStage reports one finished pipeline stage:
+	// {"stage": "place", "seconds": 0.042}.
+	EventStage = "stage"
+	// EventProgress reports cumulative algorithm work:
+	// {"anneal": {...}, "route": {...}}. Emission is throttled.
+	EventProgress = "progress"
+	// EventDone is the terminal event: final status plus the result
+	// location (completed) or the error (failed).
+	EventDone = "done"
+)
+
+// maxHubEvents caps one job's retained history. Status, stage, and done
+// events are always admitted (they are structurally bounded); progress
+// events stop being recorded once the cap is reached, so a pathological
+// run cannot grow a job's memory without bound.
+const maxHubEvents = 4096
+
+// hub is one job's append-only event log plus a change broadcast.
+// Subscribers poll since(i) and block on the returned channel; publish
+// closes the channel, waking every subscriber at once. Events are
+// immutable after append, so slices of the log are handed out directly.
+type hub struct {
+	mu      sync.Mutex
+	events  []Event
+	changed chan struct{}
+	done    bool
+}
+
+func newHub() *hub {
+	return &hub{changed: make(chan struct{})}
+}
+
+// publish appends one event. Terminal marks the stream complete: no
+// further events will follow and subscribers should close after draining.
+// Publishing after the terminal event is a silent no-op, as is a progress
+// event past the history cap.
+func (h *hub) publish(typ string, payload any, terminal bool) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Payloads are internal DTOs that marshal by construction.
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	if typ == EventProgress && len(h.events) >= maxHubEvents {
+		return
+	}
+	h.events = append(h.events, Event{Seq: len(h.events) + 1, Type: typ, Data: data})
+	h.done = terminal
+	close(h.changed)
+	h.changed = make(chan struct{})
+}
+
+// since returns the events from index from (0-based), whether the stream
+// is terminal, and a channel closed on the next publish. When the
+// returned slice already reaches the end of a terminal stream, the
+// channel will never close — check terminal first.
+func (h *hub) since(from int) (evs []Event, terminal bool, changed <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(h.events) {
+		from = len(h.events)
+	}
+	return h.events[from:], h.done, h.changed
+}
+
+// len reports how many events have been published.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}

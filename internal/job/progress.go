@@ -1,0 +1,144 @@
+package job
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// progressInterval throttles progress events: algorithm batches flush
+// every few hundred microseconds on a fast anneal, and an SSE stream that
+// relays every flush would drown the transitions that matter. One event
+// per interval keeps streams light while still animating long runs.
+const progressInterval = 100 * time.Millisecond
+
+// Progress is one job's live telemetry sink. It implements the
+// obs.BatchTap shape, so the serving layer can graft it onto its shared
+// recorder with Recorder.WithTap and the engines' existing
+// MoveBatch/ExpansionBatch flush points feed it without knowing jobs
+// exist. Counters are cumulative over the job's lifetime; emission into
+// the job's event stream is throttled to progressInterval.
+type Progress struct {
+	hub *hub
+
+	mu             sync.Mutex
+	lastEmit       time.Time
+	temp           float64
+	moves, accept  int64
+	expans, pushes int64
+}
+
+func newProgress(h *hub) *Progress {
+	return &Progress{hub: h}
+}
+
+// annealProgress and routeProgress are the JSON payload halves of one
+// progress event.
+type annealProgress struct {
+	Temperature float64 `json:"temperature"`
+	Moves       int64   `json:"moves"`
+	Accepted    int64   `json:"accepted"`
+}
+
+type routeProgress struct {
+	Expansions int64 `json:"expansions"`
+	Pushes     int64 `json:"pushes"`
+}
+
+type progressPayload struct {
+	Anneal *annealProgress `json:"anneal,omitempty"`
+	Route  *routeProgress  `json:"route,omitempty"`
+}
+
+// AnnealBatch folds one annealing batch into the cumulative counters and
+// emits a throttled progress event. Safe for concurrent use — parallel
+// tempering replicas flush from their own goroutines.
+func (p *Progress) AnnealBatch(temp float64, moves, accepted int) {
+	if p == nil || moves <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.temp = temp
+	p.moves += int64(moves)
+	p.accept += int64(accepted)
+	p.maybeEmitLocked()
+	p.mu.Unlock()
+}
+
+// RouteBatch folds one maze-search batch into the cumulative counters and
+// emits a throttled progress event.
+func (p *Progress) RouteBatch(engine string, expansions, pushes int) {
+	if p == nil || (expansions == 0 && pushes == 0) {
+		return
+	}
+	p.mu.Lock()
+	p.expans += int64(expansions)
+	p.pushes += int64(pushes)
+	p.maybeEmitLocked()
+	p.mu.Unlock()
+}
+
+// Stage reports one finished (or aborted) pipeline stage. Stage events
+// are never throttled — transitions are exactly what a watcher is waiting
+// for — and each one also flushes the current counters.
+func (p *Progress) Stage(stage string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.lastEmit = time.Now()
+	payload := p.payloadLocked()
+	p.mu.Unlock()
+	p.hub.publish(EventStage, struct {
+		Stage   string  `json:"stage"`
+		Seconds float64 `json:"seconds"`
+	}{stage, d.Seconds()}, false)
+	p.hub.publish(EventProgress, payload, false)
+}
+
+// maybeEmitLocked publishes a progress event if the throttle window has
+// passed; the caller holds p.mu.
+func (p *Progress) maybeEmitLocked() {
+	now := time.Now()
+	if now.Sub(p.lastEmit) < progressInterval {
+		return
+	}
+	p.lastEmit = now
+	payload := p.payloadLocked()
+	// Publish outside the counter lock would be nicer, but hub has its own
+	// short critical section and never calls back into Progress, so the
+	// nesting is deadlock-free and keeps emission atomic with the read.
+	p.hub.publish(EventProgress, payload, false)
+}
+
+func (p *Progress) payloadLocked() progressPayload {
+	var payload progressPayload
+	if p.moves > 0 {
+		payload.Anneal = &annealProgress{Temperature: p.temp, Moves: p.moves, Accepted: p.accept}
+	}
+	if p.expans > 0 || p.pushes > 0 {
+		payload.Route = &routeProgress{Expansions: p.expans, Pushes: p.pushes}
+	}
+	return payload
+}
+
+// Context plumbing: the store attaches each job's Progress to the
+// execution context, and the serving layer picks it up to wire the
+// recorder tap and the pnr stage observer. Absence is a valid state — a
+// nil *Progress no-ops on every method.
+type progressKey struct{}
+
+// WithProgress attaches p to the context; nil returns ctx unchanged.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFromContext returns the context's progress sink, or nil. The
+// nil result is safe to use directly.
+func ProgressFromContext(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}

@@ -26,6 +26,17 @@ import (
 	"log/slog"
 )
 
+// BatchTap observes the algorithm batch telemetry of one computation:
+// the same anneal/route deltas the engines flush to the Recorder at their
+// MoveBatch/ExpansionBatch poll points, delivered to a per-computation
+// sink instead of the process-wide registry. The async job layer uses a
+// tap to stream live progress for a single job; the tap, like the
+// registry, only ever reads the computation and never feeds it.
+type BatchTap interface {
+	AnnealBatch(temp float64, moves, accepted int)
+	RouteBatch(engine string, expansions, pushes int)
+}
+
 // Recorder bundles the telemetry sinks one run records into. Any field
 // may be nil: a Recorder with only a tracer records spans and drops
 // metrics, and vice versa. The nil *Recorder is the disabled state — all
@@ -34,6 +45,7 @@ type Recorder struct {
 	tracer *Tracer
 	reg    *Registry
 	logger *slog.Logger
+	tap    BatchTap
 
 	// Pre-resolved algorithm instruments, so the per-batch hot-loop hooks
 	// never do registry lookups.
@@ -74,6 +86,23 @@ func NewRecorder(tracer *Tracer, reg *Registry, logger *slog.Logger) *Recorder {
 	return r
 }
 
+// WithTap returns a recorder that records everything r records and
+// additionally forwards anneal/route batch deltas to t. The original
+// recorder is not modified, so one process-wide recorder can fan out to
+// any number of per-computation taps concurrently. A nil receiver yields
+// a tap-only recorder; a nil tap returns r unchanged.
+func (r *Recorder) WithTap(t BatchTap) *Recorder {
+	if t == nil {
+		return r
+	}
+	if r == nil {
+		return &Recorder{tap: t}
+	}
+	c := *r
+	c.tap = t
+	return &c
+}
+
 // Tracer returns the recorder's span sink; nil when tracing is disabled.
 func (r *Recorder) Tracer() *Tracer {
 	if r == nil {
@@ -108,13 +137,18 @@ func (r *Recorder) Logger() *slog.Logger {
 // at its MoveBatch cancellation polls, so a live scrape sees the cooling
 // schedule as it runs. Free (one nil check) when telemetry is off.
 func (r *Recorder) AnnealBatch(temp float64, moves, accepted int) {
-	if r == nil || r.reg == nil || moves <= 0 {
+	if r == nil || moves <= 0 {
 		return
 	}
-	r.annealTemp.Set(temp)
-	r.annealRatio.Set(float64(accepted) / float64(moves))
-	r.annealMoves.Add(float64(moves))
-	r.annealAccepted.Add(float64(accepted))
+	if r.reg != nil {
+		r.annealTemp.Set(temp)
+		r.annealRatio.Set(float64(accepted) / float64(moves))
+		r.annealMoves.Add(float64(moves))
+		r.annealAccepted.Add(float64(accepted))
+	}
+	if r.tap != nil {
+		r.tap.AnnealBatch(temp, moves, accepted)
+	}
 }
 
 // AnnealReplicaBatch records one batch of parallel-tempering work by the
@@ -125,14 +159,20 @@ func (r *Recorder) AnnealBatch(temp float64, moves, accepted int) {
 // single-replica path where they are well-defined. Free (one nil check)
 // when telemetry is off.
 func (r *Recorder) AnnealReplicaBatch(replica string, temp float64, moves, accepted int) {
-	if r == nil || r.reg == nil || moves <= 0 {
+	if r == nil || moves <= 0 {
 		return
 	}
-	_ = temp
-	r.annealMoves.Add(float64(moves))
-	r.annealAccepted.Add(float64(accepted))
-	r.annealRepMoves.Add(float64(moves), replica)
-	r.annealRepAccepted.Add(float64(accepted), replica)
+	if r.reg != nil {
+		r.annealMoves.Add(float64(moves))
+		r.annealAccepted.Add(float64(accepted))
+		r.annealRepMoves.Add(float64(moves), replica)
+		r.annealRepAccepted.Add(float64(accepted), replica)
+	}
+	if r.tap != nil {
+		// Taps see the aggregate stream: per-replica attribution is a
+		// registry concern, progress consumers want total work done.
+		r.tap.AnnealBatch(temp, moves, accepted)
+	}
 }
 
 // RouteBatch records one batch of maze-search work by the named engine:
@@ -140,14 +180,19 @@ func (r *Recorder) AnnealReplicaBatch(replica string, temp float64, moves, accep
 // routers call it at their ExpansionBatch cancellation polls. Free (one
 // nil check) when telemetry is off.
 func (r *Recorder) RouteBatch(engine string, expansions, pushes int) {
-	if r == nil || r.reg == nil || (expansions == 0 && pushes == 0) {
+	if r == nil || (expansions == 0 && pushes == 0) {
 		return
 	}
-	if expansions > 0 {
-		r.routeExp.Add(float64(expansions), engine)
+	if r.reg != nil {
+		if expansions > 0 {
+			r.routeExp.Add(float64(expansions), engine)
+		}
+		if pushes > 0 {
+			r.routePush.Add(float64(pushes), engine)
+		}
 	}
-	if pushes > 0 {
-		r.routePush.Add(float64(pushes), engine)
+	if r.tap != nil {
+		r.tap.RouteBatch(engine, expansions, pushes)
 	}
 }
 

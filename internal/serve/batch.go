@@ -84,20 +84,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, batchResponse{Items: results})
 }
 
-// runBatchItem executes one item through the shared cached-execution
-// path, folding failures into the result value.
+// runBatchItem executes one item through the shared operation table and
+// cached-execution path, folding failures into the result value.
 func (s *Server) runBatchItem(ctx context.Context, item *batchItem) batchResult {
-	switch item.Op {
-	case opValidate, opConvert, opPNR, opStats:
-	default:
-		err := fmt.Errorf("%w: op must be one of validate, convert, pnr, stats; got %q", errBadRequest, item.Op)
-		body := newErrorBody(err)
+	fail := func(err error) batchResult {
+		body := newErrorBody(ctx, err)
 		return batchResult{Op: item.Op, Status: httpStatus(err), Error: &body}
 	}
-	ent, outcome, err := s.runCached(ctx, item.Op, &item.request)
+	op, err := operationByName(item.Op)
 	if err != nil {
-		body := newErrorBody(err)
-		return batchResult{Op: item.Op, Status: httpStatus(err), Error: &body}
+		return fail(err)
+	}
+	if !op.Batchable {
+		return fail(fmt.Errorf("%w: op %q is not batchable (its body does not embed in JSON); call its endpoint or submit a job", errBadRequest, item.Op))
+	}
+	if err := op.validate(&item.request); err != nil {
+		return fail(err)
+	}
+	ent, outcome, err := s.runCached(ctx, op, &item.request)
+	if err != nil {
+		return fail(err)
 	}
 	return batchResult{Op: item.Op, Status: http.StatusOK, Cache: outcome, Body: json.RawMessage(ent.Body)}
 }

@@ -156,3 +156,28 @@ func oversizeBatch() string {
 	sb.WriteString(`]}`)
 	return sb.String()
 }
+
+// TestBatchShedItemCarriesRetryHint: a shed batch item mirrors the 429
+// surface of a standalone request — the "overloaded" code plus the retry
+// hint in the body, since batch slots have no Retry-After header to ride.
+func TestBatchShedItemCarriesRetryHint(t *testing.T) {
+	s, h := newCachedServer(t, Config{Workers: 1, QueueDepth: 1})
+	defer saturate(t, s, 1)()
+	w := do(t, h, "POST", "/v1/batch", `{"items":[{"op":"pnr","bench":"rotary_pcr"}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", w.Code, w.Body)
+	}
+	item := decodeBatch(t, w.Body.Bytes()).Items[0]
+	if item.Status != http.StatusTooManyRequests || item.Error == nil {
+		t.Fatalf("item = %+v, want shed 429 with error body", item)
+	}
+	if item.Error.Code != "overloaded" {
+		t.Errorf("item code = %q, want overloaded", item.Error.Code)
+	}
+	if item.Error.RetryAfterMS < 1000 {
+		t.Errorf("retry_after_ms = %d, want >= 1000 (the Retry-After floor)", item.Error.RetryAfterMS)
+	}
+	if item.Error.RequestID == "" {
+		t.Error("shed item carries no request_id")
+	}
+}

@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/validate"
 )
 
@@ -71,8 +73,12 @@ func httpStatus(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.As(err, &over):
 		return http.StatusTooManyRequests
-	case errors.Is(err, bench.ErrNotFound):
+	case errors.Is(err, bench.ErrNotFound), errors.Is(err, job.ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, job.ErrNotFinished):
+		return http.StatusConflict
+	case errors.Is(err, job.ErrTooManyJobs):
+		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrParse), errors.Is(err, errBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, validate.ErrInvalid):
@@ -86,18 +92,60 @@ func httpStatus(err error) int {
 	}
 }
 
-// errorBody is the JSON rendering of a failed request.
+// errorBody is the JSON rendering of a failed request: the human-readable
+// message, the stable machine code, the request ID for log correlation,
+// and — on overload — the retry hint in milliseconds, mirroring the
+// Retry-After header for surfaces (batch slots, job documents) where
+// headers do not exist.
 type errorBody struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	RequestID    string `json:"request_id,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
-// newErrorBody renders err with its stable code, if it defines one.
-func newErrorBody(err error) errorBody {
-	body := errorBody{Error: err.Error()}
+// errorCode resolves the stable machine code for err: the typed error's
+// own Code() when it defines one, else a per-status fallback, so every
+// non-2xx body carries a code.
+func errorCode(err error, status int) string {
 	var c coded
 	if errors.As(err, &c) {
-		body.Code = c.Code()
+		return c.Code()
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad-request"
+	case http.StatusNotFound:
+		return "not-found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "body-too-large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case StatusClientClosedRequest:
+		return "client-closed"
+	case http.StatusGatewayTimeout:
+		return "deadline-exceeded"
+	default:
+		return "internal"
+	}
+}
+
+// newErrorBody renders err into the standard error envelope, stamping the
+// context's request ID so clients can quote it back at the logs.
+func newErrorBody(ctx context.Context, err error) errorBody {
+	status := httpStatus(err)
+	body := errorBody{
+		Error:     err.Error(),
+		Code:      errorCode(err, status),
+		RequestID: obs.RequestID(ctx),
+	}
+	var over *OverloadedError
+	if errors.As(err, &over) {
+		body.RetryAfterMS = over.RetryAfter.Milliseconds()
 	}
 	return body
 }
@@ -107,12 +155,12 @@ func newErrorBody(err error) errorBody {
 // keeps the status visible to tests and proxies. Shed requests carry a
 // Retry-After header so well-behaved clients back off instead of
 // retrying into the same saturated gate.
-func writeError(w http.ResponseWriter, err error) {
+func writeError(ctx context.Context, w http.ResponseWriter, err error) {
 	var over *OverloadedError
 	if errors.As(err, &over) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
 	}
-	_ = writeJSON(w, httpStatus(err), newErrorBody(err))
+	_ = writeJSON(w, httpStatus(err), newErrorBody(ctx, err))
 }
 
 // withTimeout bounds a request context; d <= 0 means no limit.

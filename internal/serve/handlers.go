@@ -129,12 +129,16 @@ func jsonEntry(v any) (cache.Entry, error) {
 }
 
 // serveOp adapts one pipeline operation into an apiHandler: decode the
-// envelope, run the operation through the result cache, and replay the
-// materialized entry.
-func (s *Server) serveOp(op string) apiHandler {
+// envelope, validate it against the shared operation table, run the
+// operation through the result cache, and replay the materialized entry.
+func (s *Server) serveOp(name string) apiHandler {
+	op := mustOperation(name)
 	return func(w http.ResponseWriter, r *http.Request) error {
 		req, err := decodeRequest(r)
 		if err != nil {
+			return err
+		}
+		if err := op.validate(req); err != nil {
 			return err
 		}
 		ent, outcome, err := s.runCached(r.Context(), op, req)
@@ -156,18 +160,18 @@ func (s *Server) serveOp(op string) apiHandler {
 // ones replay stored bytes. With caching disabled it computes directly
 // and reports no outcome. Only successful responses are ever stored, so
 // error statuses are recomputed per request.
-func (s *Server) runCached(ctx context.Context, op string, req *request) (cache.Entry, string, error) {
+func (s *Server) runCached(ctx context.Context, op *Operation, req *request) (cache.Entry, string, error) {
 	if s.cache == nil {
-		ent, err := s.exec(ctx, op, req)
+		ent, err := op.run(s, ctx, req)
 		return ent, "", err
 	}
-	ent, outcome, err := s.cache.Do(ctx, s.cacheKey(op, req), func() (cache.Entry, error) {
-		return s.exec(ctx, op, req)
+	ent, outcome, err := s.cache.Do(ctx, s.cacheKey(op.Name, req), func() (cache.Entry, error) {
+		return op.run(s, ctx, req)
 	})
 	if err != nil {
 		return cache.Entry{}, "", err
 	}
-	s.mCacheReq.Inc(op, outcome.String())
+	s.mCacheReq.Inc(op.Name, outcome.String())
 	return ent, outcome.String(), nil
 }
 
@@ -216,26 +220,6 @@ func (s *Server) replicas(req *request) int {
 		return req.Replicas
 	}
 	return s.cfg.Replicas
-}
-
-// exec dispatches one pipeline operation and materializes its full
-// response entry. This is the single computation path under the cache,
-// the batch fan-out, and the plain uncached route.
-func (s *Server) exec(ctx context.Context, op string, req *request) (cache.Entry, error) {
-	switch op {
-	case opValidate:
-		return s.execValidate(ctx, req)
-	case opConvert:
-		return s.execConvert(ctx, req)
-	case opPNR:
-		return s.execPNR(ctx, req)
-	case opStats:
-		return s.execStats(ctx, req)
-	case opRender:
-		return s.execRender(ctx, req)
-	default:
-		return cache.Entry{}, fmt.Errorf("%w: unknown operation %q", errBadRequest, op)
-	}
 }
 
 // gateDo admits fn through the worker gate, translating gate saturation
@@ -413,7 +397,7 @@ func (s *Server) execPNR(ctx context.Context, req *request) (cache.Entry, error)
 			pnr.WithSeed(seed),
 			pnr.WithReplicas(s.replicas(req)),
 			pnr.WithParallelNets(s.cfg.RouteWorkers),
-			pnr.WithObserver(s.stageObserver(res.Device.Name)),
+			pnr.WithObserver(s.stageObserver(ctx, res.Device.Name)),
 		}
 		if req.Utilization > 0 {
 			opts = append(opts, pnr.WithUtilization(req.Utilization))
@@ -484,7 +468,7 @@ func (s *Server) execRender(ctx context.Context, req *request) (cache.Entry, err
 				pnr.WithSeed(seed),
 				pnr.WithReplicas(s.replicas(req)),
 				pnr.WithParallelNets(s.cfg.RouteWorkers),
-				pnr.WithObserver(s.stageObserver(d.Name)),
+				pnr.WithObserver(s.stageObserver(ctx, d.Name)),
 			))
 			if err != nil {
 				return err
@@ -513,12 +497,27 @@ type benchEntry struct {
 	Layers      int    `json:"layers"`
 }
 
+// benchListResponse is the suite listing envelope. Total counts the
+// items after filtering, so paging clients can trust it.
+type benchListResponse struct {
+	Items []benchEntry `json:"items"`
+	Total int          `json:"total"`
+}
+
 // handleBenchList lists the suite in canonical order, using the shared
 // device cache (Benchmark.Device) so repeated listings build nothing.
+// ?prefix= narrows the listing to benchmarks whose name starts with the
+// prefix; ?format=legacy selects the deprecated bare-array rendering the
+// listing used before the {items, total} envelope.
 func (s *Server) handleBenchList(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	prefix := q.Get("prefix")
 	suite := bench.Suite()
 	entries := make([]benchEntry, 0, len(suite))
 	for _, b := range suite {
+		if !strings.HasPrefix(b.Name, prefix) {
+			continue
+		}
 		d := b.Device()
 		entries = append(entries, benchEntry{
 			Name:        b.Name,
@@ -529,7 +528,14 @@ func (s *Server) handleBenchList(w http.ResponseWriter, r *http.Request) error {
 			Layers:      len(d.Layers),
 		})
 	}
-	return writeJSON(w, http.StatusOK, entries)
+	switch format := q.Get("format"); format {
+	case "":
+		return writeJSON(w, http.StatusOK, benchListResponse{Items: entries, Total: len(entries)})
+	case "legacy":
+		return writeJSON(w, http.StatusOK, entries)
+	default:
+		return fmt.Errorf("%w: format must be \"legacy\" or omitted, got %q", errBadRequest, format)
+	}
 }
 
 // handleBenchGet serves one benchmark's ParchMint document.

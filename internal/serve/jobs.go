@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/job"
+	"repro/internal/obs"
+)
+
+// The async job surface: POST /v1/jobs submits one operation from the
+// shared table for background execution and answers immediately with the
+// job document; GET /v1/jobs/{id} polls it; GET /v1/jobs/{id}/events
+// streams lifecycle transitions and live solver progress as Server-Sent
+// Events; GET /v1/jobs/{id}/result replays the materialized bytes; DELETE
+// /v1/jobs/{id} cancels. Jobs run through exactly the cached execution
+// path the synchronous endpoints use — same gate, same singleflight, same
+// content address — so a job whose key is already cached completes
+// instantly and identical jobs coalesce onto one computation.
+
+// jobSubmitRequest is the POST /v1/jobs body: the shared envelope plus
+// the operation name.
+type jobSubmitRequest struct {
+	Op string `json:"op"`
+	request
+}
+
+// jobResultDTO locates and sizes a completed job's materialized result.
+type jobResultDTO struct {
+	URL         string `json:"url"`
+	ContentType string `json:"content_type"`
+	Bytes       int    `json:"bytes"`
+}
+
+// jobErrorDTO is a failed job's stored error, in the same vocabulary the
+// synchronous endpoint would have answered with.
+type jobErrorDTO struct {
+	Error      string `json:"error"`
+	Code       string `json:"code,omitempty"`
+	HTTPStatus int    `json:"http_status,omitempty"`
+}
+
+// jobDTO is the job document served by the submit, get, list, and cancel
+// responses.
+type jobDTO struct {
+	ID       string `json:"id"`
+	Op       string `json:"op"`
+	Status   string `json:"status"`
+	CacheKey string `json:"cache_key"`
+	// Cache is the completed job's cache outcome ("hit", "miss",
+	// "coalesced"); replayed-from-journal jobs report "hit".
+	Cache      string        `json:"cache,omitempty"`
+	CreatedAt  string        `json:"created_at,omitempty"`
+	StartedAt  string        `json:"started_at,omitempty"`
+	FinishedAt string        `json:"finished_at,omitempty"`
+	EventsURL  string        `json:"events_url"`
+	Result     *jobResultDTO `json:"result,omitempty"`
+	Error      *jobErrorDTO  `json:"error,omitempty"`
+}
+
+func jobTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func jobEventsPath(id string) string { return "/v1/jobs/" + id + "/events" }
+func jobResultPath(id string) string { return "/v1/jobs/" + id + "/result" }
+
+func jobDocument(snap job.Snapshot) jobDTO {
+	doc := jobDTO{
+		ID:         snap.ID,
+		Op:         snap.Op,
+		Status:     string(snap.Status),
+		CacheKey:   snap.Key,
+		Cache:      snap.Outcome,
+		CreatedAt:  jobTime(snap.Created),
+		StartedAt:  jobTime(snap.Started),
+		FinishedAt: jobTime(snap.Finished),
+		EventsURL:  jobEventsPath(snap.ID),
+	}
+	switch snap.Status {
+	case job.StatusCompleted:
+		doc.Result = &jobResultDTO{
+			URL:         jobResultPath(snap.ID),
+			ContentType: snap.ContentType,
+			Bytes:       snap.Size,
+		}
+	case job.StatusFailed:
+		doc.Error = &jobErrorDTO{Error: snap.ErrMsg, Code: snap.ErrCode, HTTPStatus: snap.ErrStatus}
+	}
+	return doc
+}
+
+// jobExec is the job store's execution path: resolve the journaled
+// operation name, decode the canonical envelope, attach the job's
+// progress sink as a tap on the server's recorder, and run through the
+// shared cached execution (gate, singleflight, LRU). Validation already
+// happened at submit time, so a replayed envelope runs exactly as the
+// original would have.
+func (s *Server) jobExec(ctx context.Context, opName string, envelope json.RawMessage) (cache.Entry, string, error) {
+	op, err := operationByName(opName)
+	if err != nil {
+		return cache.Entry{}, "", err
+	}
+	var req request
+	if err := json.Unmarshal(envelope, &req); err != nil {
+		return cache.Entry{}, "", fmt.Errorf("%w: decoding job envelope: %v", errBadRequest, err)
+	}
+	rec := s.rec
+	if prog := job.ProgressFromContext(ctx); prog != nil {
+		rec = rec.WithTap(prog)
+	}
+	ctx = obs.WithRecorder(ctx, rec)
+	return s.runCached(ctx, op, &req)
+}
+
+// handleJobSubmit accepts one operation for async execution. The job is
+// journaled before the 202 is written, so an acknowledged submission
+// survives an immediate crash; the response carries the job document with
+// its content address, which clients can use to correlate with the
+// synchronous endpoints' cache headers.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
+	var jreq jobSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&jreq); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err
+		}
+		return fmt.Errorf("%w: decoding job body: %v", errBadRequest, err)
+	}
+	op, err := operationByName(jreq.Op)
+	if err != nil {
+		return err
+	}
+	if err := op.validate(&jreq.request); err != nil {
+		return err
+	}
+	// The canonical envelope is the journal's replay unit and (with the
+	// op and seed) the cache address; re-marshaling the decoded struct
+	// drops unknown fields and formatting, exactly as cacheKey does.
+	envelope, err := json.Marshal(&jreq.request)
+	if err != nil {
+		return fmt.Errorf("serve: encoding job envelope: %w", err)
+	}
+	snap, err := s.jobs.Submit(op.Name, envelope, s.cacheKey(op.Name, &jreq.request))
+	if errors.Is(err, job.ErrTooManyJobs) {
+		return &OverloadedError{RetryAfter: time.Second, cause: err}
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusAccepted, jobDocument(snap))
+}
+
+// jobListResponse is the GET /v1/jobs envelope.
+type jobListResponse struct {
+	Items []jobDTO `json:"items"`
+	Total int      `json:"total"`
+}
+
+// handleJobList returns every retained job in submission order;
+// ?status= narrows to one lifecycle state.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) error {
+	want := r.URL.Query().Get("status")
+	items := make([]jobDTO, 0)
+	for _, snap := range s.jobs.List() {
+		if want != "" && string(snap.Status) != want {
+			continue
+		}
+		items = append(items, jobDocument(snap))
+	}
+	return writeJSON(w, http.StatusOK, jobListResponse{Items: items, Total: len(items)})
+}
+
+// handleJobGet serves one job's current document.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) error {
+	snap, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, jobDocument(snap))
+}
+
+// handleJobResult replays a completed job's materialized bytes — the
+// exact bytes the synchronous endpoint would have written, with the cache
+// outcome in the same header. A queued or running job answers 409; a
+// failed job replays its stored error with the status the synchronous
+// request would have received.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	ent, outcome, err := s.jobs.Result(id)
+	if err != nil {
+		if errors.Is(err, job.ErrNotFinished) {
+			if snap, gerr := s.jobs.Get(id); gerr == nil && snap.Status == job.StatusFailed {
+				status := snap.ErrStatus
+				if status == 0 {
+					status = http.StatusInternalServerError
+				}
+				return writeJSON(w, status, errorBody{
+					Error:     snap.ErrMsg,
+					Code:      snap.ErrCode,
+					RequestID: obs.RequestID(r.Context()),
+				})
+			}
+		}
+		return err
+	}
+	if outcome != "" {
+		w.Header().Set(cacheHeader, outcome)
+	}
+	w.Header().Set("Content-Type", ent.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, err = w.Write(ent.Body)
+	return err
+}
+
+// handleJobCancel requests cancellation and returns the post-request
+// document: a queued job dies immediately, a running one aborts at its
+// solver's next batch boundary, a terminal one is unchanged.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) error {
+	snap, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, jobDocument(snap))
+}
+
+// lastEventSeq extracts the SSE resume position: the Last-Event-ID header
+// a reconnecting EventSource sends, or the ?after= query for manual
+// clients. Unparseable values restart from the beginning.
+func lastEventSeq(r *http.Request) int {
+	arg := r.Header.Get("Last-Event-ID")
+	if v := r.URL.Query().Get("after"); v != "" {
+		arg = v
+	}
+	if arg == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// handleJobEvents streams one job's event log as Server-Sent Events:
+// every past event immediately, then live events as they publish, comment
+// heartbeats in between, ending with the terminal "done" event. Event IDs
+// are the job's dense sequence numbers, so Last-Event-ID reconnection
+// resumes without loss. A watcher owns the job it streams: client
+// disconnect before the terminal event cancels the job, releasing its
+// worker slot (pass ?detach=1 to watch without owning).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	next := lastEventSeq(r)
+	// Fail as a regular JSON error before committing to the stream.
+	if _, _, _, err := s.jobs.Events(id, next); err != nil {
+		return err
+	}
+	detach := r.URL.Query().Get("detach") == "1"
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	heartbeat := time.NewTicker(s.cfg.jobHeartbeat())
+	defer heartbeat.Stop()
+	for {
+		evs, terminal, changed, err := s.jobs.Events(id, next)
+		if err != nil {
+			// The job was evicted mid-stream; nothing more will publish.
+			return nil
+		}
+		for _, ev := range evs {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data); err != nil {
+				s.disconnectJob(id, detach)
+				return nil
+			}
+			next = ev.Seq
+		}
+		if err := rc.Flush(); err != nil {
+			s.disconnectJob(id, detach)
+			return nil
+		}
+		if terminal {
+			return nil
+		}
+		select {
+		case <-changed:
+		case <-heartbeat.C:
+			// An SSE comment keeps intermediaries from idling the
+			// connection out and lets the server notice dead clients.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				s.disconnectJob(id, detach)
+				return nil
+			}
+			if err := rc.Flush(); err != nil {
+				s.disconnectJob(id, detach)
+				return nil
+			}
+		case <-r.Context().Done():
+			s.disconnectJob(id, detach)
+			return nil
+		}
+	}
+}
+
+// disconnectJob handles a watcher going away mid-stream: unless the
+// watcher detached, the job is canceled so an abandoned computation
+// cannot hold a worker slot with nobody waiting for it.
+func (s *Server) disconnectJob(id string, detach bool) {
+	if detach {
+		return
+	}
+	_, _ = s.jobs.Cancel(id)
+}

@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"context"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/job"
 )
 
 // The service's instruments live on the shared obs.Registry (newInstruments
@@ -29,10 +33,14 @@ func (s *Server) observe(endpoint string, status int, d time.Duration) {
 // stageObserver adapts the pnr stage hook to the stage-seconds counter for
 // one device task. It is the single sink for stage durations — the flow
 // reports each started stage exactly once, including stages aborted by
-// cancellation, so the scrape never double-counts.
-func (s *Server) stageObserver(task string) func(stage string, d time.Duration) {
+// cancellation, so the scrape never double-counts. When the context
+// carries a job progress sink, each stage also lands in that job's event
+// stream (the nil sink no-ops, so the request path pays one lookup).
+func (s *Server) stageObserver(ctx context.Context, task string) func(stage string, d time.Duration) {
+	prog := job.ProgressFromContext(ctx)
 	return func(stage string, d time.Duration) {
 		s.mStage.Add(d.Seconds(), task, stage)
+		prog.Stage(stage, d)
 	}
 }
 
@@ -52,7 +60,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if arg := r.URL.Query().Get("n"); arg != "" {
 		v, err := strconv.Atoi(arg)
 		if err != nil || v < 0 {
-			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			writeError(r.Context(), w, fmt.Errorf("%w: n must be a non-negative integer", errBadRequest))
 			return
 		}
 		n = v

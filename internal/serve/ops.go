@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cli"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// Operation is one row of the service's dispatch table: the single
+// description of a pipeline operation every surface consumes. The
+// standalone POST endpoints, the /v1/batch fan-out, and the async job
+// store all resolve operations here and validate envelopes with the same
+// validator, so an envelope that is malformed on one surface is malformed
+// — with the same error text and code — on all of them.
+type Operation struct {
+	// Name is the canonical operation name: metric endpoint label, batch
+	// item "op" value, job "op" value, and the first cache-key component.
+	Name string
+	// Batchable marks operations whose response body embeds in a JSON
+	// batch slot. Render is excluded: SVG is not JSON-embeddable.
+	Batchable bool
+	// run executes the operation against a validated envelope and
+	// materializes the full response entry.
+	run func(s *Server, ctx context.Context, req *request) (cache.Entry, error)
+}
+
+// operations is the dispatch table, in route order.
+var operations = []*Operation{
+	{Name: opValidate, Batchable: true, run: (*Server).execValidate},
+	{Name: opConvert, Batchable: true, run: (*Server).execConvert},
+	{Name: opPNR, Batchable: true, run: (*Server).execPNR},
+	{Name: opStats, Batchable: true, run: (*Server).execStats},
+	{Name: opRender, Batchable: false, run: (*Server).execRender},
+}
+
+// operationIndex resolves names to table rows. "render.svg" — the
+// operation's endpoint spelling — aliases "render" so job submissions can
+// use either.
+var operationIndex = func() map[string]*Operation {
+	idx := make(map[string]*Operation, len(operations)+1)
+	for _, op := range operations {
+		idx[op.Name] = op
+	}
+	idx["render.svg"] = idx[opRender]
+	return idx
+}()
+
+// operationByName resolves an operation name from a request surface.
+func operationByName(name string) (*Operation, error) {
+	if op, ok := operationIndex[name]; ok {
+		return op, nil
+	}
+	return nil, fmt.Errorf("%w: unknown op %q (valid: validate, convert, pnr, stats, render)", errBadRequest, name)
+}
+
+// mustOperation resolves a name registered by the server's own routing
+// table; a miss is a programming error, not a request error.
+func mustOperation(name string) *Operation {
+	op, ok := operationIndex[name]
+	if !ok {
+		panic("serve: unregistered operation " + name)
+	}
+	return op
+}
+
+// validate is the one envelope validator. It enforces the invariants the
+// envelope documents — exactly one device source, a parseable text
+// format, per-operation option domains — before any computation (or job
+// submission) is admitted, so every surface rejects a bad envelope the
+// same way. Device-content errors (parse failures, semantic invalidity)
+// are not its concern; those surface from execution with their own codes.
+func (op *Operation) validate(req *request) error {
+	sources := 0
+	if req.Bench != "" {
+		sources++
+	}
+	if len(req.Device) > 0 {
+		sources++
+	}
+	if req.Text != "" {
+		sources++
+	}
+	switch {
+	case sources == 0:
+		return fmt.Errorf("%w: one of bench, device, or text is required", errBadRequest)
+	case sources > 1:
+		return fmt.Errorf("%w: bench, device, and text are mutually exclusive; give exactly one", errBadRequest)
+	}
+	if req.Text != "" {
+		if f := cli.Format(req.Format); f != cli.FormatJSON && f != cli.FormatMINT {
+			return fmt.Errorf("%w: text requires format \"json\" or \"mint\", got %q", errBadRequest, req.Format)
+		}
+	}
+	switch op.Name {
+	case opConvert:
+		if req.To != "" && req.To != "mint" && req.To != "json" {
+			return fmt.Errorf("%w: to must be \"mint\" or \"json\", got %q", errBadRequest, req.To)
+		}
+	case opPNR:
+		if _, err := place.EngineByName(req.Placer); err != nil {
+			return fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		if _, err := route.EngineByName(req.Router); err != nil {
+			return fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+	}
+	return nil
+}

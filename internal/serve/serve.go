@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/job"
 	"repro/internal/obs"
 	"repro/internal/runner"
 )
@@ -59,6 +60,22 @@ type Config struct {
 	// response bytes — parallel routing is byte-identical to sequential —
 	// so it takes no part in cache keys.
 	RouteWorkers int
+	// Journal, when non-nil, makes job submissions durable: lifecycle
+	// transitions append to it and New replays it, restoring completed
+	// jobs (re-seeding the result cache) and re-enqueueing interrupted
+	// ones. Nil keeps jobs in-memory only. The journal is owned by the
+	// caller and not closed by the server.
+	Journal *job.Journal
+	// MaxJobs caps retained jobs (terminal ones are evicted oldest-first
+	// past the cap); <1 selects the job store's default.
+	MaxJobs int
+	// JobTimeout bounds one job's execution (not its queue wait); 0 means
+	// no limit — jobs exist precisely for work that outlives the request
+	// timeout.
+	JobTimeout time.Duration
+	// JobHeartbeat is the SSE keep-alive comment interval; 0 means 15s.
+	// Tests shorten it to observe disconnect handling quickly.
+	JobHeartbeat time.Duration
 }
 
 func (c Config) maxBody() int64 {
@@ -73,6 +90,13 @@ func (c Config) timeout() time.Duration {
 		return 60 * time.Second
 	}
 	return c.RequestTimeout
+}
+
+func (c Config) jobHeartbeat() time.Duration {
+	if c.JobHeartbeat <= 0 {
+		return 15 * time.Second
+	}
+	return c.JobHeartbeat
 }
 
 // queueDepth maps the config's 0-means-unbounded convention onto the
@@ -97,6 +121,7 @@ type Server struct {
 	rec    *obs.Recorder
 	start  time.Time
 	ids    *obs.IDSource
+	jobs   *job.Store
 
 	// Pre-resolved endpoint instruments.
 	mRequests   *obs.Counter   // {endpoint, status}
@@ -107,6 +132,14 @@ type Server struct {
 	mCacheReq   *obs.Counter   // {endpoint, outcome}
 	mCacheEvict *obs.Counter
 	mShed       *obs.Counter // {endpoint}
+
+	// Job lifecycle instruments, fed by the store's hooks.
+	mJobsSubmitted *obs.Counter
+	mJobsStarted   *obs.Counter
+	mJobsCompleted *obs.Counter
+	mJobsCanceled  *obs.Counter
+	mJobsFailed    *obs.Counter
+	mJobDur        *obs.Histogram // {status}
 }
 
 // New builds a server; the zero Config selects all defaults.
@@ -168,6 +201,26 @@ func New(cfg Config) *Server {
 	s.reg.GaugeFunc("parchmint_queue_waiting",
 		"Requests waiting for a worker slot.",
 		func() float64 { return float64(s.gate.Waiting()) })
+	s.mJobsSubmitted = s.reg.Counter("parchmint_jobs_submitted_total",
+		"Jobs accepted for async execution (including journal re-enqueues).")
+	s.mJobsStarted = s.reg.Counter("parchmint_jobs_running_total",
+		"Jobs that entered execution.")
+	s.mJobsCompleted = s.reg.Counter("parchmint_jobs_completed_total",
+		"Jobs finished successfully.")
+	s.mJobsCanceled = s.reg.Counter("parchmint_jobs_canceled_total",
+		"Jobs canceled before or during execution.")
+	s.mJobsFailed = s.reg.Counter("parchmint_jobs_failed_total",
+		"Jobs finished with an execution error.")
+	s.reg.GaugeFunc("parchmint_jobs_active",
+		"Jobs executing right now.",
+		func() float64 {
+			if s.jobs == nil {
+				return 0
+			}
+			return float64(s.jobs.Running())
+		})
+	s.mJobDur = s.reg.Histogram("parchmint_job_duration_seconds",
+		"Job execution latency (start to finish), by terminal status.", nil, "status")
 	if cfg.CacheBytes > 0 {
 		s.cache = cache.New(cfg.CacheBytes)
 		s.cache.OnEvict(func(n int) { s.mCacheEvict.Add(float64(n)) })
@@ -176,7 +229,48 @@ func New(cfg Config) *Server {
 	// acceptance, route expansions and pushes) and is what the handlers
 	// attach to every request context.
 	s.rec = obs.NewRecorder(s.tracer, s.reg, cfg.Logger)
+	// The job store comes last: constructing it replays the journal, and
+	// replayed jobs execute through jobExec, which needs the gate, cache,
+	// and recorder above to be live.
+	s.jobs = job.NewStore(job.Config{
+		Exec:    s.jobExec,
+		Workers: s.gate.Workers(),
+		DescribeError: func(err error) (int, string) {
+			status := httpStatus(err)
+			return status, errorCode(err, status)
+		},
+		Journal: cfg.Journal,
+		SeedCache: func(key string, ent cache.Entry) {
+			if s.cache != nil {
+				s.cache.Put(key, ent)
+			}
+		},
+		ResultPath: jobResultPath,
+		Timeout:    cfg.JobTimeout,
+		MaxJobs:    cfg.MaxJobs,
+		Hooks: job.Hooks{
+			Submitted: func() { s.mJobsSubmitted.Inc() },
+			Started:   func() { s.mJobsStarted.Inc() },
+			Finished: func(status job.Status, d time.Duration) {
+				switch status {
+				case job.StatusCompleted:
+					s.mJobsCompleted.Inc()
+				case job.StatusCanceled:
+					s.mJobsCanceled.Inc()
+				case job.StatusFailed:
+					s.mJobsFailed.Inc()
+				}
+				s.mJobDur.Observe(d.Seconds(), string(status))
+			},
+		},
+	})
 	return s
+}
+
+// Close cancels every in-flight job and waits for the job runners to
+// drain. The HTTP listener and the journal belong to the caller.
+func (s *Server) Close() {
+	s.jobs.Close()
 }
 
 // Handler returns the service's routing table. Every pipeline endpoint is
@@ -194,6 +288,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/stats", s.wrap(opStats, s.serveOp(opStats)))
 	mux.Handle("POST /v1/render.svg", s.wrap(opRender, s.serveOp(opRender)))
 	mux.Handle("POST /v1/batch", s.wrap("batch", s.handleBatch))
+	mux.Handle("POST /v1/jobs", s.wrap("jobs-submit", s.handleJobSubmit))
+	mux.Handle("GET /v1/jobs", s.wrapWith("jobs-list", s.handleJobList, wrapOpts{noBodyLimit: true}))
+	mux.Handle("GET /v1/jobs/{id}", s.wrapWith("jobs-get", s.handleJobGet, wrapOpts{noBodyLimit: true}))
+	mux.Handle("GET /v1/jobs/{id}/result", s.wrapWith("jobs-result", s.handleJobResult, wrapOpts{noBodyLimit: true}))
+	// The event stream outlives any request timeout by design; it ends
+	// when the job does (or the client goes away, which cancels the job).
+	mux.Handle("GET /v1/jobs/{id}/events", s.wrapWith("jobs-events", s.handleJobEvents, wrapOpts{noBodyLimit: true, noTimeout: true}))
+	mux.Handle("DELETE /v1/jobs/{id}", s.wrapWith("jobs-cancel", s.handleJobCancel, wrapOpts{noBodyLimit: true}))
 	mux.Handle("GET /v1/bench", s.wrapWith("bench-list", s.handleBenchList, wrapOpts{noBodyLimit: true}))
 	mux.Handle("GET /v1/bench/{name}", s.wrapWith("bench-get", s.handleBenchGet, wrapOpts{noBodyLimit: true}))
 	mux.Handle("GET /healthz", s.wrapWith("healthz", s.handleHealthz, wrapOpts{noBodyLimit: true, noTimeout: true}))
@@ -308,7 +410,7 @@ func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handle
 		ctx, span := obs.Start(ctx, "http."+endpoint)
 		sw.Header().Set("X-Request-Id", reqID)
 		if err := h(sw, r.WithContext(ctx)); err != nil {
-			writeError(sw, err)
+			writeError(ctx, sw, err)
 		}
 		if sw.status == 0 {
 			sw.status = http.StatusOK

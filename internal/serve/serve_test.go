@@ -414,3 +414,79 @@ func TestExplicitSeedOverridesDerived(t *testing.T) {
 		t.Errorf("seed = %d, want the request's 7", resp.Seed)
 	}
 }
+
+// TestBenchListEnvelope covers the {items, total} listing envelope, its
+// ?prefix= filter, and the deprecated ?format=legacy bare array.
+func TestBenchListEnvelope(t *testing.T) {
+	h := newTestServer(1)
+	w := do(t, h, "GET", "/v1/bench?prefix=planar", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Items []struct {
+			Name string `json:"name"`
+		} `json:"items"`
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding listing: %v", err)
+	}
+	if resp.Total != len(resp.Items) || resp.Total == 0 {
+		t.Fatalf("total = %d with %d items", resp.Total, len(resp.Items))
+	}
+	for _, item := range resp.Items {
+		if !strings.HasPrefix(item.Name, "planar") {
+			t.Errorf("prefix filter leaked %q", item.Name)
+		}
+	}
+	none := do(t, h, "GET", "/v1/bench?prefix=zzz", "")
+	if !strings.Contains(none.Body.String(), `"items": []`) {
+		t.Errorf("empty filter should render an empty items array: %s", none.Body)
+	}
+	legacy := do(t, h, "GET", "/v1/bench?format=legacy", "")
+	var arr []json.RawMessage
+	if err := json.Unmarshal(legacy.Body.Bytes(), &arr); err != nil || len(arr) == 0 {
+		t.Errorf("legacy format is not a bare array: %v\n%s", err, legacy.Body)
+	}
+	if bad := do(t, h, "GET", "/v1/bench?format=csv", ""); bad.Code != http.StatusBadRequest {
+		t.Errorf("unknown format: status = %d, want 400", bad.Code)
+	}
+}
+
+// TestErrorEnvelopeFallbackCodes: every non-2xx body carries a stable
+// code and the request ID, even when the underlying error defines no
+// Code() of its own.
+func TestErrorEnvelopeFallbackCodes(t *testing.T) {
+	h := newTestServer(1)
+	for _, tc := range []struct {
+		method, path, body, wantCode string
+		wantStatus                   int
+	}{
+		{"GET", "/v1/bench/no_such_bench", "", "not-found", http.StatusNotFound},
+		{"POST", "/v1/stats", `{"bench":"no_such_bench"}`, "not-found", http.StatusNotFound},
+		{"POST", "/v1/stats", `{}`, "bad-request", http.StatusBadRequest},
+		{"POST", "/v1/stats", `{"bench":"rotary_pcr","text":"V1","format":"mint"}`, "bad-request", http.StatusBadRequest},
+	} {
+		w := do(t, h, tc.method, tc.path, tc.body)
+		if w.Code != tc.wantStatus {
+			t.Errorf("%s %s: status = %d, want %d", tc.method, tc.path, w.Code, tc.wantStatus)
+			continue
+		}
+		var eb struct {
+			Error     string `json:"error"`
+			Code      string `json:"code"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+			t.Errorf("%s %s: body is not the error envelope: %s", tc.method, tc.path, w.Body)
+			continue
+		}
+		if eb.Code != tc.wantCode {
+			t.Errorf("%s %s: code = %q, want %q", tc.method, tc.path, eb.Code, tc.wantCode)
+		}
+		if eb.RequestID != w.Header().Get("X-Request-Id") {
+			t.Errorf("%s %s: request_id = %q, header = %q", tc.method, tc.path, eb.RequestID, w.Header().Get("X-Request-Id"))
+		}
+	}
+}
