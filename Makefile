@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-smoke artifacts serve-smoke cache-smoke jobs-smoke trace-smoke hammer hammer-full check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-serve bench-smoke artifacts serve-smoke cache-smoke jobs-smoke trace-smoke hammer hammer-full check
 
 all: build
 
@@ -34,6 +34,7 @@ race-full:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/mint
 	$(GO) test -fuzz FuzzDeviceJSON -fuzztime $(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz FuzzCanonCodec -fuzztime $(FUZZTIME) -run '^$$' ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +57,13 @@ REPLICAS ?= 2
 bench-pnr:
 	$(GO) run ./cmd/parchmint-perf -replicas $(REPLICAS) -o BENCH_pnr.json
 
+# Regenerate the committed serving-tier snapshot: request→response kernels
+# through the real handler stack (decode, execute, cache, encode) with no
+# network or httptest overhead. Same baseline-preservation rules as
+# bench-pnr.
+bench-serve:
+	$(GO) run ./cmd/parchmint-perf -suite serve -o BENCH_serve.json
+
 # Determinism hammer under the race detector: parallel replicas,
 # speculative net routing, and starved CPU budgets must reproduce the
 # sequential golden byte for byte. -short trims the matrix to the small
@@ -76,7 +84,10 @@ bench-smoke:
 	tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(GO) run ./cmd/parchmint-perf -quick -o "$$tmp"; \
 	$(GO) run ./cmd/parchmint-perf -check "$$tmp"; \
+	$(GO) run ./cmd/parchmint-perf -suite serve -quick -o "$$tmp"; \
+	$(GO) run ./cmd/parchmint-perf -check "$$tmp"; \
 	$(GO) run ./cmd/parchmint-perf -check BENCH_pnr.json; \
+	$(GO) run ./cmd/parchmint-perf -check BENCH_serve.json; \
 	echo "bench-smoke: ok"
 
 # Regenerate the committed golden artifacts (intentional drift only).
@@ -96,8 +107,9 @@ serve-smoke: build
 	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
 	for i in $$(seq 1 50); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
 	port=$$(cat "$$tmp/port"); \
-	curl -sfS "http://127.0.0.1:$$port/healthz" | grep -q '"status": "ok"'; \
-	curl -sfS -X POST -d '{"bench":"rotary_pcr"}' "http://127.0.0.1:$$port/v1/validate" | grep -q '"ok": true'; \
+	curl -sfS "http://127.0.0.1:$$port/healthz" | grep -q '"status":"ok"'; \
+	curl -sfS "http://127.0.0.1:$$port/healthz?pretty=1" | grep -q '"status": "ok"'; \
+	curl -sfS -X POST -d '{"bench":"rotary_pcr"}' "http://127.0.0.1:$$port/v1/validate" | grep -q '"ok":true'; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "serve-smoke: ok"
 
@@ -142,7 +154,7 @@ jobs-smoke: build
 	port=$$(cat "$$tmp/port"); \
 	curl -sfS -X POST -d '{"op":"pnr","bench":"rotary_pcr"}' \
 		"http://127.0.0.1:$$port/v1/jobs" > "$$tmp/submit.json"; \
-	id=$$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$$tmp/submit.json"); \
+	id=$$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$$tmp/submit.json"); \
 	[ -n "$$id" ] || { echo "jobs-smoke: no job id in $$(cat $$tmp/submit.json)"; exit 1; }; \
 	curl -sfS -N --max-time 60 "http://127.0.0.1:$$port/v1/jobs/$$id/events" \
 		| sed '/^event: done/,/^$$/{/^$$/q;}' > "$$tmp/events"; \

@@ -12,6 +12,7 @@
 //	parchmint-perf -quick -o /tmp/smoke.json  # one iteration per kernel
 //	parchmint-perf -check BENCH_pnr.json      # validate an existing snapshot
 //	parchmint-perf -check-trace trace.json -trace-spans "pnr.flow,place.anneal"
+//	parchmint-perf -suite serve -o BENCH_serve.json  # HTTP serving-tier kernels
 //
 // An existing output file's "baseline" block is preserved across
 // regenerations; -baseline FILE installs the "results" of another
@@ -78,6 +79,7 @@ const schemaID = "parchmint-perf/v1"
 
 func main() {
 	out := flag.String("o", "BENCH_pnr.json", "output snapshot file")
+	suite := flag.String("suite", "pnr", "kernel family to measure: pnr (solver hot paths) or serve (HTTP request→response)")
 	quick := flag.Bool("quick", false, "one iteration per kernel (CI smoke)")
 	baseline := flag.String("baseline", "", "snapshot file whose results become this snapshot's baseline")
 	replicas := flag.Int("replicas", 2, "annealing replica count for the paired parallel-flow kernels")
@@ -114,7 +116,16 @@ func main() {
 		Quick: *quick,
 	}
 	snap.Baseline = loadBaseline(*baseline, *out)
-	for _, k := range kernels(*replicas) {
+	var ks []kernel
+	switch *suite {
+	case "pnr":
+		ks = kernels(*replicas)
+	case "serve":
+		ks = serveKernels()
+	default:
+		cli.Fatalf("parchmint-perf: unknown suite %q (want pnr or serve)", *suite)
+	}
+	for _, k := range ks {
 		iters := k.iters
 		if *quick {
 			iters = 1
@@ -124,7 +135,9 @@ func main() {
 			k.name, snap.Results[len(snap.Results)-1].NsPerOp,
 			snap.Results[len(snap.Results)-1].AllocsPerOp)
 	}
-	enforcePairs(snap.Results)
+	if *suite == "pnr" {
+		enforcePairs(snap.Results)
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		cli.Fatalf("parchmint-perf: %v", err)

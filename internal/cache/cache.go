@@ -78,6 +78,38 @@ func Key(parts ...[]byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// AppendPart appends one length-framed key part to dst, using exactly
+// the framing Key feeds the hash. Callers on allocation-sensitive paths
+// build the frame incrementally in a reused buffer and hash it once with
+// KeyFrom instead of assembling a parts slice for Key.
+func AppendPart(dst, part []byte) []byte {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(part)))
+	dst = append(dst, n[:]...)
+	return append(dst, part...)
+}
+
+// AppendPartString is AppendPart for a string part, avoiding the []byte
+// conversion allocation.
+func AppendPartString(dst []byte, part string) []byte {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(part)))
+	dst = append(dst, n[:]...)
+	return append(dst, part...)
+}
+
+// KeyFrom hashes an AppendPart-framed buffer into an address. For any
+// part list, KeyFrom over the concatenated frames returns the same
+// string as Key over the parts — pinned by TestKeyFromMatchesKey — so
+// the two construction paths share one address space. Its only
+// allocation is the returned string.
+func KeyFrom(framed []byte) string {
+	sum := sha256.Sum256(framed)
+	var hx [2 * sha256.Size]byte
+	hex.Encode(hx[:], sum[:])
+	return string(hx[:])
+}
+
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
 	Hits      uint64
@@ -162,6 +194,23 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		return Entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*node).entry, true
+}
+
+// Lookup returns the entry stored under key, counting a hit and
+// refreshing recency when present. Unlike Get it records nothing on
+// absence, so a Lookup-then-Do fast path — probe without building a
+// compute closure, fall into Do only on a miss — attributes exactly one
+// outcome to the request instead of a phantom extra miss.
+func (c *Cache) Lookup(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
 		return Entry{}, false
 	}
 	c.ll.MoveToFront(el)

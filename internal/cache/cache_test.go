@@ -290,3 +290,46 @@ func TestLeaderPanicReleasesWaiters(t *testing.T) {
 		t.Fatal("waiter blocked forever after leader panic")
 	}
 }
+
+func TestKeyFromMatchesKey(t *testing.T) {
+	cases := [][][]byte{
+		{},
+		{nil},
+		{[]byte("")},
+		{[]byte("op"), []byte(`{"bench":"rotary_pcr"}`), {1, 2, 3, 4, 5, 6, 7, 8}},
+		{[]byte("a"), nil, []byte("b")},
+		{bytes.Repeat([]byte{0xff}, 1<<12)},
+	}
+	for _, parts := range cases {
+		var framed []byte
+		for _, p := range parts {
+			framed = AppendPart(framed, p)
+		}
+		if got, want := KeyFrom(framed), Key(parts...); got != want {
+			t.Errorf("KeyFrom(%d parts) = %s, Key = %s", len(parts), got, want)
+		}
+	}
+	// Framing, not concatenation: part boundaries must matter either way.
+	if KeyFrom(AppendPart(AppendPart(nil, []byte("ab")), []byte("c"))) ==
+		KeyFrom(AppendPart(AppendPart(nil, []byte("a")), []byte("bc"))) {
+		t.Fatal("KeyFrom collides across part boundaries")
+	}
+}
+
+func TestLookupCountsHitsOnly(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Lookup("absent"); ok {
+		t.Fatal("Lookup reported a phantom entry")
+	}
+	if st := c.Stats(); st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("Lookup on absence moved counters: %+v", st)
+	}
+	c.Put("k", Entry{ContentType: "text/plain", Body: []byte("v")})
+	ent, ok := c.Lookup("k")
+	if !ok || string(ent.Body) != "v" {
+		t.Fatalf("Lookup(k) = %v, %v", ent, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("Lookup hit counted wrong: %+v", st)
+	}
+}

@@ -1,0 +1,12 @@
+package core
+
+// Test-only exports: the differential suites in canon_codec_test.go live
+// in package core_test (so they can import internal/bench for the device
+// corpus) but need both halves of the codec pair.
+
+// UnmarshalFast is the hand-rolled decoder (the live Unmarshal path).
+var UnmarshalFast = unmarshalDevice
+
+// DecodeStd is the encoding/json reference decoder the fast path is
+// verified against.
+var DecodeStd = decodeStd

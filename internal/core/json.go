@@ -174,15 +174,32 @@ func Marshal(d *Device) ([]byte, error) {
 // back as *ParseError (matching ErrParse), so callers can classify them
 // without string inspection.
 func Decode(r io.Reader) (*Device, error) {
-	dec := json.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, &ParseError{Format: "json", Err: err}
+	}
+	return Unmarshal(data)
+}
+
+// Unmarshal parses ParchMint v1 JSON bytes into a device. It runs the
+// hand-rolled parser in canondec.go; decodeStd keeps the encoding/json
+// path alive as the differential-test reference.
+func Unmarshal(data []byte) (*Device, error) {
+	d, err := unmarshalDevice(data)
+	if err != nil {
+		return nil, &ParseError{Format: "json", Err: err}
+	}
+	return d, nil
+}
+
+// decodeStd is the encoding/json reference decoder the fast path is
+// differential-tested against. It must keep the exact shape Decode had
+// before canondec.go existed.
+func decodeStd(data []byte) (*Device, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	var d Device
 	if err := dec.Decode(&d); err != nil {
 		return nil, &ParseError{Format: "json", Err: err}
 	}
 	return &d, nil
-}
-
-// Unmarshal parses ParchMint v1 JSON bytes into a device.
-func Unmarshal(data []byte) (*Device, error) {
-	return Decode(bytes.NewReader(data))
 }

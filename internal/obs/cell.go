@@ -1,0 +1,88 @@
+package obs
+
+import "fmt"
+
+// Pre-resolved series handles. Counter.Add with label values pays a
+// variadic slice allocation plus a label-key join on every call; hot
+// paths that always hit the same series (one endpoint's latency counter,
+// one endpoint/outcome pair) bind a cell once at wire-up time and pay
+// only the family lock afterwards.
+//
+// Resolution is lazy: building a cell does not materialize the series, so
+// instrumenting every endpoint at construction time adds nothing to the
+// scrape output until a cell actually records. That preserves the
+// registry's contract that a series appears in the exposition only once
+// it has been written.
+
+// CounterCell is a Counter bound to one label-value combination.
+type CounterCell struct {
+	f  *family
+	lv []string
+	s  *series
+}
+
+// Cell binds the counter to labelValues. The label count is checked here
+// so a schema mismatch surfaces at wire-up, not on the first request.
+func (c *Counter) Cell(labelValues ...string) *CounterCell {
+	if len(labelValues) != len(c.f.labels) {
+		panic(fmt.Sprintf("obs: metric %q cell with %d label values, schema has %d",
+			c.f.name, len(labelValues), len(c.f.labels)))
+	}
+	return &CounterCell{f: c.f, lv: append([]string(nil), labelValues...)}
+}
+
+// Add increases the bound series by v (v >= 0).
+func (c *CounterCell) Add(v float64) {
+	c.f.mu.Lock()
+	if c.s == nil {
+		c.s = c.f.get(c.lv)
+	}
+	c.s.value += v
+	c.f.mu.Unlock()
+}
+
+// Inc increases the bound series by one.
+func (c *CounterCell) Inc() { c.Add(1) }
+
+// Value reads the bound series' current value (0 when never written).
+func (c *CounterCell) Value() float64 {
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	if c.s == nil {
+		c.s = c.f.get(c.lv)
+	}
+	return c.s.value
+}
+
+// HistogramCell is a Histogram bound to one label-value combination.
+type HistogramCell struct {
+	f  *family
+	lv []string
+	s  *series
+}
+
+// Cell binds the histogram to labelValues; see Counter.Cell.
+func (h *Histogram) Cell(labelValues ...string) *HistogramCell {
+	if len(labelValues) != len(h.f.labels) {
+		panic(fmt.Sprintf("obs: metric %q cell with %d label values, schema has %d",
+			h.f.name, len(labelValues), len(h.f.labels)))
+	}
+	return &HistogramCell{f: h.f, lv: append([]string(nil), labelValues...)}
+}
+
+// Observe records v into the bound series.
+func (h *HistogramCell) Observe(v float64) {
+	h.f.mu.Lock()
+	if h.s == nil {
+		h.s = h.f.get(h.lv)
+	}
+	s := h.s
+	s.value += v
+	s.count++
+	for i, ub := range h.f.buckets {
+		if v <= ub {
+			s.bucketN[i]++
+		}
+	}
+	h.f.mu.Unlock()
+}

@@ -75,7 +75,8 @@ func TestRequestIDOnSpans(t *testing.T) {
 	_, sp := Start(ctx, "handler")
 	sp.End()
 	evs := tr.Events(0)
-	if len(evs) != 1 || evs[0].Args["request_id"] != "req-42" {
+	id, _ := evs[0].Args.Get("request_id")
+	if len(evs) != 1 || id != "req-42" {
 		t.Fatalf("span args = %+v, want request_id=req-42", evs[0].Args)
 	}
 	if WithRequestID(context.Background(), "") != context.Background() {

@@ -35,7 +35,29 @@ func NewIDSource() *IDSource {
 func (s *IDSource) Nonce() string { return s.nonce }
 
 // Next returns the next identifier. It is safe for concurrent use; the
-// first call returns sequence 1.
+// first call returns sequence 1. The formatting is hand-rolled (one
+// allocation, the returned string) because the service mints an ID per
+// request; it must stay byte-identical to
+// fmt.Sprintf("req-%s-%08d", nonce, seq).
 func (s *IDSource) Next() string {
-	return fmt.Sprintf("req-%s-%08d", s.nonce, s.seq.Add(1))
+	n := s.seq.Add(1)
+	var buf [32]byte
+	b := append(buf[:0], "req-"...)
+	b = append(b, s.nonce...)
+	b = append(b, '-')
+	// Decimal digits, zero-padded to 8, widening past 99,999,999 exactly
+	// as %08d does.
+	var d [20]byte
+	i := len(d)
+	for n > 0 {
+		i--
+		d[i] = byte('0' + n%10)
+		n /= 10
+	}
+	for len(d)-i < 8 {
+		i--
+		d[i] = '0'
+	}
+	b = append(b, d[i:]...)
+	return string(b)
 }

@@ -1,0 +1,75 @@
+package obs
+
+// RequestValues is a flat, allocation-free carrier of the per-request
+// telemetry values — recorder, request ID, root span — that would
+// otherwise ride the context as three nested WithValue wrappers (three
+// allocations per request). A custom context implementation embeds a
+// pointer to one and answers ValueFor from its Value method; FromContext,
+// RequestID, and Start then see exactly what the WithValue chain would
+// have shown them, and spans opened below still nest under Span.
+type RequestValues struct {
+	// Rec is the recorder WithRecorder would have attached.
+	Rec *Recorder
+	// Span is the request's root span; Start calls under the context
+	// parent to it.
+	Span *Span
+
+	id    string
+	idVal any // id boxed once, so lookups never re-box
+}
+
+// SetID stamps the request identifier, boxing it once for lookups.
+func (v *RequestValues) SetID(id string) {
+	v.id = id
+	v.idVal = id
+}
+
+// ID returns the stamped request identifier.
+func (v *RequestValues) ID() string { return v.id }
+
+// IDVal returns the boxed request identifier (nil before SetID), so
+// callers passing it into any-typed sinks reuse the one boxing SetID
+// already paid for.
+func (v *RequestValues) IDVal() any { return v.idVal }
+
+// Reset clears the carrier for reuse.
+func (v *RequestValues) Reset() { *v = RequestValues{} }
+
+// ValueFor answers the obs context keys for the values that are set,
+// reporting ok=false otherwise so the caller can continue down its own
+// chain — matching a WithValue chain, where an unset value defers to the
+// parent context.
+func (v *RequestValues) ValueFor(key any) (any, bool) {
+	switch key.(type) {
+	case recorderKey:
+		if v.Rec != nil {
+			return v.Rec, true
+		}
+	case spanKey:
+		if v.Span != nil {
+			return v.Span, true
+		}
+	case requestKey:
+		if v.id != "" {
+			return v.idVal, true
+		}
+	}
+	return nil, false
+}
+
+// NewRootSpan opens a root span (a new trace lane) named name, stamped
+// with the request ID, without deriving a context — the caller is
+// expected to carry it in a RequestValues so child spans still find it.
+// requestID is an already-boxed string (IDVal), so stamping it re-boxes
+// nothing. Nil when tracing is disabled; End and SetAttr no-op on the
+// nil span.
+func (r *Recorder) NewRootSpan(name string, requestID any) *Span {
+	if r == nil || r.tracer == nil {
+		return nil
+	}
+	sp := r.tracer.start(name, nil)
+	if requestID != nil {
+		sp.SetAttr("request_id", requestID)
+	}
+	return sp
+}

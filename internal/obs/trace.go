@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,13 +16,128 @@ import (
 // to the tracer's start. Load the exported file in chrome://tracing or
 // https://ui.perfetto.dev to see the nested flame view.
 type Event struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	TS    int64          `json:"ts"`
-	Dur   int64          `json:"dur"`
-	PID   int            `json:"pid"`
-	TID   uint64         `json:"tid"`
-	Args  map[string]any `json:"args,omitempty"`
+	Name  string     `json:"name"`
+	Phase string     `json:"ph"`
+	TS    int64      `json:"ts"`
+	Dur   int64      `json:"dur"`
+	PID   int        `json:"pid"`
+	TID   uint64     `json:"tid"`
+	Args  *SpanAttrs `json:"args,omitempty"`
+}
+
+// spanAttr is one span attribute in insertion order.
+type spanAttr struct {
+	key   string
+	value any
+}
+
+// spanAttrInline is the attribute capacity carried inside the span
+// itself. Nearly every span in the system sets at most four attributes
+// (a request span: request_id and status), so the common case writes
+// into the span's own allocation; larger sets spill into a map.
+const spanAttrInline = 4
+
+// SpanAttrs is a span's attribute set. It renders as a JSON object with
+// sorted keys — byte-identical to the map[string]any it replaced — but
+// the first spanAttrInline attributes live inline in the span, costing
+// no allocation of their own.
+type SpanAttrs struct {
+	kv    [spanAttrInline]spanAttr
+	n     int
+	spill map[string]any
+}
+
+func (a *SpanAttrs) set(key string, value any) {
+	for i := range a.kv[:a.n] {
+		if a.kv[i].key == key {
+			a.kv[i].value = value
+			return
+		}
+	}
+	if a.spill != nil {
+		if _, ok := a.spill[key]; ok {
+			a.spill[key] = value
+			return
+		}
+	}
+	if a.n < spanAttrInline {
+		a.kv[a.n] = spanAttr{key: key, value: value}
+		a.n++
+		return
+	}
+	if a.spill == nil {
+		a.spill = make(map[string]any, 4)
+	}
+	a.spill[key] = value
+}
+
+func (a *SpanAttrs) empty() bool { return a.n == 0 && len(a.spill) == 0 }
+
+// Get returns the attribute stored under key.
+func (a *SpanAttrs) Get(key string) (any, bool) {
+	if a == nil {
+		return nil, false
+	}
+	for i := range a.kv[:a.n] {
+		if a.kv[i].key == key {
+			return a.kv[i].value, true
+		}
+	}
+	v, ok := a.spill[key]
+	return v, ok
+}
+
+// Len reports the number of attributes.
+func (a *SpanAttrs) Len() int {
+	if a == nil {
+		return 0
+	}
+	return a.n + len(a.spill)
+}
+
+// MarshalJSON renders the attributes as an object with sorted keys,
+// matching encoding/json's map rendering byte for byte.
+func (a *SpanAttrs) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, a.Len())
+	for i := range a.kv[:a.n] {
+		keys = append(keys, a.kv[i].key)
+	}
+	for k := range a.spill {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := []byte{'{'}
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, kb...)
+		buf = append(buf, ':')
+		v, _ := a.Get(k)
+		vb, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, vb...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON accepts the object form; insertion order is not
+// preserved (rendering sorts, so round-trips are stable).
+func (a *SpanAttrs) UnmarshalJSON(data []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for k, v := range m {
+		a.set(k, v)
+	}
+	return nil
 }
 
 // traceFile is the trace_event JSON object form (the one with metadata,
@@ -67,7 +183,7 @@ type Span struct {
 	name   string
 	tid    uint64
 	start  time.Time
-	args   map[string]any
+	args   SpanAttrs
 }
 
 // start opens a span; parent may be nil (a new root lane).
@@ -82,15 +198,14 @@ func (t *Tracer) start(name string, parent *Span) *Span {
 }
 
 // SetAttr attaches an attribute rendered into the event's args. No-op on
-// a nil span, so call sites never guard on the telemetry state.
+// a nil span, so call sites never guard on the telemetry state. The
+// attribute lands in the span's inline storage, so the typical span pays
+// no allocation beyond the span itself.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
 		return
 	}
-	if s.args == nil {
-		s.args = make(map[string]any, 4)
-	}
-	s.args[key] = value
+	s.args.set(key, value)
 }
 
 // End finishes the span and records it. No-op on a nil span. End must be
@@ -107,7 +222,11 @@ func (s *Span) End() {
 		Dur:   time.Since(s.start).Microseconds(),
 		PID:   1,
 		TID:   s.tid,
-		Args:  s.args,
+	}
+	if !s.args.empty() {
+		// The span is already a heap object the ring retains through the
+		// event; pointing at its inline attributes costs nothing.
+		e.Args = &s.args
 	}
 	t.mu.Lock()
 	if len(t.ring) < t.cap {

@@ -85,6 +85,15 @@ func (b *Budget) Release(n int) {
 // budgetKey carries a Budget through a context.
 type budgetKey struct{}
 
+// IsBudgetKey reports whether key is the context key BudgetFrom looks
+// up. Custom context implementations (the HTTP service's pooled request
+// context) use it to answer budget lookups directly instead of paying a
+// WithValue wrapper per request.
+func IsBudgetKey(key any) bool {
+	_, ok := key.(budgetKey)
+	return ok
+}
+
 // ContextWithBudget attaches a CPU budget to the context. Parallel
 // sections below (the multi-replica annealer, the concurrent net router)
 // size their worker fan-out against it via AcquireWorkers. A nil budget

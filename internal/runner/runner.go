@@ -59,6 +59,10 @@ func ContextWithBudget(ctx context.Context, b *Budget) context.Context {
 // BudgetFrom returns the context's budget, or nil; see par.BudgetFrom.
 func BudgetFrom(ctx context.Context) *Budget { return par.BudgetFrom(ctx) }
 
+// IsBudgetKey reports whether key is the budget context key; see
+// par.IsBudgetKey.
+func IsBudgetKey(key any) bool { return par.IsBudgetKey(key) }
+
 // AcquireWorkers resolves the worker count for a budgeted parallel
 // section; see par.AcquireWorkers.
 func AcquireWorkers(ctx context.Context, want int) (int, func()) {

@@ -3,10 +3,11 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
+	"repro/internal/core"
 	"repro/internal/runner"
 )
 
@@ -51,13 +52,13 @@ type batchResponse struct {
 // are values in the response — the batch itself is a 200 unless the
 // envelope is malformed.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	body, err := requestBody(r)
+	if err != nil {
+		return badBody("batch body", err)
+	}
 	var breq batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return err
-		}
-		return fmt.Errorf("%w: decoding batch body: %v", errBadRequest, err)
+	if err := parseBatchRequest(body, &breq); err != nil {
+		return badBody("batch body", err)
 	}
 	if len(breq.Items) == 0 {
 		return fmt.Errorf("%w: batch requires at least one item", errBadRequest)
@@ -81,7 +82,95 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	// Item errors are captured in the result slots, so the pool never
 	// reports one; its only job here is bounded, order-stable fan-out.
 	_ = runner.NewPool(s.gate.Workers()).Run(tasks)
-	return writeJSON(w, http.StatusOK, batchResponse{Items: results})
+	return writeJSON(w, r, http.StatusOK, batchResponse{Items: results})
+}
+
+// parseBatchRequest decodes the batch envelope with json.Decoder
+// semantics (see parseRequest). Each item flattens the shared request
+// envelope plus its "op" member, exactly as the embedded-struct
+// reflective decoding did.
+func parseBatchRequest(data []byte, breq *batchRequest) error {
+	p := core.NewParser(data)
+	defer p.Release()
+	if p.AtEOF() {
+		return io.EOF
+	}
+	if p.TryNull() {
+		return nil
+	}
+	if err := p.BeginObject(); err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, ok, err := p.NextKey(&first)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if !core.FoldEq(key, "ITEMS") {
+			if err := p.SkipValue(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.TryNull() {
+			breq.Items = nil
+			continue
+		}
+		if err := p.BeginArray(); err != nil {
+			return err
+		}
+		items := breq.Items[:0]
+		afirst := true
+		for {
+			more, err := p.ArrayNext(&afirst)
+			if err != nil {
+				return err
+			}
+			if !more {
+				break
+			}
+			items = append(items, batchItem{})
+			if err := parseBatchItem(p, &items[len(items)-1]); err != nil {
+				return err
+			}
+		}
+		if items == nil {
+			items = make([]batchItem, 0)
+		}
+		breq.Items = items
+	}
+}
+
+func parseBatchItem(p *core.Parser, item *batchItem) error {
+	if p.TryNull() {
+		return nil
+	}
+	if err := p.BeginObject(); err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, ok, err := p.NextKey(&first)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if core.FoldEq(key, "OP") {
+			if err := envString(p, &item.Op); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := applyRequestField(p, key, &item.request); err != nil {
+			return err
+		}
+	}
 }
 
 // runBatchItem executes one item through the shared operation table and

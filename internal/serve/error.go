@@ -155,12 +155,12 @@ func newErrorBody(ctx context.Context, err error) errorBody {
 // keeps the status visible to tests and proxies. Shed requests carry a
 // Retry-After header so well-behaved clients back off instead of
 // retrying into the same saturated gate.
-func writeError(ctx context.Context, w http.ResponseWriter, err error) {
+func writeError(ctx context.Context, w http.ResponseWriter, r *http.Request, err error) {
 	var over *OverloadedError
 	if errors.As(err, &over) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
 	}
-	_ = writeJSON(w, httpStatus(err), newErrorBody(ctx, err))
+	_ = writeJSON(w, r, httpStatus(err), newErrorBody(ctx, err))
 }
 
 // withTimeout bounds a request context; d <= 0 means no limit.

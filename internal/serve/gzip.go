@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Transparent response compression. A wrapped endpoint whose client
+// offers Accept-Encoding: gzip gets its body compressed through a pooled
+// gzip.Writer at BestSpeed; the uncompressed bytes fed to the compressor
+// are exactly the bytes an identity response would carry, so
+// decompressing a gzip response reproduces the identity response
+// byte-for-byte (TestGzipByteIdentity). The SSE job event stream opts
+// out (wrapOpts.noCompress): its value is incremental delivery, which
+// compression buffering would defeat. /metrics and /debug/trace sit
+// outside the middleware entirely and are never compressed.
+
+var gzipPool = sync.Pool{New: func() any {
+	w, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+	return w
+}}
+
+var (
+	gzipEncodingVal = []string{"gzip"}
+	varyAcceptVal   = []string{"Accept-Encoding"}
+)
+
+// acceptsGzip reports whether the request's Accept-Encoding header names
+// gzip (or a wildcard) with a nonzero quality.
+func acceptsGzip(r *http.Request) bool {
+	ae := r.Header.Get("Accept-Encoding")
+	if ae == "" {
+		return false
+	}
+	for ae != "" {
+		var enc string
+		enc, ae, _ = strings.Cut(ae, ",")
+		name, params, hasParams := strings.Cut(enc, ";")
+		name = strings.TrimSpace(name)
+		if !strings.EqualFold(name, "gzip") && name != "*" {
+			continue
+		}
+		if hasParams {
+			if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+				if v, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err == nil && v == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// gzipWriter funnels a handler's writes through a gzip stream into the
+// status-capturing writer. The Content-Encoding and Vary headers are set
+// by the middleware before the handler runs, so whichever write flushes
+// the header block first — the handler's, an error body's, or the
+// compressor's own close — the response is consistently labeled.
+type gzipWriter struct {
+	sw *statusWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipWriter) Header() http.Header { return g.sw.Header() }
+
+func (g *gzipWriter) WriteHeader(code int) { g.sw.WriteHeader(code) }
+
+func (g *gzipWriter) Write(b []byte) (int, error) { return g.gz.Write(b) }
+
+// Flush drains the compressor and flushes the connection, preserving
+// http.Flusher for compressed endpoints.
+func (g *gzipWriter) Flush() {
+	_ = g.gz.Flush()
+	g.sw.Flush()
+}
+
+// Note the deliberate absence of Unwrap: exposing the underlying writer
+// to http.NewResponseController would let a flush bypass the compressor
+// and interleave raw bytes into the gzip stream.
+var _ http.Flusher = (*gzipWriter)(nil)

@@ -3,7 +3,6 @@ package serve
 import (
 	"bytes"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -78,17 +77,24 @@ type request struct {
 	Labels bool    `json:"labels,omitempty"`
 }
 
-// decodeRequest parses the request envelope.
+// decodeRequest parses the request envelope: the whole body into the
+// request's pooled buffer, then one pass of the hand-rolled parser. The
+// returned request lives in the pooled state (its Device field aliases
+// the body buffer) and is valid until the request completes.
 func decodeRequest(r *http.Request) (*request, error) {
-	var req request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%w: decoding request body: %v", errBadRequest, err)
+	body, err := requestBody(r)
+	if err != nil {
+		return nil, badBody("request body", err)
 	}
-	return &req, nil
+	req := new(request)
+	if st := stateFrom(r); st != nil {
+		st.req = request{}
+		req = &st.req
+	}
+	if err := parseRequest(body, req); err != nil {
+		return nil, badBody("request body", err)
+	}
+	return req, nil
 }
 
 // resolve loads the request's device through the same cli.Load path the
@@ -118,10 +124,12 @@ func resolve(ctx context.Context, req *request) (*cli.Result, []byte, error) {
 	}
 }
 
-// jsonEntry materializes v exactly as writeJSON would have rendered it,
-// so cached replays are byte-identical to direct responses.
+// jsonEntry materializes v exactly as writeJSON's default rendering —
+// compact with a trailing newline — so cached replays are byte-identical
+// to direct responses. The hot operations skip it for the hand encoders
+// in respenc.go; it remains the generic fallback.
 func jsonEntry(v any) (cache.Entry, error) {
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := json.Marshal(v)
 	if err != nil {
 		return cache.Entry{}, fmt.Errorf("serve: encoding response: %w", err)
 	}
@@ -145,72 +153,63 @@ func (s *Server) serveOp(name string) apiHandler {
 		if err != nil {
 			return err
 		}
-		if outcome != "" {
-			w.Header().Set(cacheHeader, outcome)
+		body := ent.Body
+		if requestPretty(r) && ent.ContentType == "application/json" {
+			if body, err = indentEntry(ent.Body); err != nil {
+				return err
+			}
 		}
-		w.Header().Set("Content-Type", ent.ContentType)
+		h := w.Header()
+		if outcome != "" {
+			h[cacheHeader] = outcomeHeaderValue(outcome)
+		}
+		h["Content-Type"] = contentTypeValue(ent.ContentType)
 		w.WriteHeader(http.StatusOK)
-		_, err = w.Write(ent.Body)
+		_, err = w.Write(body)
 		return err
 	}
+}
+
+// Shared header slices for the three cache outcomes; see cacheHeader.
+var outcomeHeaderVals = map[string][]string{
+	cache.Hit.String():       {cache.Hit.String()},
+	cache.Miss.String():      {cache.Miss.String()},
+	cache.Coalesced.String(): {cache.Coalesced.String()},
+}
+
+func outcomeHeaderValue(outcome string) []string {
+	if v, ok := outcomeHeaderVals[outcome]; ok {
+		return v
+	}
+	return []string{outcome}
 }
 
 // runCached executes op through the content-addressed result cache:
 // concurrent identical requests coalesce onto one computation, repeated
 // ones replay stored bytes. With caching disabled it computes directly
 // and reports no outcome. Only successful responses are ever stored, so
-// error statuses are recomputed per request.
+// error statuses are recomputed per request. The warm path — key
+// derivation, probe, outcome accounting — allocates only the key string:
+// a hit bypasses Do (no compute closure) and records through a pre-bound
+// metric cell.
 func (s *Server) runCached(ctx context.Context, op *Operation, req *request) (cache.Entry, string, error) {
 	if s.cache == nil {
 		ent, err := op.run(s, ctx, req)
 		return ent, "", err
 	}
-	ent, outcome, err := s.cache.Do(ctx, s.cacheKey(op.Name, req), func() (cache.Entry, error) {
+	key := s.cacheKey(op.Name, req)
+	if ent, ok := s.cache.Lookup(key); ok {
+		s.mCacheCells[op.Name][cache.Hit].Inc()
+		return ent, cache.Hit.String(), nil
+	}
+	ent, outcome, err := s.cache.Do(ctx, key, func() (cache.Entry, error) {
 		return op.run(s, ctx, req)
 	})
 	if err != nil {
 		return cache.Entry{}, "", err
 	}
-	s.mCacheReq.Inc(op.Name, outcome.String())
+	s.mCacheCells[op.Name][outcome].Inc()
 	return ent, outcome.String(), nil
-}
-
-// cacheKey derives the content address of one computation: SHA-256 over
-// the operation, the canonicalized request body, and the resolved seed.
-// Canonicalization re-marshals the decoded envelope, so formatting
-// differences and unknown fields — which cannot influence the output —
-// map to the same address, while every field that does influence it
-// (device source bytes, engine options, render options) is covered. The
-// seed component folds the explicit request seed or, for derived seeds,
-// the server's base seed (the device name completing the derivation is
-// already pinned by the canonical body), so servers seeded differently
-// never share entries.
-func (s *Server) cacheKey(op string, req *request) string {
-	canon, err := json.Marshal(req)
-	if err != nil {
-		// The envelope round-trips by construction; treat failure as a
-		// never-matching key rather than a request failure.
-		canon = []byte(fmt.Sprintf("unmarshalable:%p", req))
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = runner.DeriveSeed(s.cfg.BaseSeed, req.Bench)
-	}
-	var sb [8]byte
-	binary.LittleEndian.PutUint64(sb[:], seed)
-	// The replica count selects a different annealing search, so for the
-	// operations it reaches it must be part of the address. It folds in
-	// only when a multi-replica schedule is effective: single-replica
-	// keys stay byte-for-byte what they were before the knob existed, so
-	// existing entries (and servers that never set it) are undisturbed.
-	// RouteWorkers, by contrast, never appears in any key: parallel
-	// routing is byte-identical to sequential.
-	if n := s.replicas(req); n > 1 && (op == opPNR || op == opRender) {
-		var rb [8]byte
-		binary.LittleEndian.PutUint64(rb[:], uint64(n))
-		return cache.Key([]byte(op), canon, sb[:], rb[:])
-	}
-	return cache.Key([]byte(op), canon, sb[:])
 }
 
 // replicas resolves the effective annealing replica count for a request:
@@ -281,7 +280,12 @@ func (s *Server) execValidate(ctx context.Context, req *request) (cache.Entry, e
 			resp.Schema = append(resp.Schema, issue.String())
 		}
 	}
-	return jsonEntry(resp)
+	sc := encScratchPool.Get().(*[]byte)
+	b := appendValidateResponse((*sc)[:0], &resp)
+	ent := entryFromScratch(b)
+	*sc = b[:0]
+	encScratchPool.Put(sc)
+	return ent, nil
 }
 
 type convertResponse struct {
@@ -311,6 +315,7 @@ func (s *Server) execConvert(ctx context.Context, req *request) (cache.Entry, er
 		}
 	}
 	notes := append([]string(nil), res.Notes...)
+	var resp convertResponse
 	switch target {
 	case "mint":
 		f, fid, err := mint.FromDevice(res.Device)
@@ -318,26 +323,35 @@ func (s *Server) execConvert(ctx context.Context, req *request) (cache.Entry, er
 			return cache.Entry{}, fmt.Errorf("serve: converting to MINT: %w", err)
 		}
 		notes = append(notes, fid.Notes...)
-		return jsonEntry(convertResponse{
+		resp = convertResponse{
 			Target:   "mint",
 			Output:   mint.Print(f),
 			Lossless: len(notes) == 0,
 			Notes:    notes,
-		})
+		}
 	case "json":
-		data, err := core.Marshal(res.Device)
+		// The canonical compact encoding — the same bytes json.Marshal
+		// would produce for the device, so the embedded document is
+		// byte-identical to what the reflective encoder emitted.
+		data, err := core.MarshalCanonical(res.Device)
 		if err != nil {
 			return cache.Entry{}, fmt.Errorf("serve: encoding device: %w", err)
 		}
-		return jsonEntry(convertResponse{
+		resp = convertResponse{
 			Target:   "json",
 			Device:   data,
 			Lossless: len(notes) == 0,
 			Notes:    notes,
-		})
+		}
 	default:
 		return cache.Entry{}, fmt.Errorf("%w: to must be \"mint\" or \"json\", got %q", errBadRequest, req.To)
 	}
+	sc := encScratchPool.Get().(*[]byte)
+	b := appendConvertResponse((*sc)[:0], &resp)
+	ent := entryFromScratch(b)
+	*sc = b[:0]
+	encScratchPool.Put(sc)
+	return ent, nil
 }
 
 type placeSummary struct {
@@ -406,7 +420,7 @@ func (s *Server) execPNR(ctx context.Context, req *request) (cache.Entry, error)
 		if err != nil {
 			return err
 		}
-		data, err := core.Marshal(result.Device)
+		data, err := core.MarshalCanonical(result.Device)
 		if err != nil {
 			return fmt.Errorf("serve: encoding device: %w", err)
 		}
@@ -435,7 +449,16 @@ func (s *Server) execPNR(ctx context.Context, req *request) (cache.Entry, error)
 	if err != nil {
 		return cache.Entry{}, err
 	}
-	return jsonEntry(resp)
+	sc := encScratchPool.Get().(*[]byte)
+	b, err := appendPNRResponse((*sc)[:0], &resp)
+	if err != nil {
+		encScratchPool.Put(sc)
+		return cache.Entry{}, fmt.Errorf("serve: encoding response: %w", err)
+	}
+	ent := entryFromScratch(b)
+	*sc = b[:0]
+	encScratchPool.Put(sc)
+	return ent, nil
 }
 
 // execStats returns the paper's Table 1 characterization profile.
@@ -450,7 +473,17 @@ func (s *Server) execStats(ctx context.Context, req *request) (cache.Entry, erro
 			class = string(b.Class)
 		}
 	}
-	return jsonEntry(stats.ProfileDevice(res.Device, class))
+	profile := stats.ProfileDevice(res.Device, class)
+	sc := encScratchPool.Get().(*[]byte)
+	b, err := appendStatsProfile((*sc)[:0], &profile)
+	if err != nil {
+		encScratchPool.Put(sc)
+		return cache.Entry{}, fmt.Errorf("serve: encoding response: %w", err)
+	}
+	ent := entryFromScratch(b)
+	*sc = b[:0]
+	encScratchPool.Put(sc)
+	return ent, nil
 }
 
 // execRender returns the device drawn as SVG. Devices without physical
@@ -530,9 +563,9 @@ func (s *Server) handleBenchList(w http.ResponseWriter, r *http.Request) error {
 	}
 	switch format := q.Get("format"); format {
 	case "":
-		return writeJSON(w, http.StatusOK, benchListResponse{Items: entries, Total: len(entries)})
+		return writeJSON(w, r, http.StatusOK, benchListResponse{Items: entries, Total: len(entries)})
 	case "legacy":
-		return writeJSON(w, http.StatusOK, entries)
+		return writeJSON(w, r, http.StatusOK, entries)
 	default:
 		return fmt.Errorf("%w: format must be \"legacy\" or omitted, got %q", errBadRequest, format)
 	}
@@ -544,12 +577,18 @@ func (s *Server) handleBenchGet(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	data, err := core.Marshal(b.Device())
+	data, err := core.MarshalCanonical(b.Device())
 	if err != nil {
 		return fmt.Errorf("serve: encoding device: %w", err)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_, err = w.Write(append(data, '\n'))
+	body := append(data, '\n')
+	if requestPretty(r) {
+		if body, err = indentEntry(body); err != nil {
+			return err
+		}
+	}
+	w.Header()["Content-Type"] = ctJSONVal
+	_, err = w.Write(body)
 	return err
 }
 
@@ -590,7 +629,7 @@ func buildInfo() (version, revision string) {
 // probes should expect to move.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	version, revision := buildInfo()
-	return writeJSON(w, http.StatusOK, healthResponse{
+	return writeJSON(w, r, http.StatusOK, healthResponse{
 		Status:        "ok",
 		Workers:       s.gate.Workers(),
 		Version:       version,

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/job"
 	"repro/internal/obs"
 )
@@ -111,7 +113,7 @@ func (s *Server) jobExec(ctx context.Context, opName string, envelope json.RawMe
 		return cache.Entry{}, "", err
 	}
 	var req request
-	if err := json.Unmarshal(envelope, &req); err != nil {
+	if err := parseRequest(envelope, &req); err != nil {
 		return cache.Entry{}, "", fmt.Errorf("%w: decoding job envelope: %v", errBadRequest, err)
 	}
 	rec := s.rec
@@ -128,13 +130,13 @@ func (s *Server) jobExec(ctx context.Context, opName string, envelope json.RawMe
 // its content address, which clients can use to correlate with the
 // synchronous endpoints' cache headers.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
+	body, err := requestBody(r)
+	if err != nil {
+		return badBody("job body", err)
+	}
 	var jreq jobSubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&jreq); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return err
-		}
-		return fmt.Errorf("%w: decoding job body: %v", errBadRequest, err)
+	if err := parseJobSubmit(body, &jreq); err != nil {
+		return badBody("job body", err)
 	}
 	op, err := operationByName(jreq.Op)
 	if err != nil {
@@ -144,9 +146,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	// The canonical envelope is the journal's replay unit and (with the
-	// op and seed) the cache address; re-marshaling the decoded struct
-	// drops unknown fields and formatting, exactly as cacheKey does.
-	envelope, err := json.Marshal(&jreq.request)
+	// op and seed) the cache address; re-encoding the decoded struct
+	// drops unknown fields and formatting, exactly as cacheKey does. It
+	// is an owned allocation — the journal retains it past this request,
+	// so it must not alias the pooled body buffer.
+	envelope, err := appendRequestJSON(nil, &jreq.request)
 	if err != nil {
 		return fmt.Errorf("serve: encoding job envelope: %w", err)
 	}
@@ -157,7 +161,43 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusAccepted, jobDocument(snap))
+	return writeJSON(w, r, http.StatusAccepted, jobDocument(snap))
+}
+
+// parseJobSubmit decodes the submit body with json.Decoder semantics
+// (see parseRequest): the shared envelope flattened with its "op"
+// member, as the embedded-struct reflective decoding did.
+func parseJobSubmit(data []byte, jreq *jobSubmitRequest) error {
+	p := core.NewParser(data)
+	defer p.Release()
+	if p.AtEOF() {
+		return io.EOF
+	}
+	if p.TryNull() {
+		return nil
+	}
+	if err := p.BeginObject(); err != nil {
+		return err
+	}
+	first := true
+	for {
+		key, ok, err := p.NextKey(&first)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if core.FoldEq(key, "OP") {
+			if err := envString(p, &jreq.Op); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := applyRequestField(p, key, &jreq.request); err != nil {
+			return err
+		}
+	}
 }
 
 // jobListResponse is the GET /v1/jobs envelope.
@@ -177,7 +217,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) error {
 		}
 		items = append(items, jobDocument(snap))
 	}
-	return writeJSON(w, http.StatusOK, jobListResponse{Items: items, Total: len(items)})
+	return writeJSON(w, r, http.StatusOK, jobListResponse{Items: items, Total: len(items)})
 }
 
 // handleJobGet serves one job's current document.
@@ -186,7 +226,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, jobDocument(snap))
+	return writeJSON(w, r, http.StatusOK, jobDocument(snap))
 }
 
 // handleJobResult replays a completed job's materialized bytes — the
@@ -204,7 +244,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
 				if status == 0 {
 					status = http.StatusInternalServerError
 				}
-				return writeJSON(w, status, errorBody{
+				return writeJSON(w, r, status, errorBody{
 					Error:     snap.ErrMsg,
 					Code:      snap.ErrCode,
 					RequestID: obs.RequestID(r.Context()),
@@ -230,7 +270,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, jobDocument(snap))
+	return writeJSON(w, r, http.StatusOK, jobDocument(snap))
 }
 
 // lastEventSeq extracts the SSE resume position: the Last-Event-ID header

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/job"
+	"repro/internal/obs"
 )
 
 // The service's instruments live on the shared obs.Registry (newInstruments
@@ -16,18 +18,64 @@ import (
 // the recorder the handlers put on every request context — the algorithm
 // series the annealer and routers emit at their batch poll points.
 
+// endpointMetrics is the pre-resolved instrument bundle for one endpoint.
+// The middleware binds one at wire-up time, so the per-request recording
+// path touches metric cells instead of re-resolving label sets (and
+// re-formatting the endpoint label) on every request. Only the
+// per-status request counter stays lazy: the status is not known until
+// the response finishes, and each distinct status pays Itoa exactly once
+// per endpoint.
+type endpointMetrics struct {
+	latency  *obs.CounterCell
+	errors   *obs.CounterCell
+	shed     *obs.CounterCell
+	duration *obs.HistogramCell
+
+	requests *obs.Counter
+	endpoint string
+
+	mu       sync.Mutex
+	byStatus map[int]*obs.CounterCell
+}
+
+// endpointMetrics binds the instrument cells for endpoint.
+func (s *Server) endpointMetrics(endpoint string) *endpointMetrics {
+	return &endpointMetrics{
+		latency:  s.mLatency.Cell(endpoint),
+		errors:   s.mErrors.Cell(endpoint),
+		shed:     s.mShed.Cell(endpoint),
+		duration: s.mDuration.Cell(endpoint),
+		requests: s.mRequests,
+		endpoint: endpoint,
+		byStatus: make(map[int]*obs.CounterCell),
+	}
+}
+
+// statusCell resolves (once per distinct status) the request-count cell
+// for a response status on this endpoint.
+func (em *endpointMetrics) statusCell(status int) *obs.CounterCell {
+	em.mu.Lock()
+	c, ok := em.byStatus[status]
+	if !ok {
+		c = em.requests.Cell(em.endpoint, strconv.Itoa(status))
+		em.byStatus[status] = c
+	}
+	em.mu.Unlock()
+	return c
+}
+
 // observe records one finished request into the endpoint instruments.
-func (s *Server) observe(endpoint string, status int, d time.Duration) {
+func (s *Server) observe(em *endpointMetrics, status int, d time.Duration) {
 	secs := d.Seconds()
-	s.mRequests.Inc(endpoint, strconv.Itoa(status))
-	s.mLatency.Add(secs, endpoint)
+	em.statusCell(status).Inc()
+	em.latency.Add(secs)
 	if status >= 400 {
-		s.mErrors.Inc(endpoint)
+		em.errors.Inc()
 	}
 	if status == http.StatusTooManyRequests {
-		s.mShed.Inc(endpoint)
+		em.shed.Inc()
 	}
-	s.mDuration.Observe(secs, endpoint)
+	em.duration.Observe(secs)
 }
 
 // stageObserver adapts the pnr stage hook to the stage-seconds counter for
@@ -60,7 +108,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if arg := r.URL.Query().Get("n"); arg != "" {
 		v, err := strconv.Atoi(arg)
 		if err != nil || v < 0 {
-			writeError(r.Context(), w, fmt.Errorf("%w: n must be a non-negative integer", errBadRequest))
+			writeError(r.Context(), w, r, fmt.Errorf("%w: n must be a non-negative integer", errBadRequest))
 			return
 		}
 		n = v

@@ -38,8 +38,8 @@ func TestHealthzBuildInfoAndUptime(t *testing.T) {
 		t.Errorf("uptime_seconds = %d, want >= 0", resp.UptimeSeconds)
 	}
 	// serve-smoke greps the rendered body for this exact fragment.
-	if !strings.Contains(w.Body.String(), `"status": "ok"`) {
-		t.Errorf("body lost the \"status\": \"ok\" rendering:\n%s", w.Body)
+	if !strings.Contains(w.Body.String(), `"status":"ok"`) {
+		t.Errorf("body lost the \"status\":\"ok\" rendering:\n%s", w.Body)
 	}
 }
 

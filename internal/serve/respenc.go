@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Hand encoders for the cached response shapes. Each append function
+// produces exactly the bytes json.Marshal would for the same value —
+// pinned by TestResponseEncodersMatchStd — writing into a pooled scratch
+// buffer instead of allocating through reflection. The entry
+// materialization then makes the one allocation the cache actually
+// needs: a right-sized owned body.
+
+var encScratchPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// entryFromScratch finishes a hand-encoded body into a cache entry: one
+// right-sized copy out of the scratch, plus the trailing newline every
+// JSON response body carries.
+func entryFromScratch(b []byte) cache.Entry {
+	body := make([]byte, len(b)+1)
+	copy(body, b)
+	body[len(b)] = '\n'
+	return cache.Entry{ContentType: "application/json", Body: body}
+}
+
+func appendValidateResponse(dst []byte, v *validateResponse) []byte {
+	dst = append(dst, `{"device":`...)
+	dst = core.AppendJSONString(dst, v.Device)
+	dst = append(dst, `,"ok":`...)
+	dst = strconv.AppendBool(dst, v.OK)
+	dst = append(dst, `,"errors":`...)
+	dst = strconv.AppendInt(dst, int64(v.Errors), 10)
+	dst = append(dst, `,"warnings":`...)
+	dst = strconv.AppendInt(dst, int64(v.Warnings), 10)
+	dst = append(dst, `,"diagnostics":`...)
+	if v.Diagnostics == nil {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		for i := range v.Diagnostics {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			d := &v.Diagnostics[i]
+			dst = append(dst, `{"severity":`...)
+			dst = core.AppendJSONString(dst, d.Severity)
+			dst = append(dst, `,"code":`...)
+			dst = core.AppendJSONString(dst, d.Code)
+			dst = append(dst, `,"path":`...)
+			dst = core.AppendJSONString(dst, d.Path)
+			dst = append(dst, `,"message":`...)
+			dst = core.AppendJSONString(dst, d.Message)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if len(v.Schema) > 0 {
+		dst = append(dst, `,"schema":`...)
+		dst = appendStringArray(dst, v.Schema)
+	}
+	return append(dst, '}')
+}
+
+func appendConvertResponse(dst []byte, v *convertResponse) []byte {
+	dst = append(dst, `{"target":`...)
+	dst = core.AppendJSONString(dst, v.Target)
+	if v.Output != "" {
+		dst = append(dst, `,"output":`...)
+		dst = core.AppendJSONString(dst, v.Output)
+	}
+	if len(v.Device) > 0 {
+		dst = append(dst, `,"device":`...)
+		dst = core.AppendCompactJSON(dst, v.Device)
+	}
+	dst = append(dst, `,"lossless":`...)
+	dst = strconv.AppendBool(dst, v.Lossless)
+	if len(v.Notes) > 0 {
+		dst = append(dst, `,"notes":`...)
+		dst = appendStringArray(dst, v.Notes)
+	}
+	return append(dst, '}')
+}
+
+func appendPNRResponse(dst []byte, v *pnrResponse) ([]byte, error) {
+	dst = append(dst, `{"device":`...)
+	if len(v.Device) == 0 {
+		dst = append(dst, `null`...)
+	} else {
+		dst = core.AppendCompactJSON(dst, v.Device)
+	}
+	dst = append(dst, `,"seed":`...)
+	dst = strconv.AppendUint(dst, v.Seed, 10)
+	dst = append(dst, `,"placer":`...)
+	dst = core.AppendJSONString(dst, v.Placer)
+	dst = append(dst, `,"router":`...)
+	dst = core.AppendJSONString(dst, v.Router)
+	dst = append(dst, `,"place":{"hpwl_um":`...)
+	dst = strconv.AppendInt(dst, v.Place.HPWL, 10)
+	dst = append(dst, `,"area_um2":`...)
+	dst = strconv.AppendInt(dst, v.Place.Area, 10)
+	dst = append(dst, `,"overlaps":`...)
+	dst = strconv.AppendInt(dst, int64(v.Place.Overlaps), 10)
+	dst = append(dst, `,"placed":`...)
+	dst = strconv.AppendInt(dst, int64(v.Place.Placed), 10)
+	dst = append(dst, `},"route":{"routed":`...)
+	dst = strconv.AppendInt(dst, int64(v.Route.Routed), 10)
+	dst = append(dst, `,"total":`...)
+	dst = strconv.AppendInt(dst, int64(v.Route.Total), 10)
+	dst = append(dst, `,"completion_rate":`...)
+	dst, err := core.AppendJSONFloat(dst, v.Route.Completion)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, `,"total_length_um":`...)
+	dst = strconv.AppendInt(dst, v.Route.Length, 10)
+	dst = append(dst, `,"expansions":`...)
+	dst = strconv.AppendInt(dst, int64(v.Route.Expansions), 10)
+	dst = append(dst, `,"rounds":`...)
+	dst = strconv.AppendInt(dst, int64(v.Route.Rounds), 10)
+	return append(dst, `}}`...), nil
+}
+
+func appendStatsProfile(dst []byte, v *stats.Profile) ([]byte, error) {
+	dst = append(dst, `{"name":`...)
+	dst = core.AppendJSONString(dst, v.Name)
+	dst = append(dst, `,"class":`...)
+	dst = core.AppendJSONString(dst, v.Class)
+	dst = append(dst, `,"layers":`...)
+	dst = strconv.AppendInt(dst, int64(v.Layers), 10)
+	dst = append(dst, `,"components":`...)
+	dst = strconv.AppendInt(dst, int64(v.Components), 10)
+	dst = append(dst, `,"connections":`...)
+	dst = strconv.AppendInt(dst, int64(v.Connections), 10)
+	dst = append(dst, `,"ports":`...)
+	dst = strconv.AppendInt(dst, int64(v.Ports), 10)
+	dst = append(dst, `,"valves":`...)
+	dst = strconv.AppendInt(dst, int64(v.Valves), 10)
+	dst = append(dst, `,"multi_sink":`...)
+	dst = strconv.AppendInt(dst, int64(v.MultiSink), 10)
+	dst = append(dst, `,"avg_degree":`...)
+	dst, err := core.AppendJSONFloat(dst, v.AvgDegree)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, `,"max_degree":`...)
+	dst = strconv.AppendInt(dst, int64(v.MaxDegree), 10)
+	dst = append(dst, `,"diameter":`...)
+	dst = strconv.AppendInt(dst, int64(v.Diameter), 10)
+	return append(dst, '}'), nil
+}
+
+func appendStringArray(dst []byte, ss []string) []byte {
+	dst = append(dst, '[')
+	for i, s := range ss {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = core.AppendJSONString(dst, s)
+	}
+	return append(dst, ']')
+}

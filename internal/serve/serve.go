@@ -13,11 +13,16 @@
 package serve
 
 import (
+	"bytes"
+	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -115,13 +120,16 @@ type Server struct {
 	cfg    Config
 	gate   *runner.Gate
 	budget *runner.Budget
-	cache  *cache.Cache // nil when caching is disabled
-	reg    *obs.Registry
-	tracer *obs.Tracer
-	rec    *obs.Recorder
-	start  time.Time
-	ids    *obs.IDSource
-	jobs   *job.Store
+	// budgetVal is the budget boxed once, so the per-request context can
+	// answer budget lookups without re-boxing.
+	budgetVal any
+	cache     *cache.Cache // nil when caching is disabled
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	rec       *obs.Recorder
+	start     time.Time
+	ids       *obs.IDSource
+	jobs      *job.Store
 
 	// Pre-resolved endpoint instruments.
 	mRequests   *obs.Counter   // {endpoint, status}
@@ -132,6 +140,11 @@ type Server struct {
 	mCacheReq   *obs.Counter   // {endpoint, outcome}
 	mCacheEvict *obs.Counter
 	mShed       *obs.Counter // {endpoint}
+
+	// mCacheCells pre-binds every operation × outcome series of
+	// mCacheReq, so the cached execution path records without the
+	// variadic label join.
+	mCacheCells map[string]*[3]*obs.CounterCell
 
 	// Job lifecycle instruments, fed by the store's hooks.
 	mJobsSubmitted *obs.Counter
@@ -221,6 +234,15 @@ func New(cfg Config) *Server {
 		})
 	s.mJobDur = s.reg.Histogram("parchmint_job_duration_seconds",
 		"Job execution latency (start to finish), by terminal status.", nil, "status")
+	s.mCacheCells = make(map[string]*[3]*obs.CounterCell, len(operations))
+	for _, op := range operations {
+		cells := new([3]*obs.CounterCell)
+		for _, o := range []cache.Outcome{cache.Miss, cache.Hit, cache.Coalesced} {
+			cells[o] = s.mCacheReq.Cell(op.Name, o.String())
+		}
+		s.mCacheCells[op.Name] = cells
+	}
+	s.budgetVal = s.budget
 	if cfg.CacheBytes > 0 {
 		s.cache = cache.New(cfg.CacheBytes)
 		s.cache.OnEvict(func(n int) { s.mCacheEvict.Add(float64(n)) })
@@ -294,7 +316,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}/result", s.wrapWith("jobs-result", s.handleJobResult, wrapOpts{noBodyLimit: true}))
 	// The event stream outlives any request timeout by design; it ends
 	// when the job does (or the client goes away, which cancels the job).
-	mux.Handle("GET /v1/jobs/{id}/events", s.wrapWith("jobs-events", s.handleJobEvents, wrapOpts{noBodyLimit: true, noTimeout: true}))
+	// It also skips compression: SSE's value is incremental delivery,
+	// which the compressor's buffering would defeat.
+	mux.Handle("GET /v1/jobs/{id}/events", s.wrapWith("jobs-events", s.handleJobEvents, wrapOpts{noBodyLimit: true, noTimeout: true, noCompress: true}))
 	mux.Handle("DELETE /v1/jobs/{id}", s.wrapWith("jobs-cancel", s.handleJobCancel, wrapOpts{noBodyLimit: true}))
 	mux.Handle("GET /v1/bench", s.wrapWith("bench-list", s.handleBenchList, wrapOpts{noBodyLimit: true}))
 	mux.Handle("GET /v1/bench/{name}", s.wrapWith("bench-get", s.handleBenchGet, wrapOpts{noBodyLimit: true}))
@@ -375,6 +399,9 @@ type wrapOpts struct {
 	// endpoints that must answer even when the pipeline is saturated or
 	// the configured timeout is pathological.
 	noTimeout bool
+	// noCompress skips Accept-Encoding negotiation — for the SSE stream,
+	// where compression buffering would defeat incremental delivery.
+	noCompress bool
 }
 
 // wrap applies the full service middleware stack: body size limit,
@@ -390,35 +417,68 @@ func (s *Server) wrap(endpoint string, h apiHandler) http.Handler {
 // context so pipeline spans and algorithm metrics flow from the engines
 // without the handlers knowing. Telemetry never touches seeds or response
 // bodies: identical request bodies stay byte-identical.
+//
+// This is the serving hot path, so the per-request machinery is pooled:
+// one reqState carries the status writer, body buffer, decoded envelope,
+// and a combined context link that answers the recorder, request ID,
+// span, and CPU budget without a WithValue chain. The per-endpoint
+// metric cells are bound once, here, at wrap time.
 func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handler {
+	em := s.endpointMetrics(endpoint)
+	spanName := "http." + endpoint
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
+		st := getReqState()
+		defer putReqState(st)
+		st.sw = statusWriter{ResponseWriter: w}
+		sw := &st.sw
 		if !o.noBodyLimit && r.Body != nil && r.Body != http.NoBody {
-			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.maxBody())
+			limit := s.cfg.maxBody()
+			st.lim = limitedBody{rc: r.Body, remain: limit, limit: limit}
+			r.Body = &st.lim
 		}
-		ctx := r.Context()
+		reqID := s.ids.Next()
+		st.vals.Rec = s.rec
+		st.vals.SetID(reqID)
+		st.vals.Span = s.rec.NewRootSpan(spanName, st.vals.IDVal())
+		st.ctx = reqContext{parent: r.Context(), vals: &st.vals, budget: s.budgetVal, state: st.self}
+		var ctx context.Context = &st.ctx
 		if !o.noTimeout {
 			var cancel func()
 			ctx, cancel = withTimeout(ctx, s.cfg.timeout())
 			defer cancel()
 		}
-		reqID := s.ids.Next()
-		ctx = obs.WithRecorder(ctx, s.rec)
-		ctx = obs.WithRequestID(ctx, reqID)
-		ctx = runner.ContextWithBudget(ctx, s.budget)
-		ctx, span := obs.Start(ctx, "http."+endpoint)
-		sw.Header().Set("X-Request-Id", reqID)
-		if err := h(sw, r.WithContext(ctx)); err != nil {
-			writeError(ctx, sw, err)
+		// The header value escapes the request (httptest recorders and
+		// proxies read it afterwards), so it cannot come from the pool.
+		sw.Header()["X-Request-Id"] = []string{reqID}
+		var hw http.ResponseWriter = sw
+		var gzw *gzipWriter
+		if !o.noCompress && acceptsGzip(r) {
+			gz := gzipPool.Get().(*gzip.Writer)
+			gz.Reset(sw)
+			hdr := sw.Header()
+			hdr["Content-Encoding"] = gzipEncodingVal
+			hdr["Vary"] = varyAcceptVal
+			gzw = &gzipWriter{sw: sw, gz: gz}
+			hw = gzw
+		}
+		r2 := r.WithContext(ctx)
+		if err := h(hw, r2); err != nil {
+			writeError(ctx, hw, r2, err)
+		}
+		if gzw != nil {
+			// Close flushes the stream's trailer; a failure here means
+			// the client is gone, which the status already reflects.
+			_ = gzw.gz.Close()
+			gzipPool.Put(gzw.gz)
 		}
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		span.SetAttr("status", sw.status)
-		span.End()
+		st.vals.Span.SetAttr("status", sw.status)
+		st.vals.Span.End()
 		d := time.Since(start)
-		s.observe(endpoint, sw.status, d)
+		s.observe(em, sw.status, d)
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Info("request",
 				"id", reqID,
@@ -431,18 +491,91 @@ func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handle
 	})
 }
 
-// writeJSON renders a JSON response body with a trailing newline. The
+// Shared constant header values, so hot-path header assignment is one
+// map store of a prewritten slice. net/http only ever reads them.
+var (
+	ctJSONVal = []string{"application/json"}
+	ctSVGVal  = []string{"image/svg+xml"}
+)
+
+// contentTypeValue maps a content type to a shared header slice,
+// allocating only for types outside the service's two.
+func contentTypeValue(ct string) []string {
+	switch ct {
+	case "application/json":
+		return ctJSONVal
+	case "image/svg+xml":
+		return ctSVGVal
+	}
+	return []string{ct}
+}
+
+// prettyRequested reports whether the raw query opts into indented
+// output: pretty, pretty=1, pretty=true, or pretty=yes. The scan
+// allocates nothing, so the common no-query request pays one length
+// check.
+func prettyRequested(rawQuery string) bool {
+	for q := rawQuery; q != ""; {
+		var kv string
+		kv, q, _ = strings.Cut(q, "&")
+		k, v, _ := strings.Cut(kv, "=")
+		if k == "pretty" {
+			return v == "" || v == "1" || v == "true" || v == "yes"
+		}
+	}
+	return false
+}
+
+// requestPretty is prettyRequested over a request, tolerating the nil
+// request some internal callers pass.
+func requestPretty(r *http.Request) bool {
+	return r != nil && prettyRequested(r.URL.RawQuery)
+}
+
+// jsonBufPool holds the scratch buffers writeJSON renders into — pooled
+// so batch envelopes and job documents do not allocate a fresh buffer
+// per response.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledJSONBuf caps the capacity a pooled writeJSON buffer retains.
+const maxPooledJSONBuf = 1 << 20
+
+// writeJSON renders a JSON response body with a trailing newline —
+// compact by default, indented when the request carries ?pretty=1. The
 // encoder is deterministic for the response DTOs (struct field order;
 // map keys sorted by encoding/json), which is what makes identical
-// request bodies yield byte-identical responses.
-func writeJSON(w http.ResponseWriter, status int, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
+// request bodies yield byte-identical responses; the pretty rendering is
+// a pure reformatting of the same compact bytes.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) error {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	if requestPretty(r) {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(v); err != nil {
+		jsonBufPool.Put(buf)
 		return fmt.Errorf("serve: encoding response: %w", err)
 	}
-	w.Header().Set("Content-Type", "application/json")
+	h := w.Header()
+	h["Content-Type"] = ctJSONVal
 	w.WriteHeader(status)
-	data = append(data, '\n')
-	_, err = w.Write(data)
+	_, err := w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledJSONBuf {
+		jsonBufPool.Put(buf)
+	}
 	return err
+}
+
+// indentEntry reformats a stored compact JSON body (with its trailing
+// newline) into the indented form ?pretty=1 serves — byte-identical to
+// what writeJSON's pretty path renders for the same value.
+func indentEntry(compact []byte) ([]byte, error) {
+	var out bytes.Buffer
+	out.Grow(2 * len(compact))
+	if err := json.Indent(&out, bytes.TrimRight(compact, "\n"), "", "  "); err != nil {
+		return nil, fmt.Errorf("serve: indenting response: %w", err)
+	}
+	out.WriteByte('\n')
+	return out.Bytes(), nil
 }

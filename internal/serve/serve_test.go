@@ -441,7 +441,7 @@ func TestBenchListEnvelope(t *testing.T) {
 		}
 	}
 	none := do(t, h, "GET", "/v1/bench?prefix=zzz", "")
-	if !strings.Contains(none.Body.String(), `"items": []`) {
+	if !strings.Contains(none.Body.String(), `"items":[]`) {
 		t.Errorf("empty filter should render an empty items array: %s", none.Body)
 	}
 	legacy := do(t, h, "GET", "/v1/bench?format=legacy", "")
