@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-serve bench-smoke artifacts serve-smoke cache-smoke jobs-smoke trace-smoke hammer hammer-full check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-serve bench-smoke artifacts serve-smoke cache-smoke jobs-smoke trace-smoke obs-smoke hammer hammer-full check
 
 all: build
 
@@ -184,4 +184,36 @@ trace-smoke:
 		-trace-spans "bench.build,pnr.flow,place.anneal,route.astar,pnr.attach"; \
 	echo "trace-smoke: ok"
 
-check: build vet test race hammer fuzz-smoke bench-smoke serve-smoke cache-smoke jobs-smoke trace-smoke
+# Distributed-trace round trip over real HTTP: boot parchmint-serve with
+# the flight recorder keeping everything, send a fixed W3C traceparent,
+# and assert the trace ID (with a fresh span ID) comes back on the
+# response header, lands in the JSON request log, and is retrievable
+# from /debug/requests — plus byte-identity with and without the header,
+# and the OpenMetrics exemplar exposition. Skips without curl.
+TRACE_TP = 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+TRACE_ID = 4bf92f3577b34da6a3ce929d0e0e4736
+obs-smoke: build
+	@command -v curl >/dev/null 2>&1 || { echo "obs-smoke: curl not found, skipping"; exit 0; }
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/parchmint-serve" ./cmd/parchmint-serve; \
+	"$$tmp/parchmint-serve" -addr 127.0.0.1:0 -trace-sample 1 -log-format json \
+		-port-file "$$tmp/port" 2> "$$tmp/log" & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
+	port=$$(cat "$$tmp/port"); \
+	curl -sfS -o "$$tmp/b2" -X POST -d '{"bench":"rotary_pcr"}' "http://127.0.0.1:$$port/v1/stats"; \
+	curl -sfS -D "$$tmp/h1" -o "$$tmp/b1" -H 'traceparent: $(TRACE_TP)' \
+		-X POST -d '{"bench":"rotary_pcr"}' "http://127.0.0.1:$$port/v1/stats"; \
+	grep -qi '^traceparent: 00-$(TRACE_ID)-' "$$tmp/h1"; \
+	grep -qi '^traceparent: $(TRACE_TP)' "$$tmp/h1" && { echo "obs-smoke: span id not re-minted"; exit 1; } || true; \
+	cmp -s "$$tmp/b1" "$$tmp/b2" || { echo "obs-smoke: response bytes depend on traceparent"; exit 1; }; \
+	grep -q '"trace":"$(TRACE_ID)"' "$$tmp/log"; \
+	curl -sfS "http://127.0.0.1:$$port/debug/requests" | grep -q '"trace_id":"$(TRACE_ID)"'; \
+	curl -sfS "http://127.0.0.1:$$port/metrics?openmetrics=1" > "$$tmp/om"; \
+	grep -q '^# EOF' "$$tmp/om"; \
+	grep -q 'trace_id="$(TRACE_ID)"' "$$tmp/om"; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "obs-smoke: ok"
+
+check: build vet test race hammer fuzz-smoke bench-smoke serve-smoke cache-smoke jobs-smoke trace-smoke obs-smoke

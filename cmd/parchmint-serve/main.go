@@ -15,6 +15,7 @@
 //	                [-port-file PATH] [-log-format text|json]
 //	                [-trace-events N] [-replicas N] [-route-workers N]
 //	                [-journal PATH] [-job-timeout D] [-max-jobs N]
+//	                [-flight-requests N] [-trace-sample P]
 //
 // Endpoints:
 //
@@ -33,8 +34,16 @@
 //	GET    /v1/bench       suite catalog ({items, total}; ?prefix= filters)
 //	GET    /v1/bench/{name} one benchmark's ParchMint document
 //	GET    /healthz        liveness, build info, uptime
-//	GET    /metrics        Prometheus text metrics
+//	GET    /metrics        Prometheus text metrics (?openmetrics=1 for exemplars)
 //	GET    /debug/trace    span ring buffer as Chrome trace_event JSON (?n= last n)
+//	GET    /debug/requests tail-sampled request flight records (?n= last n)
+//	GET    /debug/requests/{id}  one flight record with its span tree
+//
+// Every request carries W3C trace context: an inbound traceparent header
+// is continued (same trace-id, fresh span-id), a missing or malformed one
+// is replaced by a fresh root, and the resulting traceparent is echoed on
+// the response and stamped into spans, logs, error bodies, job journal
+// records, and flight-recorder entries. Response bytes never change.
 //
 // With -journal, job submissions append to a JSONL transition log that is
 // replayed on boot: completed jobs answer from their journaled bytes
@@ -60,6 +69,25 @@ import (
 	"repro/internal/serve"
 )
 
+// flagOrDisabled maps the CLI's "0 disables" convention onto the Config's
+// "negative disables, 0 means default" convention.
+func flagOrDisabled(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// flagOrNever does the same for the sampling probability: 0 on the
+// command line means "never keep ordinary requests", which Config spells
+// as a negative value (0 would select the default).
+func flagOrNever(p float64) float64 {
+	if p <= 0 {
+		return -1
+	}
+	return p
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	workers := flag.Int("j", 0, "max concurrent pipeline computations (0 = NumCPU)")
@@ -74,6 +102,8 @@ func main() {
 	traceEvents := flag.Int("trace-events", 0, "span ring buffer capacity for /debug/trace (0 = default)")
 	replicas := flag.Int("replicas", 0, "default annealing replica count for pnr requests (<2 = single-replica; requests may override with \"replicas\")")
 	routeWorkers := flag.Int("route-workers", 0, "speculative net-search workers for routing (<2 = sequential, -1 = NumCPU; never changes response bytes)")
+	flightRequests := flag.Int("flight-requests", obs.DefaultFlightRequests, "flight recorder capacity for /debug/requests (0 disables the recorder)")
+	traceSample := flag.Float64("trace-sample", obs.DefaultTraceSample, "probability an ordinary request is kept by the flight recorder (errors, shed, and slow requests are always kept; 0 = only those)")
 	journalPath := flag.String("journal", "", "append job transitions to this JSONL file and replay it on boot (empty = in-memory jobs only)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution timeout (0 = unbounded)")
 	maxJobs := flag.Int("max-jobs", 0, "max retained jobs before oldest terminal ones are evicted (0 = default)")
@@ -109,6 +139,8 @@ func main() {
 		Journal:        journal,
 		JobTimeout:     *jobTimeout,
 		MaxJobs:        *maxJobs,
+		FlightRequests: flagOrDisabled(*flightRequests),
+		TraceSample:    flagOrNever(*traceSample),
 	})
 	defer s.Close()
 

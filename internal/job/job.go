@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // Status is a job's lifecycle state.
@@ -124,6 +125,7 @@ type Job struct {
 	op       string
 	key      string
 	envelope json.RawMessage
+	trace    string
 	hub      *hub
 
 	cancelCh   chan struct{}
@@ -131,6 +133,7 @@ type Job struct {
 
 	mu              sync.Mutex
 	status          Status
+	finishing       bool
 	created         time.Time
 	started         time.Time
 	finished        time.Time
@@ -142,12 +145,13 @@ type Job struct {
 	cancelRequested bool
 }
 
-func newJob(id, op, key string, envelope json.RawMessage) *Job {
+func newJob(id, op, key string, envelope json.RawMessage, trace string) *Job {
 	return &Job{
 		id:       id,
 		op:       op,
 		key:      key,
 		envelope: envelope,
+		trace:    trace,
 		hub:      newHub(),
 		cancelCh: make(chan struct{}),
 		status:   StatusQueued,
@@ -238,8 +242,8 @@ func (s *Store) nextID() string {
 // Submit durably records a new job and enqueues it for execution. The
 // journal line is written before Submit returns, so an acknowledged
 // submission survives an immediate crash.
-func (s *Store) Submit(op string, envelope json.RawMessage, key string) (Snapshot, error) {
-	j := newJob(s.nextID(), op, key, envelope)
+func (s *Store) Submit(op string, envelope json.RawMessage, key, trace string) (Snapshot, error) {
+	j := newJob(s.nextID(), op, key, envelope, trace)
 	s.mu.Lock()
 	for len(s.order) >= s.cfg.maxJobs() {
 		if !s.evictOldestTerminalLocked() {
@@ -250,7 +254,7 @@ func (s *Store) Submit(op string, envelope json.RawMessage, key string) (Snapsho
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
-	s.journalAppend(record{E: recSubmit, ID: j.id, Op: op, Key: key, Envelope: envelope})
+	s.journalAppend(record{E: recSubmit, ID: j.id, Op: op, Key: key, Envelope: envelope, Trace: trace})
 	if s.cfg.Hooks.Submitted != nil {
 		s.cfg.Hooks.Submitted()
 	}
@@ -323,6 +327,7 @@ func (s *Store) run(j *Job) {
 	}
 	j.hub.publish(EventStatus, statusPayload{StatusRunning}, false)
 
+	ctx = obs.WithTraceparent(ctx, j.trace)
 	ent, outcome, err := s.cfg.Exec(WithProgress(ctx, newProgress(j.hub)), j.op, j.envelope)
 	s.running.Add(-1)
 	s.finish(j, ent, outcome, err)
@@ -346,14 +351,20 @@ type donePayload struct {
 }
 
 // finish drives a job to its terminal state exactly once: classify the
-// outcome, journal the transition, publish the terminal events, and fire
-// the metrics hook. Duplicate calls (a cancel racing the runner) no-op.
+// outcome, journal the transition, then publish the terminal status and
+// events, and fire the metrics hook. The journal append happens before
+// the status flips terminal — write-ahead order — so a client that
+// observes "completed" is guaranteed the finish record is already
+// durable and a crash right after cannot re-run an acknowledged job.
+// Duplicate calls (a cancel racing the runner) no-op on the finishing
+// latch.
 func (s *Store) finish(j *Job, ent cache.Entry, outcome string, err error) {
 	j.mu.Lock()
-	if j.status.Terminal() {
+	if j.status.Terminal() || j.finishing {
 		j.mu.Unlock()
 		return
 	}
+	j.finishing = true
 	now := time.Now()
 	j.finished = now
 	var dur time.Duration
@@ -375,23 +386,33 @@ func (s *Store) finish(j *Job, ent cache.Entry, outcome string, err error) {
 		httpStatus, code = s.describe(err)
 		j.errMsg, j.errCode, j.errStatus = err.Error(), code, httpStatus
 	}
+	j.mu.Unlock()
+
+	// Durable first: the transition is journaled while the job still reads
+	// as non-terminal, then the status flips and the events fan out.
+	switch st {
+	case StatusCompleted:
+		s.journalAppend(record{E: recFinish, ID: j.id, Status: st, Cache: outcome,
+			ContentType: ent.ContentType, Body: ent.Body})
+	case StatusCanceled:
+		s.journalAppend(record{E: recCancel, ID: j.id})
+	case StatusFailed:
+		s.journalAppend(record{E: recFinish, ID: j.id, Status: st,
+			Error: err.Error(), Code: code, HTTPStatus: httpStatus})
+	}
+	j.mu.Lock()
 	j.status = st
 	j.mu.Unlock()
 
 	switch st {
 	case StatusCompleted:
-		s.journalAppend(record{E: recFinish, ID: j.id, Status: st, Cache: outcome,
-			ContentType: ent.ContentType, Body: ent.Body})
 		j.hub.publish(EventStatus, statusPayload{st}, false)
 		j.hub.publish(EventDone, donePayload{Status: st, Cache: outcome,
 			Result: s.resultPath(j.id), ContentType: ent.ContentType, Bytes: len(ent.Body)}, true)
 	case StatusCanceled:
-		s.journalAppend(record{E: recCancel, ID: j.id})
 		j.hub.publish(EventStatus, statusPayload{st}, false)
 		j.hub.publish(EventDone, donePayload{Status: st}, true)
 	case StatusFailed:
-		s.journalAppend(record{E: recFinish, ID: j.id, Status: st,
-			Error: err.Error(), Code: code, HTTPStatus: httpStatus})
 		j.hub.publish(EventStatus, statusPayload{st}, false)
 		j.hub.publish(EventDone, donePayload{Status: st,
 			Error: err.Error(), Code: code, HTTPStatus: httpStatus}, true)
@@ -538,7 +559,7 @@ func (s *Store) replay(recs []record) {
 			if _, ok := byID[r.ID]; ok {
 				continue
 			}
-			j := newJob(r.ID, r.Op, r.Key, r.Envelope)
+			j := newJob(r.ID, r.Op, r.Key, r.Envelope, r.Trace)
 			byID[r.ID] = j
 			order = append(order, r.ID)
 		case recFinish:

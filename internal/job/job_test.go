@@ -42,7 +42,7 @@ func waitTerminal(t *testing.T, s *Store, id string) Snapshot {
 func TestSubmitRunsToCompletion(t *testing.T) {
 	s := NewStore(Config{Exec: instantExec, Workers: 2})
 	defer s.Close()
-	snap, err := s.Submit("stats", json.RawMessage(`{"bench":"x"}`), "key-1")
+	snap, err := s.Submit("stats", json.RawMessage(`{"bench":"x"}`), "key-1", "")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -86,7 +86,7 @@ func TestResultBeforeCompletionConflicts(t *testing.T) {
 	}})
 	defer s.Close()
 	defer close(block)
-	snap, err := s.Submit("pnr", json.RawMessage(`{}`), "k")
+	snap, err := s.Submit("pnr", json.RawMessage(`{}`), "k", "")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -106,7 +106,7 @@ func TestCancelRunningJobReleasesSlot(t *testing.T) {
 		return cache.Entry{}, "", ctx.Err()
 	}})
 	defer s.Close()
-	snap, err := s.Submit("pnr", json.RawMessage(`{}`), "k")
+	snap, err := s.Submit("pnr", json.RawMessage(`{}`), "k", "")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -118,7 +118,7 @@ func TestCancelRunningJobReleasesSlot(t *testing.T) {
 		t.Fatalf("status = %s, want canceled", got.Status)
 	}
 	// The worker slot is free again: a fresh job completes.
-	next, err := s.Submit("stats", json.RawMessage(`{}`), "k2")
+	next, err := s.Submit("stats", json.RawMessage(`{}`), "k2", "")
 	if err != nil {
 		t.Fatalf("Submit after cancel: %v", err)
 	}
@@ -148,8 +148,8 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 	}})
 	defer s.Close()
 	defer close(block)
-	first, _ := s.Submit("pnr", json.RawMessage(`{}`), "k1")
-	queued, _ := s.Submit("pnr", json.RawMessage(`{}`), "k2")
+	first, _ := s.Submit("pnr", json.RawMessage(`{}`), "k1", "")
+	queued, _ := s.Submit("pnr", json.RawMessage(`{}`), "k2", "")
 	if _, err := s.Cancel(queued.ID); err != nil {
 		t.Fatalf("Cancel queued: %v", err)
 	}
@@ -168,11 +168,11 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 func TestRetentionEvictsTerminalOnly(t *testing.T) {
 	s := NewStore(Config{Exec: instantExec, Workers: 1, MaxJobs: 2})
 	defer s.Close()
-	a, _ := s.Submit("stats", json.RawMessage(`{}`), "ka")
+	a, _ := s.Submit("stats", json.RawMessage(`{}`), "ka", "")
 	waitTerminal(t, s, a.ID)
-	b, _ := s.Submit("stats", json.RawMessage(`{}`), "kb")
+	b, _ := s.Submit("stats", json.RawMessage(`{}`), "kb", "")
 	waitTerminal(t, s, b.ID)
-	c, err := s.Submit("stats", json.RawMessage(`{}`), "kc")
+	c, err := s.Submit("stats", json.RawMessage(`{}`), "kc", "")
 	if err != nil {
 		t.Fatalf("Submit past cap: %v", err)
 	}
@@ -196,13 +196,13 @@ func TestTooManyActiveJobs(t *testing.T) {
 		return cache.Entry{ContentType: "t", Body: []byte("x")}, "miss", nil
 	}})
 	defer s.Close()
-	if _, err := s.Submit("pnr", json.RawMessage(`{}`), "k1"); err != nil {
+	if _, err := s.Submit("pnr", json.RawMessage(`{}`), "k1", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit("pnr", json.RawMessage(`{}`), "k2"); err != nil {
+	if _, err := s.Submit("pnr", json.RawMessage(`{}`), "k2", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit("pnr", json.RawMessage(`{}`), "k3"); !errors.Is(err, ErrTooManyJobs) {
+	if _, err := s.Submit("pnr", json.RawMessage(`{}`), "k3", ""); !errors.Is(err, ErrTooManyJobs) {
 		t.Errorf("Submit with all slots active: err = %v, want ErrTooManyJobs", err)
 	}
 }
@@ -217,7 +217,7 @@ func TestJournalReplayCompletedAndInterrupted(t *testing.T) {
 	// First boot: one job completes, one is submitted but never finishes
 	// (simulated by appending only its submit record).
 	s := NewStore(Config{Exec: instantExec, Workers: 1, Journal: j})
-	done, err := s.Submit("stats", json.RawMessage(`{"bench":"a"}`), "key-done")
+	done, err := s.Submit("stats", json.RawMessage(`{"bench":"a"}`), "key-done", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestFailedJobRecordsDescribedError(t *testing.T) {
 		DescribeError: func(err error) (int, string) { return 422, "invalid-device" },
 	})
 	defer s.Close()
-	snap, _ := s.Submit("pnr", json.RawMessage(`{}`), "k")
+	snap, _ := s.Submit("pnr", json.RawMessage(`{}`), "k", "")
 	got := waitTerminal(t, s, snap.ID)
 	if got.Status != StatusFailed {
 		t.Fatalf("status = %s, want failed", got.Status)
@@ -350,7 +350,7 @@ func TestHooksFire(t *testing.T) {
 		},
 	}})
 	defer s.Close()
-	snap, _ := s.Submit("stats", json.RawMessage(`{}`), "k")
+	snap, _ := s.Submit("stats", json.RawMessage(`{}`), "k", "")
 	waitTerminal(t, s, snap.ID)
 	if submitted.Load() != 1 || started.Load() != 1 || completed.Load() != 1 {
 		t.Errorf("hooks = submit %d start %d complete %d, want 1/1/1",

@@ -47,6 +47,10 @@ type record struct {
 	Op       string          `json:"op,omitempty"`
 	Key      string          `json:"key,omitempty"`
 	Envelope json.RawMessage `json:"envelope,omitempty"`
+	// Trace is the W3C traceparent of the submitting request, so a job
+	// replayed on a later boot still correlates with the boot that
+	// accepted it.
+	Trace string `json:"trace,omitempty"`
 	Status   Status          `json:"status,omitempty"`
 	Cache    string          `json:"cache,omitempty"`
 	// ContentType and Body carry a completed job's materialized result;

@@ -76,13 +76,17 @@ func (h *HistogramCell) Observe(v float64) {
 	if h.s == nil {
 		h.s = h.f.get(h.lv)
 	}
-	s := h.s
-	s.value += v
-	s.count++
-	for i, ub := range h.f.buckets {
-		if v <= ub {
-			s.bucketN[i]++
-		}
+	h.f.observe(h.s, v, "")
+	h.f.mu.Unlock()
+}
+
+// ObserveWithExemplar records v and remembers traceID as the exemplar of
+// the bucket v lands in; an empty traceID degrades to a plain Observe.
+func (h *HistogramCell) ObserveWithExemplar(v float64, traceID string) {
+	h.f.mu.Lock()
+	if h.s == nil {
+		h.s = h.f.get(h.lv)
 	}
+	h.f.observe(h.s, v, traceID)
 	h.f.mu.Unlock()
 }

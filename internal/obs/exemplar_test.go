@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func scrapeOM(reg *Registry) string {
+	var buf bytes.Buffer
+	reg.WriteOpenMetrics(&buf)
+	return buf.String()
+}
+
+func TestExemplarAttachesToBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "endpoint")
+	h.ObserveWithExemplar(0.05, "aaaabbbbccccddddaaaabbbbccccdddd", "pnr")
+	h.ObserveWithExemplar(5, "11112222333344441111222233334444", "pnr")
+	out := scrapeOM(reg)
+	if !strings.Contains(out,
+		`latency_seconds_bucket{endpoint="pnr",le="0.1"} 1 # {trace_id="aaaabbbbccccddddaaaabbbbccccdddd"} 0.050000`) {
+		t.Errorf("0.05 exemplar missing from le=0.1 bucket:\n%s", out)
+	}
+	if !strings.Contains(out,
+		`latency_seconds_bucket{endpoint="pnr",le="+Inf"} 2 # {trace_id="11112222333344441111222233334444"} 5`) {
+		t.Errorf("overflow exemplar missing from +Inf bucket:\n%s", out)
+	}
+	// le=0.01 saw no observation, so it must carry no exemplar.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="0.01"`) && strings.Contains(line, "#") {
+			t.Errorf("empty bucket carries an exemplar: %s", line)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition must end with # EOF:\n%s", out)
+	}
+}
+
+// An exemplar only annotates; it never changes the sample values, so the
+// two expositions agree line for line once annotations are stripped.
+func TestExemplarDoesNotChangeHistogram(t *testing.T) {
+	plain, annotated := NewRegistry(), NewRegistry()
+	hp := plain.Histogram("lat", "Latency.", []float64{0.01, 0.1, 1})
+	ha := annotated.Histogram("lat", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.2, 7} {
+		hp.Observe(v)
+		ha.ObserveWithExemplar(v, "4bf92f3577b34da6a3ce929d0e0e4736")
+	}
+	if got, want := scrape(annotated), scrape(plain); got != want {
+		t.Errorf("Prometheus exposition differs with exemplars recorded:\n%s\nwant:\n%s", got, want)
+	}
+	stripped := stripExemplars(scrapeOM(annotated))
+	if want := stripExemplars(scrapeOM(plain)); stripped != want {
+		t.Errorf("OpenMetrics sample values differ:\n%s\nwant:\n%s", stripped, want)
+	}
+}
+
+func stripExemplars(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.Index(line, " # {"); i >= 0 {
+			line = line[:i]
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestOpenMetricsCounterNaming(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Requests served.", "endpoint")
+	c.Inc("pnr")
+	out := scrapeOM(reg)
+	if !strings.Contains(out, "# HELP requests Requests served.\n# TYPE requests counter\n") {
+		t.Errorf("counter metadata should drop the _total suffix:\n%s", out)
+	}
+	if !strings.Contains(out, `requests_total{endpoint="pnr"} 1`+"\n") {
+		t.Errorf("counter samples keep the _total suffix:\n%s", out)
+	}
+}
+
+func TestOnScrapeRunsPerExposition(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("sampled", "Scrape-time value.")
+	n := 0.0
+	reg.OnScrape(func() { n++; g.Set(n) })
+	if !strings.Contains(scrape(reg), "sampled 1\n") {
+		t.Fatal("hook did not run before the Prometheus render")
+	}
+	if !strings.Contains(scrapeOM(reg), "sampled 2\n") {
+		t.Fatal("hook did not run before the OpenMetrics render")
+	}
+}
+
+// The plain Observe path must stay allocation-free even on a series that
+// has never seen an exemplar.
+func TestHistogramObserveAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "Latency.", nil).Cell()
+	allocs := testing.AllocsPerRun(200, func() { h.Observe(0.01) })
+	if allocs != 0 {
+		t.Errorf("Observe allocated %.1f times per run, want 0", allocs)
+	}
+}

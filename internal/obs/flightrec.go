@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tail-sampled request flight recorder: a bounded in-memory ring of
+// complete per-request records (span tree, attrs, status, cache outcome,
+// timings) that is always on, unlike the -trace flag's whole-process
+// ring. Head sampling decides "record or not" before the request runs
+// and therefore keeps a uniform slice of mostly-boring traffic; tail
+// sampling decides after the outcome is known, so the ring is biased
+// toward exactly the requests an operator asks about on a live box:
+// errors, load-shed rejections, and the slow tail. The policy is
+// "always keep errors/shed/slowest-p99, probabilistically keep the
+// rest"; the slow threshold is a streaming P² estimate of the p99
+// latency, so it adapts to the workload without configuration.
+//
+// The write path stays out of band: every request appends finished spans
+// into a pooled per-request FlightBuf (two pointer-width stores and a
+// bounds check per span), and the copy into ring-owned memory happens
+// only for the small kept fraction.
+
+// DefaultFlightRequests is the ring capacity when the server does not
+// override it.
+const DefaultFlightRequests = 256
+
+// DefaultTraceSample is the probability that an ordinary (non-error,
+// non-shed, non-slow) request is retained.
+const DefaultTraceSample = 0.05
+
+// maxFlightSpans bounds the per-request span capture so a pathological
+// request (say a 256-item batch) cannot make its own record unbounded.
+const maxFlightSpans = 64
+
+// FlightSpan is one finished span inside a request record: name, offset
+// from the request start, duration, and the span's attributes. Attrs
+// aliases the same SpanAttrs the trace ring holds — spans are immutable
+// after End, so sharing is safe.
+type FlightSpan struct {
+	Name    string     `json:"name"`
+	StartUS int64      `json:"start_us"`
+	DurUS   int64      `json:"dur_us"`
+	Attrs   *SpanAttrs `json:"attrs,omitempty"`
+}
+
+// FlightBuf collects the spans of one in-flight request. It is owned by
+// the request's pooled state and reused across requests; spans append to
+// it concurrently (batch items finish on worker goroutines), so the
+// append is mutex-guarded.
+type FlightBuf struct {
+	mu        sync.Mutex
+	base      time.Time
+	spans     []FlightSpan
+	truncated bool
+	active    bool
+}
+
+// Reset arms the buffer for a new request starting at base. Previous
+// contents are dropped; retained Attrs pointers in the backing array are
+// zeroed so the pool does not pin old span attributes alive.
+func (b *FlightBuf) Reset(base time.Time) {
+	b.mu.Lock()
+	for i := range b.spans {
+		b.spans[i] = FlightSpan{}
+	}
+	b.spans = b.spans[:0]
+	b.truncated = false
+	b.base = base
+	b.active = true
+	b.mu.Unlock()
+}
+
+// Disarm stops further captures (called when the pooled state is
+// released, so a span leaked past the request's end cannot write into a
+// buffer now owned by another request).
+func (b *FlightBuf) Disarm() {
+	b.mu.Lock()
+	b.active = false
+	b.mu.Unlock()
+}
+
+// add records one finished span. Called from Span.End.
+func (b *FlightBuf) add(name string, start time.Time, dur time.Duration, attrs *SpanAttrs) {
+	b.mu.Lock()
+	if !b.active {
+		b.mu.Unlock()
+		return
+	}
+	if len(b.spans) >= maxFlightSpans {
+		b.truncated = true
+		b.mu.Unlock()
+		return
+	}
+	b.spans = append(b.spans, FlightSpan{
+		Name:    name,
+		StartUS: start.Sub(b.base).Microseconds(),
+		DurUS:   dur.Microseconds(),
+		Attrs:   attrs,
+	})
+	b.mu.Unlock()
+}
+
+// Spans returns an owned copy of the collected spans and whether the
+// capture overflowed.
+func (b *FlightBuf) Spans() ([]FlightSpan, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]FlightSpan(nil), b.spans...), b.truncated
+}
+
+// RequestRecord is one complete kept request: identity, route, outcome,
+// timing, and the captured span tree. Records are immutable once in the
+// ring.
+type RequestRecord struct {
+	ID          string        `json:"request_id"`
+	TraceID     string        `json:"trace_id"`
+	Traceparent string        `json:"traceparent"`
+	Endpoint    string        `json:"endpoint"`
+	Method      string        `json:"method"`
+	Path        string        `json:"path"`
+	Status      int           `json:"status"`
+	Start       time.Time     `json:"start"`
+	Duration    time.Duration `json:"duration"`
+	Cache       string        `json:"cache,omitempty"`
+	Reason      string        `json:"reason"`
+	Truncated   bool          `json:"truncated,omitempty"`
+	Spans       []FlightSpan  `json:"spans"`
+}
+
+// FlightStats summarizes recorder activity for /debug/requests and the
+// metrics gauge.
+type FlightStats struct {
+	Seen    uint64
+	Kept    uint64
+	Evicted uint64
+	Records int
+	P99     float64
+}
+
+// FlightRecorder is the bounded ring plus the retention policy. All
+// methods are safe for concurrent use.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	cap     int
+	sample  float64
+	recs    []*RequestRecord // insertion order, oldest first
+	byID    map[string]*RequestRecord
+	seen    uint64
+	kept    uint64
+	evicted uint64
+	p99     p2Quantile
+}
+
+// NewFlightRecorder builds a recorder holding up to capacity records,
+// keeping ordinary requests with probability sample. capacity <= 0 or a
+// sample outside [0,1] fall back to the defaults.
+func NewFlightRecorder(capacity int, sample float64) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightRequests
+	}
+	if sample < 0 || sample > 1 {
+		sample = DefaultTraceSample
+	}
+	return &FlightRecorder{
+		cap:    capacity,
+		sample: sample,
+		byID:   make(map[string]*RequestRecord, capacity),
+		p99:    newP2Quantile(0.99),
+	}
+}
+
+// p99Warmup is how many observations the latency estimator needs before
+// the "slow" classification trusts it.
+const p99Warmup = 64
+
+// Offer presents a finished request to the retention policy. The span
+// capture is read out of fb — copied into owned memory — only when the
+// record is kept, so the dropped majority pays nothing; fb may be nil
+// (the record then keeps whatever rec.Spans the caller set). Returns
+// whether the record was retained and under which reason.
+func (f *FlightRecorder) Offer(rec RequestRecord, fb *FlightBuf) (string, bool) {
+	if f == nil {
+		return "", false
+	}
+	d := rec.Duration.Seconds()
+	f.mu.Lock()
+	f.seen++
+	reason := ""
+	switch {
+	case rec.Status == 429:
+		reason = "shed"
+	case rec.Status >= 400:
+		reason = "error"
+	case f.p99.count() >= p99Warmup && d > f.p99.estimate():
+		reason = "slow"
+	case f.sample > 0 && float64(randU64()>>11)/(1<<53) < f.sample:
+		reason = "sampled"
+	}
+	f.p99.observe(d)
+	if reason == "" {
+		f.mu.Unlock()
+		return "", false
+	}
+	rec.Reason = reason
+	if fb != nil {
+		rec.Spans, rec.Truncated = fb.Spans()
+	}
+	f.keepLocked(&rec)
+	f.kept++
+	f.mu.Unlock()
+	return reason, true
+}
+
+// keepLocked inserts the record, evicting when full: the oldest
+// probabilistically-sampled record goes first so the interesting tail
+// survives; when the ring is all-interesting, plain oldest-first keeps
+// it from pinning forever.
+func (f *FlightRecorder) keepLocked(rec *RequestRecord) {
+	if len(f.recs) >= f.cap {
+		victim := 0
+		for i, r := range f.recs {
+			if r.Reason == "sampled" {
+				victim = i
+				break
+			}
+		}
+		delete(f.byID, f.recs[victim].ID)
+		f.recs = append(f.recs[:victim], f.recs[victim+1:]...)
+		f.evicted++
+	}
+	f.recs = append(f.recs, rec)
+	f.byID[rec.ID] = rec
+}
+
+// Snapshot returns up to n records, newest first (n <= 0 means all).
+func (f *FlightRecorder) Snapshot(n int) []*RequestRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 || n > len(f.recs) {
+		n = len(f.recs)
+	}
+	out := make([]*RequestRecord, n)
+	for i := 0; i < n; i++ {
+		out[i] = f.recs[len(f.recs)-1-i]
+	}
+	return out
+}
+
+// Get returns the record for one request ID, if still retained.
+func (f *FlightRecorder) Get(id string) (*RequestRecord, bool) {
+	if f == nil {
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.byID[id]
+	return r, ok
+}
+
+// Stats reports recorder counters and the current latency estimate.
+func (f *FlightRecorder) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FlightStats{
+		Seen:    f.seen,
+		Kept:    f.kept,
+		Evicted: f.evicted,
+		Records: len(f.recs),
+	}
+	if f.p99.count() >= p99Warmup {
+		st.P99 = f.p99.estimate()
+	}
+	return st
+}
+
+// p2Quantile is the P² streaming quantile estimator (Jain & Chlamtac,
+// 1985): five markers tracking min, the p/2, p, and (1+p)/2 quantiles,
+// and max, adjusted with parabolic interpolation per observation. O(1)
+// memory, no samples retained — exactly what an always-on latency
+// threshold wants.
+type p2Quantile struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // marker positions, 1-based
+	want [5]float64 // desired positions
+	inc  [5]float64 // desired-position increments
+}
+
+func newP2Quantile(p float64) p2Quantile {
+	return p2Quantile{
+		p:   p,
+		inc: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+func (e *p2Quantile) count() int { return e.n }
+
+// estimate returns the current quantile estimate (the middle marker).
+// Only meaningful once count() >= 5.
+func (e *p2Quantile) estimate() float64 { return e.q[2] }
+
+func (e *p2Quantile) observe(x float64) {
+	if e.n < 5 {
+		// Insertion-sort the first five observations into the markers.
+		i := e.n
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.n++
+		if e.n == 5 {
+			for j := range e.pos {
+				e.pos[j] = float64(j + 1)
+				e.want[j] = 1 + 4*e.inc[j]
+			}
+		}
+		return
+	}
+
+	// Locate the cell containing x, clamping the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+
+	e.n++
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] = 1 + float64(e.n-1)*e.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			q := e.parabolic(i, s)
+			if e.q[i-1] < q && q < e.q[i+1] {
+				e.q[i] = q
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *p2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *p2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}

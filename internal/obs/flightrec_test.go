@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func offerStatus(f *FlightRecorder, id string, status int, d time.Duration) (string, bool) {
+	return f.Offer(RequestRecord{ID: id, Status: status, Duration: d}, nil)
+}
+
+func TestFlightRecorderKeepsErrorsAndShed(t *testing.T) {
+	f := NewFlightRecorder(8, 0) // sample 0: never keep ordinary requests
+	if reason, kept := offerStatus(f, "a", 200, time.Millisecond); kept {
+		t.Fatalf("ordinary request kept as %q with sampling off", reason)
+	}
+	if reason, kept := offerStatus(f, "b", 500, time.Millisecond); !kept || reason != "error" {
+		t.Fatalf("500 kept=%v reason=%q, want error", kept, reason)
+	}
+	if reason, kept := offerStatus(f, "c", 429, time.Millisecond); !kept || reason != "shed" {
+		t.Fatalf("429 kept=%v reason=%q, want shed", kept, reason)
+	}
+	if _, ok := f.Get("b"); !ok {
+		t.Error("kept record not retrievable by id")
+	}
+	if _, ok := f.Get("a"); ok {
+		t.Error("dropped record retrievable by id")
+	}
+	st := f.Stats()
+	if st.Seen != 3 || st.Kept != 2 || st.Records != 2 {
+		t.Errorf("stats = %+v, want seen=3 kept=2 records=2", st)
+	}
+}
+
+func TestFlightRecorderSlowTail(t *testing.T) {
+	f := NewFlightRecorder(512, 0)
+	// Warm the estimator with a tight cluster, then offer an outlier.
+	for i := 0; i < 2*p99Warmup; i++ {
+		offerStatus(f, fmt.Sprintf("warm-%d", i), 200, time.Millisecond+time.Duration(i%5)*time.Microsecond)
+	}
+	reason, kept := offerStatus(f, "outlier", 200, time.Second)
+	if !kept || reason != "slow" {
+		t.Fatalf("10^3x outlier kept=%v reason=%q, want slow", kept, reason)
+	}
+}
+
+func TestFlightRecorderSampling(t *testing.T) {
+	f := NewFlightRecorder(10000, 1) // sample=1 keeps everything
+	for i := 0; i < 50; i++ {
+		if reason, kept := offerStatus(f, fmt.Sprintf("r%d", i), 200, time.Millisecond); !kept || reason != "sampled" {
+			t.Fatalf("sample=1 dropped request %d (reason %q)", i, reason)
+		}
+	}
+}
+
+func TestFlightRecorderEvictionPrefersSampled(t *testing.T) {
+	f := NewFlightRecorder(4, 1)
+	offerStatus(f, "s1", 200, time.Millisecond)
+	offerStatus(f, "e1", 500, time.Millisecond)
+	offerStatus(f, "s2", 200, time.Millisecond)
+	offerStatus(f, "e2", 503, time.Millisecond)
+	// Ring full. The next keep should evict s1 (oldest sampled), not e1.
+	offerStatus(f, "e3", 500, time.Millisecond)
+	if _, ok := f.Get("s1"); ok {
+		t.Error("oldest sampled record should have been evicted")
+	}
+	for _, id := range []string{"e1", "s2", "e2", "e3"} {
+		if _, ok := f.Get(id); !ok {
+			t.Errorf("record %s evicted, want retained", id)
+		}
+	}
+	// All-interesting ring falls back to oldest-first.
+	offerStatus(f, "e4", 500, time.Millisecond)
+	offerStatus(f, "e5", 500, time.Millisecond)
+	if _, ok := f.Get("e1"); ok {
+		t.Error("with no sampled records the oldest overall should go")
+	}
+	if st := f.Stats(); st.Evicted != 3 || st.Records != 4 {
+		t.Errorf("stats = %+v, want evicted=3 records=4", st)
+	}
+}
+
+func TestFlightRecorderSnapshotNewestFirst(t *testing.T) {
+	f := NewFlightRecorder(8, 1)
+	for i := 0; i < 5; i++ {
+		offerStatus(f, fmt.Sprintf("r%d", i), 200, time.Millisecond)
+	}
+	recs := f.Snapshot(0)
+	if len(recs) != 5 || recs[0].ID != "r4" || recs[4].ID != "r0" {
+		t.Fatalf("snapshot order wrong: %v", ids(recs))
+	}
+	if got := f.Snapshot(2); len(got) != 2 || got[0].ID != "r4" || got[1].ID != "r3" {
+		t.Fatalf("snapshot(2) = %v", ids(got))
+	}
+}
+
+func ids(recs []*RequestRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestFlightBufCaptureAndDisarm(t *testing.T) {
+	var fb FlightBuf
+	base := time.Now()
+	fb.Reset(base)
+	fb.add("a", base, time.Millisecond, nil)
+	fb.add("b", base.Add(time.Millisecond), 2*time.Millisecond, nil)
+	spans, truncated := fb.Spans()
+	if len(spans) != 2 || truncated {
+		t.Fatalf("spans = %d truncated = %v", len(spans), truncated)
+	}
+	if spans[1].StartUS != 1000 || spans[1].DurUS != 2000 {
+		t.Errorf("span timing = %+v", spans[1])
+	}
+	fb.Disarm()
+	fb.add("late", base, time.Millisecond, nil)
+	if spans, _ := fb.Spans(); len(spans) != 2 {
+		t.Error("disarmed buffer accepted a span")
+	}
+	// Overflow beyond maxFlightSpans truncates instead of growing.
+	fb.Reset(base)
+	for i := 0; i < maxFlightSpans+10; i++ {
+		fb.add("s", base, time.Millisecond, nil)
+	}
+	spans, truncated = fb.Spans()
+	if len(spans) != maxFlightSpans || !truncated {
+		t.Errorf("overflowed capture: %d spans truncated=%v", len(spans), truncated)
+	}
+}
+
+// The recorder takes concurrent Offers from request goroutines while
+// debug handlers snapshot and metrics scrapes read stats; run the whole
+// surface together under -race.
+func TestFlightRecorderConcurrentHammer(t *testing.T) {
+	f := NewFlightRecorder(32, 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var fb FlightBuf
+			for i := 0; i < 200; i++ {
+				fb.Reset(time.Now())
+				fb.add("span", time.Now(), time.Millisecond, nil)
+				status := 200
+				if i%7 == 0 {
+					status = 500
+				}
+				f.Offer(RequestRecord{
+					ID:       fmt.Sprintf("g%d-%d", g, i),
+					Status:   status,
+					Duration: time.Duration(i%10) * time.Millisecond,
+				}, &fb)
+				fb.Disarm()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				recs := f.Snapshot(0)
+				for _, r := range recs {
+					if r.ID == "" {
+						t.Error("snapshot exposed a zero record")
+						return
+					}
+					f.Get(r.ID)
+				}
+				f.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	st := f.Stats()
+	if st.Seen != 1600 {
+		t.Errorf("seen = %d, want 1600", st.Seen)
+	}
+	if st.Records > 32 {
+		t.Errorf("ring overflowed capacity: %d records", st.Records)
+	}
+}
+
+// The P² estimate should land near the true quantile for a known
+// distribution.
+func TestP2QuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	est := newP2Quantile(0.99)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+		est.observe(xs[i])
+	}
+	sort.Float64s(xs)
+	exact := xs[int(0.99*float64(n))]
+	got := est.estimate()
+	if got < exact*0.8 || got > exact*1.2 {
+		t.Errorf("p99 estimate = %.4f, exact = %.4f (want within 20%%)", got, exact)
+	}
+	if est.count() != n {
+		t.Errorf("count = %d, want %d", est.count(), n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Registry is the shared metrics registry: named families of counters,
@@ -20,6 +21,7 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+	hooks    []func()
 }
 
 // NewRegistry creates an empty registry.
@@ -45,9 +47,20 @@ type family struct {
 // series is one label-value combination's state.
 type series struct {
 	labelValues []string
-	value       float64   // counter/gauge value, histogram sum
-	count       uint64    // histogram observation count
-	bucketN     []uint64  // cumulative per-bucket counts (histograms)
+	value       float64  // counter/gauge value, histogram sum
+	count       uint64   // histogram observation count
+	bucketN     []uint64 // cumulative per-bucket counts (histograms)
+	exem        []exemplar // per-bucket exemplars, lazily allocated
+}
+
+// exemplar links one recent observation in a histogram bucket to the
+// trace that produced it — the OpenMetrics mechanism for jumping from a
+// latency bucket to a concrete request. The newest observation wins;
+// sampling fairness is not a goal, recency is.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64 // unix seconds
 }
 
 // DefLatencyBuckets are the fixed latency histogram bounds, in seconds:
@@ -174,27 +187,140 @@ type Histogram struct{ f *family }
 // Observe records v into the series selected by labelValues.
 func (h *Histogram) Observe(v float64, labelValues ...string) {
 	h.f.mu.Lock()
-	s := h.f.get(labelValues)
+	h.f.observe(h.f.get(labelValues), v, "")
+	h.f.mu.Unlock()
+}
+
+// ObserveWithExemplar records v and remembers traceID as the exemplar of
+// the bucket v lands in; an empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string, labelValues ...string) {
+	h.f.mu.Lock()
+	h.f.observe(h.f.get(labelValues), v, traceID)
+	h.f.mu.Unlock()
+}
+
+// observe applies one histogram observation; caller holds f.mu. The
+// exemplar lands in the lowest bucket containing v (the one whose count
+// the observation is attributed to in a non-cumulative reading); the
+// exemplar slice is allocated once per series on the first exemplar, so
+// the traceID=="" hot path allocates nothing.
+func (f *family) observe(s *series, v float64, traceID string) {
 	s.value += v
 	s.count++
-	for i, ub := range h.f.buckets {
+	slot := len(f.buckets) // the +Inf slot
+	for i, ub := range f.buckets {
 		if v <= ub {
 			s.bucketN[i]++
+			if i < slot {
+				slot = i
+			}
 		}
 	}
-	h.f.mu.Unlock()
+	if traceID != "" {
+		if s.exem == nil {
+			s.exem = make([]exemplar, len(f.buckets)+1)
+		}
+		s.exem[slot] = exemplar{
+			traceID: traceID,
+			value:   v,
+			ts:      float64(time.Now().UnixMilli()) / 1000,
+		}
+	}
+}
+
+// OnScrape registers fn to run at the start of every exposition
+// (WritePrometheus or WriteOpenMetrics), before any family renders —
+// the hook point for values sampled lazily at scrape time, like the
+// runtime/metrics bridge. Hooks must not register new metrics.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// snapshot runs the scrape hooks and returns the family list.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	return families
 }
 
 // WritePrometheus renders every family in the text exposition format.
 func (r *Registry) WritePrometheus(w io.Writer) {
-	r.mu.Lock()
-	families := append([]*family(nil), r.families...)
-	r.mu.Unlock()
 	var sb strings.Builder
-	for _, f := range families {
+	for _, f := range r.snapshot() {
 		f.render(&sb)
 	}
 	_, _ = io.WriteString(w, sb.String())
+}
+
+// WriteOpenMetrics renders every family in the OpenMetrics text format:
+// counter families announce their name without the `_total` suffix,
+// histogram buckets carry `# {trace_id="..."} value timestamp` exemplar
+// annotations when one was recorded, and the exposition ends with the
+// mandatory `# EOF` marker. Gauges and the sample lines themselves are
+// byte-compatible with the Prometheus rendering, so the two modes never
+// disagree on values — only on annotations.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	var sb strings.Builder
+	for _, f := range r.snapshot() {
+		f.renderOpenMetrics(&sb)
+	}
+	sb.WriteString("# EOF\n")
+	_, _ = io.WriteString(w, sb.String())
+}
+
+func (f *family) renderOpenMetrics(sb *strings.Builder) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// OpenMetrics names a counter family without the `_total` suffix its
+	// sample lines carry. A counter not following the convention keeps
+	// its name untouched rather than inventing a new series name.
+	omName := f.name
+	if f.typ == "counter" {
+		omName = strings.TrimSuffix(f.name, "_total")
+	}
+	fmt.Fprintf(sb, "# HELP %s %s\n", omName, f.help)
+	fmt.Fprintf(sb, "# TYPE %s %s\n", omName, f.typ)
+	if f.gaugeFn != nil {
+		fmt.Fprintf(sb, "%s %s\n", f.name, formatValue(f.gaugeFn()))
+		return
+	}
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	for _, key := range keys {
+		s := f.series[key]
+		if f.typ == "histogram" {
+			f.renderHistogramOM(sb, s)
+			continue
+		}
+		fmt.Fprintf(sb, "%s%s %s\n", f.name, f.labelPairs(s.labelValues, "", ""), formatValue(s.value))
+	}
+}
+
+func (f *family) renderHistogramOM(sb *strings.Builder, s *series) {
+	for i := 0; i <= len(f.buckets); i++ {
+		le := "+Inf"
+		n := s.count
+		if i < len(f.buckets) {
+			le = strconv.FormatFloat(f.buckets[i], 'g', -1, 64)
+			n = s.bucketN[i]
+		}
+		fmt.Fprintf(sb, "%s_bucket%s %d", f.name, f.labelPairs(s.labelValues, "le", le), n)
+		if s.exem != nil && s.exem[i].traceID != "" {
+			e := s.exem[i]
+			fmt.Fprintf(sb, " # {trace_id=%q} %s %s",
+				e.traceID, formatValue(e.value), strconv.FormatFloat(e.ts, 'f', 3, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", f.name, f.labelPairs(s.labelValues, "", ""), formatValue(s.value))
+	fmt.Fprintf(sb, "%s_count%s %d\n", f.name, f.labelPairs(s.labelValues, "", ""), s.count)
 }
 
 func (f *family) render(sb *strings.Builder) {

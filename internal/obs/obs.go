@@ -196,12 +196,15 @@ func (r *Recorder) RouteBatch(engine string, expansions, pushes int) {
 	}
 }
 
-// Context plumbing. Recorder, current span, and request ID ride the
-// context under unexported keys; absence is always a valid state.
+// Context plumbing. Recorder, current span, request ID, and W3C trace
+// context ride the context under unexported keys; absence is always a
+// valid state.
 type (
-	recorderKey struct{}
-	spanKey     struct{}
-	requestKey  struct{}
+	recorderKey    struct{}
+	spanKey        struct{}
+	requestKey     struct{}
+	traceparentKey struct{}
+	traceIDKey     struct{}
 )
 
 // WithRecorder attaches a recorder to the context. Passing nil returns
@@ -237,6 +240,52 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
+// traceCtx carries a parsed traceparent plus the pre-boxed trace ID in
+// one derived context, answering both obs trace keys without a WithValue
+// chain.
+type traceCtx struct {
+	context.Context
+	tp  string
+	tid any
+}
+
+func (c *traceCtx) Value(key any) any {
+	switch key.(type) {
+	case traceparentKey:
+		return c.tp
+	case traceIDKey:
+		return c.tid
+	}
+	return c.Context.Value(key)
+}
+
+// WithTraceparent attaches a W3C trace context, given as a traceparent
+// header value, to the context: spans opened below carry its trace ID as
+// a `trace_id` attribute and Traceparent returns the header for onward
+// propagation. A value that does not parse returns ctx unchanged — the
+// job layer uses this to re-adopt the submitting request's trace on
+// execution and on journal replay, where an empty or legacy record is a
+// valid state.
+func WithTraceparent(ctx context.Context, traceparent string) context.Context {
+	tc, ok := ParseTraceparent(traceparent)
+	if !ok {
+		return ctx
+	}
+	return &traceCtx{Context: ctx, tp: traceparent, tid: tc.TraceIDString()}
+}
+
+// Traceparent returns the context's traceparent header value, or "".
+func Traceparent(ctx context.Context) string {
+	tp, _ := ctx.Value(traceparentKey{}).(string)
+	return tp
+}
+
+// TraceID returns the context's 32-hex-digit trace ID, or "".
+func TraceID(ctx context.Context) string {
+	tid, _ := ctx.Value(traceIDKey{}).(string)
+	return tid
+}
+
 // Start opens a span named name under the context's recorder and returns
 // a derived context carrying it, so child spans nest beneath it in the
 // exported trace. Without a recorder (or without a tracer) it returns ctx
@@ -251,6 +300,11 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	sp := r.tracer.start(name, parent)
 	if id := RequestID(ctx); id != "" {
 		sp.SetAttr("request_id", id)
+	}
+	if tid := ctx.Value(traceIDKey{}); tid != nil {
+		// Pre-boxed by the carrier (traceCtx or RequestValues), so the
+		// stamp re-boxes nothing.
+		sp.SetAttr("trace_id", tid)
 	}
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }

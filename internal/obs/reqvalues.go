@@ -16,6 +16,10 @@ type RequestValues struct {
 
 	id    string
 	idVal any // id boxed once, so lookups never re-box
+
+	tp     string // formatted traceparent header value
+	tid    string // 32-hex-digit trace ID (substring of tp, no extra alloc)
+	tidVal any    // tid boxed once, so span stamps never re-box
 }
 
 // SetID stamps the request identifier, boxing it once for lookups.
@@ -31,6 +35,24 @@ func (v *RequestValues) ID() string { return v.id }
 // callers passing it into any-typed sinks reuse the one boxing SetID
 // already paid for.
 func (v *RequestValues) IDVal() any { return v.idVal }
+
+// SetTrace stamps the request's W3C trace identity: the full traceparent
+// header value and the trace ID (conventionally a substring of tp, so no
+// second string is allocated). The trace ID is boxed once here.
+func (v *RequestValues) SetTrace(tp, traceID string) {
+	v.tp = tp
+	v.tid = traceID
+	v.tidVal = traceID
+}
+
+// Traceparent returns the stamped traceparent header value.
+func (v *RequestValues) Traceparent() string { return v.tp }
+
+// TraceID returns the stamped trace ID.
+func (v *RequestValues) TraceID() string { return v.tid }
+
+// TraceIDVal returns the boxed trace ID (nil before SetTrace).
+func (v *RequestValues) TraceIDVal() any { return v.tidVal }
 
 // Reset clears the carrier for reuse.
 func (v *RequestValues) Reset() { *v = RequestValues{} }
@@ -52,6 +74,14 @@ func (v *RequestValues) ValueFor(key any) (any, bool) {
 	case requestKey:
 		if v.id != "" {
 			return v.idVal, true
+		}
+	case traceparentKey:
+		if v.tp != "" {
+			return v.tp, true
+		}
+	case traceIDKey:
+		if v.tid != "" {
+			return v.tidVal, true
 		}
 	}
 	return nil, false

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Runtime telemetry bridge: a curated slice of runtime/metrics exported
+// as parchmint_go_* series, sampled lazily at scrape time through the
+// registry's OnScrape hook — the process pays one metrics.Read per
+// scrape, nothing per request. Version-dependent keys are filtered
+// against the running runtime's catalog at registration, so a toolchain
+// that drops or renames a key degrades to "series absent", never to a
+// panic.
+
+var (
+	runtimeQuantiles      = []float64{0.5, 0.99, 1}
+	runtimeQuantileLabels = []string{"p50", "p99", "max"}
+)
+
+// RegisterRuntimeMetrics exports the Go runtime health series onto reg:
+// goroutine count, heap in-use/total/goal bytes, cumulative GC cycles,
+// and p50/p99/max of the GC stop-the-world pause and scheduler latency
+// distributions. Values refresh on every scrape.
+func RegisterRuntimeMetrics(reg *Registry) {
+	available := make(map[string]metrics.Description)
+	for _, d := range metrics.All() {
+		available[d.Name] = d
+	}
+
+	type binding struct {
+		key string
+		set func(metrics.Value)
+	}
+	var (
+		bindings []*binding
+		mu       sync.Mutex
+	)
+	bind := func(key string, set func(metrics.Value)) {
+		if _, ok := available[key]; !ok {
+			return
+		}
+		bindings = append(bindings, &binding{key: key, set: set})
+	}
+
+	gGoroutines := reg.Gauge("parchmint_go_goroutines",
+		"Live goroutines, sampled at scrape time.")
+	bind("/sched/goroutines:goroutines", func(v metrics.Value) {
+		gGoroutines.Set(float64(v.Uint64()))
+	})
+
+	gHeapObjects := reg.Gauge("parchmint_go_heap_objects_bytes",
+		"Bytes occupied by live objects and dead objects not yet swept.")
+	bind("/memory/classes/heap/objects:bytes", func(v metrics.Value) {
+		gHeapObjects.Set(float64(v.Uint64()))
+	})
+
+	gMemTotal := reg.Gauge("parchmint_go_memory_total_bytes",
+		"All memory mapped by the Go runtime into the current process.")
+	bind("/memory/classes/total:bytes", func(v metrics.Value) {
+		gMemTotal.Set(float64(v.Uint64()))
+	})
+
+	gHeapGoal := reg.Gauge("parchmint_go_gc_heap_goal_bytes",
+		"Heap size target of the end of the current GC cycle.")
+	bind("/gc/heap/goal:bytes", func(v metrics.Value) {
+		gHeapGoal.Set(float64(v.Uint64()))
+	})
+
+	// Cumulative cycle count arrives as a runtime total; the counter
+	// records deltas so restarts of the registry (tests) stay monotonic.
+	cGC := reg.Counter("parchmint_go_gc_cycles_total",
+		"Completed GC cycles.")
+	var lastGC uint64
+	var haveGC bool
+	bind("/gc/cycles/total:gc-cycles", func(v metrics.Value) {
+		n := v.Uint64()
+		if haveGC && n >= lastGC {
+			cGC.Add(float64(n - lastGC))
+		} else if !haveGC {
+			cGC.Add(float64(n))
+		}
+		lastGC, haveGC = n, true
+	})
+
+	gPause := reg.Gauge("parchmint_go_gc_pause_seconds",
+		"GC stop-the-world pause latency quantiles, since process start.", "q")
+	bind("/sched/pauses/total/gc:seconds", func(v metrics.Value) {
+		setQuantiles(gPause, v)
+	})
+
+	gSched := reg.Gauge("parchmint_go_sched_latency_seconds",
+		"Goroutine scheduling latency quantiles, since process start.", "q")
+	bind("/sched/latencies:seconds", func(v metrics.Value) {
+		setQuantiles(gSched, v)
+	})
+
+	samples := make([]metrics.Sample, len(bindings))
+	for i, b := range bindings {
+		samples[i].Name = b.key
+	}
+	reg.OnScrape(func() {
+		// Scrapes can be concurrent; the sample slice is shared scratch.
+		mu.Lock()
+		defer mu.Unlock()
+		metrics.Read(samples)
+		for i, b := range bindings {
+			if samples[i].Value.Kind() == metrics.KindBad {
+				continue
+			}
+			b.set(samples[i].Value)
+		}
+	})
+}
+
+// setQuantiles distills a runtime Float64Histogram into p50/p99/max
+// gauge series. Bucket upper bounds stand in for exact order statistics;
+// +Inf falls back to the bucket's lower bound so the series stays
+// finite.
+func setQuantiles(g *Gauge, v metrics.Value) {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := v.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return
+	}
+	for qi, q := range runtimeQuantiles {
+		g.Set(histQuantile(h, q, total), runtimeQuantileLabels[qi])
+	}
+}
+
+// histQuantile walks the cumulative counts to the bucket containing the
+// q-quantile and reports its upper bound (Buckets[i+1]); when that bound
+// is +Inf — the catch-all final bucket — the lower bound is the best
+// finite answer.
+func histQuantile(h *metrics.Float64Histogram, q float64, total uint64) float64 {
+	want := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c > 0 && float64(cum) >= want {
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) || math.IsNaN(ub) {
+				ub = h.Buckets[i]
+			}
+			if math.IsNaN(ub) || math.IsInf(ub, 0) || ub < 0 {
+				return 0
+			}
+			return ub
+		}
+	}
+	return 0
+}

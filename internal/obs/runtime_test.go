@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsScrape(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // guarantee at least one completed cycle
+	out := scrape(reg)
+	for _, name := range []string{
+		"parchmint_go_goroutines",
+		"parchmint_go_heap_objects_bytes",
+		"parchmint_go_memory_total_bytes",
+		"parchmint_go_gc_heap_goal_bytes",
+		"parchmint_go_gc_cycles_total",
+	} {
+		v, ok := sampleValue(out, name)
+		if !ok {
+			t.Errorf("series %s missing from scrape", name)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0 in a live process", name, v)
+		}
+	}
+	// Quantile series carry the q label; the pause histogram has data
+	// after the forced GC above.
+	for _, q := range []string{"p50", "p99", "max"} {
+		if !strings.Contains(out, `parchmint_go_gc_pause_seconds{q="`+q+`"}`) {
+			t.Errorf("gc pause quantile %s missing:\n%s", q, out)
+		}
+	}
+}
+
+func TestRuntimeMetricsRefreshPerScrape(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	before, _ := sampleValue(scrape(reg), "parchmint_go_gc_cycles_total")
+	runtime.GC()
+	runtime.GC()
+	after, _ := sampleValue(scrape(reg), "parchmint_go_gc_cycles_total")
+	if after < before+2 {
+		t.Errorf("gc cycle counter did not advance across scrapes: %v -> %v", before, after)
+	}
+}
+
+// sampleValue extracts the value of an unlabeled sample line.
+func sampleValue(scrape, name string) (float64, bool) {
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		return v, err == nil
+	}
+	return 0, false
+}

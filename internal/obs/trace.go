@@ -184,17 +184,33 @@ type Span struct {
 	tid    uint64
 	start  time.Time
 	args   SpanAttrs
+	flight *FlightBuf
 }
 
-// start opens a span; parent may be nil (a new root lane).
+// start opens a span; parent may be nil (a new root lane). A child span
+// inherits its parent's flight-recorder capture, so arming the request's
+// root span is enough to collect the whole tree.
 func (t *Tracer) start(name string, parent *Span) *Span {
 	tid := uint64(0)
+	sp := &Span{tracer: t, name: name, start: time.Now()}
 	if parent != nil {
 		tid = parent.tid
+		sp.flight = parent.flight
 	} else {
 		tid = t.nextTID.Add(1)
 	}
-	return &Span{tracer: t, name: name, tid: tid, start: time.Now()}
+	sp.tid = tid
+	return sp
+}
+
+// CaptureTo additionally records the span (and, transitively, every
+// child span started under it) into fb when it ends. No-op on a nil span
+// or buffer, so call sites never guard on the telemetry state.
+func (s *Span) CaptureTo(fb *FlightBuf) {
+	if s == nil || fb == nil {
+		return
+	}
+	s.flight = fb
 }
 
 // SetAttr attaches an attribute rendered into the event's args. No-op on
@@ -215,11 +231,12 @@ func (s *Span) End() {
 		return
 	}
 	t := s.tracer
+	dur := time.Since(s.start)
 	e := Event{
 		Name:  s.name,
 		Phase: "X",
 		TS:    s.start.Sub(t.begin).Microseconds(),
-		Dur:   time.Since(s.start).Microseconds(),
+		Dur:   dur.Microseconds(),
 		PID:   1,
 		TID:   s.tid,
 	}
@@ -227,6 +244,11 @@ func (s *Span) End() {
 		// The span is already a heap object the ring retains through the
 		// event; pointing at its inline attributes costs nothing.
 		e.Args = &s.args
+	}
+	if s.flight != nil {
+		// The flight record shares the same immutable attribute storage
+		// the trace ring points at.
+		s.flight.add(s.name, s.start, dur, e.Args)
 	}
 	t.mu.Lock()
 	if len(t.ring) < t.cap {

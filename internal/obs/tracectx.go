@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/): the
+// correlation primitive that survives a network hop. A request arrives
+// with (or without) a `traceparent` header; the service joins the trace
+// as a child (same trace-id, fresh span-id) or mints a fresh root, and
+// the identity is stamped — out of band, never into response bodies —
+// onto spans, request logs, flight-recorder records, job journal lines,
+// and metric exemplars, and echoed on the response so the caller can
+// correlate too.
+//
+// Parsing and formatting are append-style and allocation-free, like the
+// rest of the serving hot path: ParseTraceparent reads a fixed-shape
+// header into a value, AppendTraceparent renders into a caller buffer.
+
+// TraceContext is one W3C trace-context identity: the 128-bit trace ID
+// shared by every participant in a distributed operation, the 64-bit
+// span ID of the current participant, the sampled flag byte, and the
+// validated tracestate list propagated unchanged.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+	// State is the inbound `tracestate` header, kept verbatim when it
+	// validates and dropped otherwise (the spec permits discarding it).
+	State string
+}
+
+// Valid reports whether the context carries usable identifiers: the spec
+// forbids all-zero trace and span IDs.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// Sampled reports the sampled bit of the flags byte.
+func (tc TraceContext) Sampled() bool { return tc.Flags&0x01 != 0 }
+
+// traceparentLen is the fixed length of a version-00 traceparent:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 55
+
+const hexDigits = "0123456789abcdef"
+
+// hexVal decodes one lowercase hex digit; 255 marks an invalid byte.
+// The spec requires lowercase: "A" in any hex field makes the header
+// invalid, so this table deliberately rejects uppercase.
+func hexVal(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	}
+	return 255
+}
+
+// parseHex decodes exactly len(dst)*2 lowercase hex digits from s.
+func parseHex(dst []byte, s string) bool {
+	for i := range dst {
+		hi, lo := hexVal(s[2*i]), hexVal(s[2*i+1])
+		if hi == 255 || lo == 255 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent parses a traceparent header value per the W3C
+// recommendation: version-00 headers must be exactly 55 bytes; headers
+// with an unknown (forward-compatible) version are accepted when their
+// version-00 prefix parses and the extra content is '-'-separated.
+// Version 0xff, uppercase hex, malformed shapes, and all-zero trace or
+// span IDs all report ok=false — per spec the receiver then restarts the
+// trace with a fresh root instead of propagating garbage. The parse
+// allocates nothing.
+func ParseTraceparent(s string) (tc TraceContext, ok bool) {
+	if len(s) < traceparentLen {
+		return TraceContext{}, false
+	}
+	var ver [1]byte
+	if !parseHex(ver[:], s) || ver[0] == 0xff {
+		return TraceContext{}, false
+	}
+	if ver[0] == 0 && len(s) != traceparentLen {
+		return TraceContext{}, false
+	}
+	if ver[0] != 0 && len(s) > traceparentLen && s[traceparentLen] != '-' {
+		return TraceContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceContext{}, false
+	}
+	if !parseHex(tc.TraceID[:], s[3:]) || !parseHex(tc.SpanID[:], s[36:]) {
+		return TraceContext{}, false
+	}
+	var flags [1]byte
+	if !parseHex(flags[:], s[53:]) {
+		return TraceContext{}, false
+	}
+	tc.Flags = flags[0]
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// appendHex renders src as lowercase hex.
+func appendHex(dst []byte, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0x0f])
+	}
+	return dst
+}
+
+// AppendTraceparent renders the context as a version-00 traceparent
+// header value, appending to dst — the same append-style contract as the
+// serve response encoders, so formatting into a stack buffer allocates
+// nothing.
+func AppendTraceparent(dst []byte, tc TraceContext) []byte {
+	dst = append(dst, '0', '0', '-')
+	dst = appendHex(dst, tc.TraceID[:])
+	dst = append(dst, '-')
+	dst = appendHex(dst, tc.SpanID[:])
+	dst = append(dst, '-')
+	return appendHex(dst, []byte{tc.Flags})
+}
+
+// Traceparent renders the header value as a string (one allocation).
+func (tc TraceContext) Traceparent() string {
+	var buf [traceparentLen]byte
+	return string(AppendTraceparent(buf[:0], tc))
+}
+
+// AppendTraceID renders the 32-hex-digit trace ID, appending to dst.
+func AppendTraceID(dst []byte, tc TraceContext) []byte {
+	return appendHex(dst, tc.TraceID[:])
+}
+
+// TraceIDString renders the trace ID as a string (one allocation).
+func (tc TraceContext) TraceIDString() string {
+	var buf [32]byte
+	return string(AppendTraceID(buf[:0], tc))
+}
+
+// rngState backs the ID minting: a splitmix64 stream over an atomically
+// advancing counter seeded once per process from crypto/rand. Splitmix
+// is a bijection, so within one boot every draw is distinct (IDs never
+// collide locally), and the random base keeps boots disjoint — the same
+// uniqueness argument as the request-ID boot nonce, without a lock or an
+// allocation per draw.
+var rngState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("obs: reading trace RNG seed: " + err.Error())
+	}
+	rngState.Store(binary.LittleEndian.Uint64(b[:]))
+}
+
+// randU64 draws the next pseudo-random word (splitmix64).
+func randU64() uint64 {
+	z := rngState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewSpanID mints a non-zero 64-bit span ID.
+func NewSpanID() (id [8]byte) {
+	for {
+		binary.BigEndian.PutUint64(id[:], randU64())
+		if id != [8]byte{} {
+			return id
+		}
+	}
+}
+
+// NewTraceContext mints a fresh root: new trace ID, new span ID, sampled
+// flag set. This is what a request without (or with a malformed)
+// traceparent gets.
+func NewTraceContext() TraceContext {
+	tc := TraceContext{Flags: 0x01, SpanID: NewSpanID()}
+	for {
+		binary.BigEndian.PutUint64(tc.TraceID[0:8], randU64())
+		binary.BigEndian.PutUint64(tc.TraceID[8:16], randU64())
+		if tc.TraceID != [16]byte{} {
+			return tc
+		}
+	}
+}
+
+// Child derives this service's own identity inside an inbound trace:
+// same trace ID, flags, and state, fresh span ID. The inbound span ID
+// becomes the conceptual parent; the child's ID is what the response
+// header, spans, and logs carry.
+func (tc TraceContext) Child() TraceContext {
+	tc.SpanID = NewSpanID()
+	return tc
+}
+
+// maxTracestateMembers and maxTracestateLen bound the tracestate the
+// service is willing to propagate; the spec allows dropping the header
+// entirely rather than forwarding an oversized or malformed one.
+const (
+	maxTracestateMembers = 32
+	maxTracestateLen     = 512
+)
+
+// ValidTracestate reports whether s is a propagatable tracestate value:
+// at most 32 comma-separated non-empty `key=value` members within a
+// bounded total size, with keys in the spec's lowercase vocabulary and
+// values free of control characters, commas, and equals signs. The check
+// allocates nothing.
+func ValidTracestate(s string) bool {
+	if s == "" || len(s) > maxTracestateLen {
+		return false
+	}
+	members := 0
+	for i := 0; i < len(s); {
+		// One member up to the next comma.
+		j := i
+		for j < len(s) && s[j] != ',' {
+			j++
+		}
+		m := s[i:j]
+		// OWS around members is legal.
+		for len(m) > 0 && (m[0] == ' ' || m[0] == '\t') {
+			m = m[1:]
+		}
+		for len(m) > 0 && (m[len(m)-1] == ' ' || m[len(m)-1] == '\t') {
+			m = m[:len(m)-1]
+		}
+		if m != "" {
+			eq := -1
+			for k := 0; k < len(m); k++ {
+				if m[k] == '=' {
+					eq = k
+					break
+				}
+			}
+			if eq <= 0 || eq == len(m)-1 {
+				return false
+			}
+			if !validTracestateKey(m[:eq]) || !validTracestateValue(m[eq+1:]) {
+				return false
+			}
+			members++
+			if members > maxTracestateMembers {
+				return false
+			}
+		}
+		i = j + 1
+		if j == len(s) {
+			break
+		}
+	}
+	return members > 0
+}
+
+func validTracestateKey(k string) bool {
+	if len(k) > 256 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '_' || c == '-' || c == '*' || c == '/' || c == '@':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validTracestateValue(v string) bool {
+	if len(v) > 256 {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c < 0x20 || c > 0x7e || c == ',' || c == '=' {
+			return false
+		}
+	}
+	return true
+}

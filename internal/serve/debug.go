@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The flight-recorder debug surface: GET /debug/requests lists the
+// retained request records newest-first (?n= bounds the list), and
+// GET /debug/requests/{id} serves one record with its full span tree.
+// This is the live-box answer to "show me the last slow /v1/pnr" — the
+// recorder is always on, unlike the -trace export, and biased toward
+// errors, shed requests, and the slow tail by construction.
+
+// flightSummary is one record in the list view: identity and outcome
+// without the span tree.
+type flightSummary struct {
+	ID         string  `json:"request_id"`
+	TraceID    string  `json:"trace_id"`
+	Endpoint   string  `json:"endpoint"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	StartedAt  string  `json:"started_at"`
+	DurationMS float64 `json:"duration_ms"`
+	Cache      string  `json:"cache,omitempty"`
+	Reason     string  `json:"reason"`
+	Spans      int     `json:"spans"`
+	URL        string  `json:"url"`
+}
+
+// flightListResponse is the GET /debug/requests envelope.
+type flightListResponse struct {
+	Items []flightSummary `json:"items"`
+	Total int             `json:"total"`
+	// Recorder counters: how many requests were offered, kept, and
+	// evicted since boot, plus the adaptive slow threshold (0 while the
+	// latency estimator is still warming up).
+	Seen       uint64  `json:"seen"`
+	Kept       uint64  `json:"kept"`
+	Evicted    uint64  `json:"evicted"`
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
+}
+
+// flightDetail is the per-id view: the summary plus the span tree and
+// the full traceparent for cross-service correlation.
+type flightDetail struct {
+	flightSummary
+	Traceparent string           `json:"traceparent"`
+	Truncated   bool             `json:"truncated,omitempty"`
+	SpanTree    []obs.FlightSpan `json:"span_tree"`
+}
+
+func flightSummaryOf(rec *obs.RequestRecord) flightSummary {
+	return flightSummary{
+		ID:         rec.ID,
+		TraceID:    rec.TraceID,
+		Endpoint:   rec.Endpoint,
+		Method:     rec.Method,
+		Path:       rec.Path,
+		Status:     rec.Status,
+		StartedAt:  rec.Start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(rec.Duration.Microseconds()) / 1000,
+		Cache:      rec.Cache,
+		Reason:     rec.Reason,
+		Spans:      len(rec.Spans),
+		URL:        "/debug/requests/" + rec.ID,
+	}
+}
+
+// errFlightDisabled answers the debug endpoints when the recorder was
+// disabled with -flight-requests 0.
+var errFlightDisabled = fmt.Errorf("%w: flight recorder disabled", errBadRequest)
+
+// handleFlightList serves the retained records newest-first; ?n= bounds
+// the list.
+func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) error {
+	if s.flight == nil {
+		return errFlightDisabled
+	}
+	n, err := debugLimit(r)
+	if err != nil {
+		return err
+	}
+	recs := s.flight.Snapshot(n)
+	items := make([]flightSummary, 0, len(recs))
+	for _, rec := range recs {
+		items = append(items, flightSummaryOf(rec))
+	}
+	st := s.flight.Stats()
+	return writeJSON(w, r, http.StatusOK, flightListResponse{
+		Items:      items,
+		Total:      len(items),
+		Seen:       st.Seen,
+		Kept:       st.Kept,
+		Evicted:    st.Evicted,
+		P99Seconds: st.P99,
+	})
+}
+
+// handleFlightGet serves one record with its span tree.
+func (s *Server) handleFlightGet(w http.ResponseWriter, r *http.Request) error {
+	if s.flight == nil {
+		return errFlightDisabled
+	}
+	id := r.PathValue("id")
+	rec, ok := s.flight.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: no flight record for %q (evicted or never kept)", errNotFound, id)
+	}
+	doc := flightDetail{
+		flightSummary: flightSummaryOf(rec),
+		Traceparent:   rec.Traceparent,
+		Truncated:     rec.Truncated,
+		SpanTree:      rec.Spans,
+	}
+	if doc.SpanTree == nil {
+		doc.SpanTree = []obs.FlightSpan{}
+	}
+	return writeJSON(w, r, http.StatusOK, doc)
+}

@@ -31,12 +31,16 @@ import (
 // telemetry value carrier — pooled together so the warm path allocates
 // none of them.
 type reqState struct {
-	sw    statusWriter
-	req   request
-	body  []byte
-	vals  obs.RequestValues
-	ctx   reqContext
+	sw   statusWriter
+	req  request
+	body []byte
+	vals obs.RequestValues
+	ctx  reqContext
 	lim  limitedBody
+	// fl collects the request's finished spans for the flight recorder;
+	// armed per request, disarmed at pool release so a straggling span
+	// cannot write into a buffer the next request owns.
+	fl   obs.FlightBuf
 	self any // this state boxed once, answered under reqStateKey
 }
 
@@ -58,6 +62,7 @@ func putReqState(st *reqState) {
 	st.vals.Reset()
 	st.ctx = reqContext{}
 	st.lim = limitedBody{}
+	st.fl.Disarm()
 	if cap(st.body) > maxPooledBody {
 		st.body = nil
 	} else {

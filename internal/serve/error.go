@@ -23,6 +23,10 @@ const StatusClientClosedRequest = 499
 // malformed device payloads, which carry *core.ParseError).
 var errBadRequest = errors.New("bad request")
 
+// errNotFound marks absent serve-owned resources (flight records) the
+// way bench.ErrNotFound and job.ErrNotFound mark theirs.
+var errNotFound = errors.New("not found")
+
 // OverloadedError reports that admission shed the request instead of
 // queueing it: the worker gate's wait queue was full, or the estimated
 // queueing delay already exceeded the request's deadline. It maps to 429
@@ -73,7 +77,8 @@ func httpStatus(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.As(err, &over):
 		return http.StatusTooManyRequests
-	case errors.Is(err, bench.ErrNotFound), errors.Is(err, job.ErrNotFound):
+	case errors.Is(err, bench.ErrNotFound), errors.Is(err, job.ErrNotFound),
+		errors.Is(err, errNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, job.ErrNotFinished):
 		return http.StatusConflict
@@ -101,6 +106,7 @@ type errorBody struct {
 	Error        string `json:"error"`
 	Code         string `json:"code,omitempty"`
 	RequestID    string `json:"request_id,omitempty"`
+	TraceID      string `json:"trace_id,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
@@ -135,13 +141,15 @@ func errorCode(err error, status int) string {
 }
 
 // newErrorBody renders err into the standard error envelope, stamping the
-// context's request ID so clients can quote it back at the logs.
+// context's request ID and trace ID so clients can quote either back at
+// the logs, the trace ring, or the flight recorder.
 func newErrorBody(ctx context.Context, err error) errorBody {
 	status := httpStatus(err)
 	body := errorBody{
 		Error:     err.Error(),
 		Code:      errorCode(err, status),
 		RequestID: obs.RequestID(ctx),
+		TraceID:   obs.TraceID(ctx),
 	}
 	var over *OverloadedError
 	if errors.As(err, &over) {

@@ -154,7 +154,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return fmt.Errorf("serve: encoding job envelope: %w", err)
 	}
-	snap, err := s.jobs.Submit(op.Name, envelope, s.cacheKey(op.Name, &jreq.request))
+	snap, err := s.jobs.Submit(op.Name, envelope, s.cacheKey(op.Name, &jreq.request), obs.Traceparent(r.Context()))
 	if errors.Is(err, job.ErrTooManyJobs) {
 		return &OverloadedError{RetryAfter: time.Second, cause: err}
 	}

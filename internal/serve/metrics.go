@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -65,7 +66,10 @@ func (em *endpointMetrics) statusCell(status int) *obs.CounterCell {
 }
 
 // observe records one finished request into the endpoint instruments.
-func (s *Server) observe(em *endpointMetrics, status int, d time.Duration) {
+// traceID, when non-empty, becomes the exemplar of the latency bucket
+// the observation lands in — the OpenMetrics exposition's link from a
+// histogram bucket to a concrete trace.
+func (s *Server) observe(em *endpointMetrics, status int, d time.Duration, traceID string) {
 	secs := d.Seconds()
 	em.statusCell(status).Inc()
 	em.latency.Add(secs)
@@ -75,7 +79,7 @@ func (s *Server) observe(em *endpointMetrics, status int, d time.Duration) {
 	if status == http.StatusTooManyRequests {
 		em.shed.Inc()
 	}
-	em.duration.Observe(secs)
+	em.duration.ObserveWithExemplar(secs, traceID)
 }
 
 // stageObserver adapts the pnr stage hook to the stage-seconds counter for
@@ -92,27 +96,60 @@ func (s *Server) stageObserver(ctx context.Context, task string) func(stage stri
 	}
 }
 
+// openMetricsContentType is the OpenMetrics exposition media type the
+// negotiated mode answers with.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// wantsOpenMetrics reports whether the scrape opted into the OpenMetrics
+// exposition: ?openmetrics=1 (curl-friendly) or an Accept header naming
+// the OpenMetrics media type (what a Prometheus server negotiating
+// exemplar support sends).
+func wantsOpenMetrics(r *http.Request) bool {
+	switch r.URL.Query().Get("openmetrics") {
+	case "1", "true", "yes":
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 // handleMetrics renders every registered family in the Prometheus text
-// exposition format. Rendering is deterministic (registration order,
-// sorted series), so scrapes are stable; no client library is involved.
+// exposition format — or, when negotiated, the OpenMetrics format with
+// trace-ID exemplars on the latency buckets. Rendering is deterministic
+// (registration order, sorted series), so scrapes are stable; no client
+// library is involved.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+}
+
+// debugLimit parses the shared ?n= query of the debug endpoints: the
+// most-recent-n bound, 0 (absent) meaning everything retained.
+func debugLimit(r *http.Request) (int, error) {
+	arg := r.URL.Query().Get("n")
+	if arg == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(arg)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%w: n must be a non-negative integer", errBadRequest)
+	}
+	return v, nil
 }
 
 // handleTrace serves the tracer's ring buffer as Chrome trace_event JSON:
 // GET /debug/trace returns every retained span, ?n= limits to the most
 // recent n. Load the body in chrome://tracing or Perfetto.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	n := 0
-	if arg := r.URL.Query().Get("n"); arg != "" {
-		v, err := strconv.Atoi(arg)
-		if err != nil || v < 0 {
-			writeError(r.Context(), w, r, fmt.Errorf("%w: n must be a non-negative integer", errBadRequest))
-			return
-		}
-		n = v
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) error {
+	n, err := debugLimit(r)
+	if err != nil {
+		return err
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.tracer.WriteJSON(w, n)
+	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -81,6 +82,15 @@ type Config struct {
 	// JobHeartbeat is the SSE keep-alive comment interval; 0 means 15s.
 	// Tests shorten it to observe disconnect handling quickly.
 	JobHeartbeat time.Duration
+	// FlightRequests caps the tail-sampled request flight recorder served
+	// at /debug/requests; 0 selects obs.DefaultFlightRequests, negative
+	// disables the recorder entirely.
+	FlightRequests int
+	// TraceSample is the probability an ordinary request — not an error,
+	// not shed, not in the slow tail — is retained by the flight recorder;
+	// 0 selects obs.DefaultTraceSample, negative means never. Errors, shed
+	// requests, and the slowest-p99 tail are always kept regardless.
+	TraceSample float64
 }
 
 func (c Config) maxBody() int64 {
@@ -113,6 +123,16 @@ func (c Config) queueDepth() int {
 	return c.QueueDepth
 }
 
+func (c Config) traceSample() float64 {
+	if c.TraceSample == 0 {
+		return obs.DefaultTraceSample
+	}
+	if c.TraceSample < 0 {
+		return 0
+	}
+	return c.TraceSample
+}
+
 // Server is the service state: configuration, the admission gate, the
 // result cache, and the telemetry spine (registry, tracer, recorder)
 // every request context carries.
@@ -127,6 +147,7 @@ type Server struct {
 	reg       *obs.Registry
 	tracer    *obs.Tracer
 	rec       *obs.Recorder
+	flight    *obs.FlightRecorder // nil when the flight recorder is disabled
 	start     time.Time
 	ids       *obs.IDSource
 	jobs      *job.Store
@@ -234,6 +255,25 @@ func New(cfg Config) *Server {
 		})
 	s.mJobDur = s.reg.Histogram("parchmint_job_duration_seconds",
 		"Job execution latency (start to finish), by terminal status.", nil, "status")
+	// Build identity and process lifecycle, Prometheus conventions: an
+	// info-style constant gauge keyed by the same probe /healthz reads,
+	// and the start time scrape-relative dashboards derive uptime from.
+	version, revision := buildInfo()
+	s.reg.Gauge("parchmint_build_info",
+		"Build identity of the running binary; value is always 1.",
+		"version", "go_version", "vcs_revision").
+		Set(1, version, runtime.Version(), revision)
+	s.reg.GaugeFunc("parchmint_process_start_time_seconds",
+		"Unix time the server started, in seconds.",
+		func() float64 { return float64(s.start.UnixNano()) / 1e9 })
+	if cfg.FlightRequests >= 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightRequests, cfg.traceSample())
+	}
+	s.reg.GaugeFunc("parchmint_flight_records",
+		"Request records currently retained by the flight recorder.",
+		func() float64 { return float64(s.flight.Stats().Records) })
+	// Runtime health series (parchmint_go_*), sampled at scrape time.
+	obs.RegisterRuntimeMetrics(s.reg)
 	s.mCacheCells = make(map[string]*[3]*obs.CounterCell, len(operations))
 	for _, op := range operations {
 		cells := new([3]*obs.CounterCell)
@@ -299,9 +339,11 @@ func (s *Server) Close() {
 // wrapped with the request body limit, the per-request timeout, and the
 // telemetry middleware. Body-less GET endpoints skip the body limit, and
 // the health endpoint additionally skips the pipeline timeout — a probe
-// must answer even when every worker is saturated. /metrics and
-// /debug/trace serve the raw telemetry and are deliberately unwrapped so
-// they never gate on the worker pool.
+// must answer even when every worker is saturated. The debug endpoints
+// are wrapped too (without body limit or timeout), so bad query params
+// answer in the unified error envelope; /metrics alone stays unwrapped,
+// so scraping never gates on the worker pool or pollutes the very
+// series it reads.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/validate", s.wrap(opValidate, s.serveOp(opValidate)))
@@ -324,7 +366,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/bench/{name}", s.wrapWith("bench-get", s.handleBenchGet, wrapOpts{noBodyLimit: true}))
 	mux.Handle("GET /healthz", s.wrapWith("healthz", s.handleHealthz, wrapOpts{noBodyLimit: true, noTimeout: true}))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.Handle("GET /debug/trace", s.wrapWith("debug-trace", s.handleTrace, wrapOpts{noBodyLimit: true, noTimeout: true}))
+	mux.Handle("GET /debug/requests", s.wrapWith("debug-requests", s.handleFlightList, wrapOpts{noBodyLimit: true, noTimeout: true}))
+	mux.Handle("GET /debug/requests/{id}", s.wrapWith("debug-requests-get", s.handleFlightGet, wrapOpts{noBodyLimit: true, noTimeout: true}))
 	return mux
 }
 
@@ -440,7 +484,35 @@ func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handle
 		reqID := s.ids.Next()
 		st.vals.Rec = s.rec
 		st.vals.SetID(reqID)
+		// W3C trace context: join an inbound trace as a child (same trace
+		// ID, fresh span ID), replace a malformed or absent traceparent
+		// with a fresh root per spec. The map index (not Header.Get) keeps
+		// the lookup of the non-canonical-cased wire name allocation-free.
+		var inbound string
+		if v := r.Header["Traceparent"]; len(v) > 0 {
+			inbound = v[0]
+		}
+		tc, joined := obs.ParseTraceparent(inbound)
+		if joined {
+			tc = tc.Child()
+			if v := r.Header["Tracestate"]; len(v) > 0 && obs.ValidTracestate(v[0]) {
+				tc.State = v[0]
+			}
+		} else {
+			tc = obs.NewTraceContext()
+		}
+		// One string materializes the whole identity; the trace ID is a
+		// substring of it, so stamping spans, logs, and exemplars shares
+		// the same backing bytes.
+		var tpb [55]byte
+		tp := string(obs.AppendTraceparent(tpb[:0], tc))
+		st.vals.SetTrace(tp, tp[3:35])
 		st.vals.Span = s.rec.NewRootSpan(spanName, st.vals.IDVal())
+		st.vals.Span.SetAttr("trace_id", st.vals.TraceIDVal())
+		if s.flight != nil {
+			st.fl.Reset(start)
+			st.vals.Span.CaptureTo(&st.fl)
+		}
 		st.ctx = reqContext{parent: r.Context(), vals: &st.vals, budget: s.budgetVal, state: st.self}
 		var ctx context.Context = &st.ctx
 		if !o.noTimeout {
@@ -448,9 +520,14 @@ func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handle
 			ctx, cancel = withTimeout(ctx, s.cfg.timeout())
 			defer cancel()
 		}
-		// The header value escapes the request (httptest recorders and
-		// proxies read it afterwards), so it cannot come from the pool.
-		sw.Header()["X-Request-Id"] = []string{reqID}
+		// The header values escape the request (httptest recorders and
+		// proxies read them afterwards), so they cannot come from the pool.
+		hdr := sw.Header()
+		hdr["X-Request-Id"] = []string{reqID}
+		hdr["Traceparent"] = []string{tp}
+		if tc.State != "" {
+			hdr["Tracestate"] = []string{tc.State}
+		}
 		var hw http.ResponseWriter = sw
 		var gzw *gzipWriter
 		if !o.noCompress && acceptsGzip(r) {
@@ -478,10 +555,29 @@ func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handle
 		st.vals.Span.SetAttr("status", sw.status)
 		st.vals.Span.End()
 		d := time.Since(start)
-		s.observe(em, sw.status, d)
+		s.observe(em, sw.status, d, st.vals.TraceID())
+		if s.flight != nil {
+			var outcome string
+			if v := hdr[cacheHeader]; len(v) > 0 {
+				outcome = v[0]
+			}
+			s.flight.Offer(obs.RequestRecord{
+				ID:          reqID,
+				TraceID:     st.vals.TraceID(),
+				Traceparent: tp,
+				Endpoint:    endpoint,
+				Method:      r.Method,
+				Path:        r.URL.Path,
+				Status:      sw.status,
+				Start:       start,
+				Duration:    d,
+				Cache:       outcome,
+			}, &st.fl)
+		}
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Info("request",
 				"id", reqID,
+				"trace", st.vals.TraceID(),
 				"endpoint", endpoint,
 				"method", r.Method,
 				"path", r.URL.Path,

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/obs"
+)
+
+const (
+	inboundTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	inboundTraceID     = "4bf92f3577b34da6a3ce929d0e0e4736"
+	inboundSpanID      = "00f067aa0ba902b7"
+)
+
+// doHdr is do with extra request headers.
+func doHdr(t *testing.T, h http.Handler, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func TestTraceparentJoinAsChild(t *testing.T) {
+	var logBuf bytes.Buffer
+	h := New(Config{Workers: 1, Logger: obs.NewLogger("json", &logBuf)}).Handler()
+	w := doHdr(t, h, "GET", "/healthz", "", map[string]string{
+		"traceparent": inboundTraceparent,
+		"tracestate":  "rojo=00f067aa0ba902b7",
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	echoed := w.Header().Get("Traceparent")
+	tc, ok := obs.ParseTraceparent(echoed)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", echoed)
+	}
+	if got := tc.TraceIDString(); got != inboundTraceID {
+		t.Errorf("trace id = %s, want the inbound %s (join, not restart)", got, inboundTraceID)
+	}
+	if strings.Contains(echoed, inboundSpanID) {
+		t.Errorf("response must carry this hop's span id, not the caller's: %s", echoed)
+	}
+	if !tc.Sampled() {
+		t.Error("sampled flag must propagate")
+	}
+	if got := w.Header().Get("Tracestate"); got != "rojo=00f067aa0ba902b7" {
+		t.Errorf("tracestate = %q, want pass-through", got)
+	}
+	// The trace id lands in the request log next to the request id.
+	var rec struct {
+		ID    string `json:"id"`
+		Trace string `json:"trace"`
+	}
+	if err := json.Unmarshal(logBuf.Bytes(), &rec); err != nil {
+		t.Fatalf("request log: %v\n%s", err, logBuf.String())
+	}
+	if rec.Trace != inboundTraceID {
+		t.Errorf("log trace = %q, want %q", rec.Trace, inboundTraceID)
+	}
+}
+
+func TestTraceparentMalformedMintsFreshRoot(t *testing.T) {
+	h := newTestServer(1)
+	for _, bad := range []string{
+		"",
+		"not-a-traceparent",
+		strings.ToUpper(inboundTraceparent),
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"ff" + inboundTraceparent[2:],
+	} {
+		hdr := map[string]string{}
+		if bad != "" {
+			hdr["traceparent"] = bad
+		}
+		w := doHdr(t, h, "GET", "/healthz", "", hdr)
+		tc, ok := obs.ParseTraceparent(w.Header().Get("Traceparent"))
+		if !ok {
+			t.Fatalf("inbound %q: response traceparent %q does not parse", bad, w.Header().Get("Traceparent"))
+		}
+		if tc.TraceIDString() == inboundTraceID {
+			t.Errorf("inbound %q: malformed header was propagated instead of restarted", bad)
+		}
+		if !tc.Valid() || !tc.Sampled() {
+			t.Errorf("inbound %q: fresh root invalid: %+v", bad, tc)
+		}
+	}
+	// Malformed tracestate is dropped, not echoed.
+	w := doHdr(t, h, "GET", "/healthz", "", map[string]string{
+		"traceparent": inboundTraceparent,
+		"tracestate":  "NOT=VALID,",
+	})
+	if got := w.Header().Get("Tracestate"); got != "" {
+		t.Errorf("invalid tracestate echoed: %q", got)
+	}
+}
+
+func TestErrorBodyCarriesTraceID(t *testing.T) {
+	h := newTestServer(1)
+	w := doHdr(t, h, "POST", "/v1/pnr", "{not json", map[string]string{
+		"traceparent": inboundTraceparent,
+	})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var body struct {
+		Error     string `json:"error"`
+		Code      string `json:"code"`
+		RequestID string `json:"request_id"`
+		TraceID   string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.TraceID != inboundTraceID {
+		t.Errorf("error trace_id = %q, want %q", body.TraceID, inboundTraceID)
+	}
+	if body.RequestID == "" || body.Code == "" {
+		t.Errorf("error envelope incomplete: %+v", body)
+	}
+}
+
+// Trace context is out-of-band telemetry: the response bytes of a
+// deterministic endpoint must not depend on whether the caller sent a
+// traceparent.
+func TestResponseBytesIndependentOfTraceparent(t *testing.T) {
+	h := newTestServer(2)
+	without := do(t, h, "POST", "/v1/pnr", `{"bench":"aquaflex_3b"}`)
+	with := doHdr(t, h, "POST", "/v1/pnr", `{"bench":"aquaflex_3b"}`, map[string]string{
+		"traceparent": inboundTraceparent,
+		"tracestate":  "rojo=00f067aa0ba902b7",
+	})
+	if without.Code != http.StatusOK || with.Code != http.StatusOK {
+		t.Fatalf("status = %d / %d", without.Code, with.Code)
+	}
+	if !bytes.Equal(without.Body.Bytes(), with.Body.Bytes()) {
+		t.Error("pnr response bytes changed when a traceparent was supplied")
+	}
+}
+
+func TestFlightRecorderEndpoint(t *testing.T) {
+	// TraceSample 1 keeps every request, so the test is deterministic.
+	h := New(Config{Workers: 1, TraceSample: 1}).Handler()
+	if w := doHdr(t, h, "POST", "/v1/stats", `{"bench":"aquaflex_3b"}`, map[string]string{
+		"traceparent": inboundTraceparent,
+	}); w.Code != http.StatusOK {
+		t.Fatalf("stats: %d: %s", w.Code, w.Body)
+	}
+
+	w := do(t, h, "GET", "/debug/requests", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("list: %d: %s", w.Code, w.Body)
+	}
+	var list struct {
+		Items []struct {
+			ID      string `json:"request_id"`
+			TraceID string `json:"trace_id"`
+			Status  int    `json:"status"`
+			Reason  string `json:"reason"`
+			Spans   int    `json:"spans"`
+			URL     string `json:"url"`
+		} `json:"items"`
+		Total int    `json:"total"`
+		Seen  uint64 `json:"seen"`
+		Kept  uint64 `json:"kept"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total < 1 || list.Seen < 1 || list.Kept < 1 {
+		t.Fatalf("list counters = %+v", list)
+	}
+	var statsID string
+	for _, it := range list.Items {
+		if it.TraceID == inboundTraceID {
+			statsID = it.ID
+			if it.Reason != "sampled" || it.Status != http.StatusOK || it.Spans == 0 {
+				t.Errorf("stats record = %+v", it)
+			}
+			if it.URL != "/debug/requests/"+it.ID {
+				t.Errorf("record url = %q", it.URL)
+			}
+		}
+	}
+	if statsID == "" {
+		t.Fatalf("stats request (trace %s) missing from %+v", inboundTraceID, list.Items)
+	}
+
+	// The detail view has the span tree with the handler's root span.
+	w = do(t, h, "GET", "/debug/requests/"+statsID, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("detail: %d: %s", w.Code, w.Body)
+	}
+	var detail struct {
+		Traceparent string `json:"traceparent"`
+		SpanTree    []struct {
+			Name  string `json:"name"`
+			DurUS int64  `json:"dur_us"`
+		} `json:"span_tree"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail.Traceparent, inboundTraceID) {
+		t.Errorf("detail traceparent = %q", detail.Traceparent)
+	}
+	names := make([]string, len(detail.SpanTree))
+	for i, sp := range detail.SpanTree {
+		names[i] = sp.Name
+	}
+	if !containsStr(names, "http.stats") || !containsStr(names, "bench.build") {
+		t.Errorf("span tree missing expected spans: %v", names)
+	}
+
+	// Debug envelope: bad ?n= and unknown ids use the unified error shape.
+	for _, path := range []string{"/debug/requests?n=-1", "/debug/requests?n=zzz", "/debug/trace?n=-1"} {
+		w := do(t, h, "GET", path, "")
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, w.Code)
+			continue
+		}
+		checkErrorEnvelope(t, path, w.Body.Bytes(), "bad-request")
+	}
+	w = do(t, h, "GET", "/debug/requests/no-such-id", "")
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: status = %d, want 404", w.Code)
+	}
+	checkErrorEnvelope(t, "/debug/requests/{id}", w.Body.Bytes(), "not-found")
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	h := New(Config{Workers: 1, FlightRequests: -1}).Handler()
+	for _, path := range []string{"/debug/requests", "/debug/requests/some-id"} {
+		w := do(t, h, "GET", path, "")
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 when disabled", path, w.Code)
+			continue
+		}
+		checkErrorEnvelope(t, path, w.Body.Bytes(), "bad-request")
+	}
+}
+
+// checkErrorEnvelope asserts the unified {error, code, request_id} shape.
+func checkErrorEnvelope(t *testing.T, ctx string, body []byte, wantCode string) {
+	t.Helper()
+	var e struct {
+		Error     string `json:"error"`
+		Code      string `json:"code"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Errorf("%s: body is not the error envelope: %v\n%s", ctx, err, body)
+		return
+	}
+	if e.Error == "" || e.Code != wantCode || e.RequestID == "" {
+		t.Errorf("%s: envelope = %+v, want code %q with error and request_id set", ctx, e, wantCode)
+	}
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMetricsOpenMetricsMode(t *testing.T) {
+	h := New(Config{Workers: 1, TraceSample: 1}).Handler()
+	if w := doHdr(t, h, "POST", "/v1/stats", `{"bench":"aquaflex_3b"}`, map[string]string{
+		"traceparent": inboundTraceparent,
+	}); w.Code != http.StatusOK {
+		t.Fatalf("stats: %d", w.Code)
+	}
+
+	om := do(t, h, "GET", "/metrics?openmetrics=1", "")
+	if om.Code != http.StatusOK {
+		t.Fatalf("openmetrics scrape: %d", om.Code)
+	}
+	if ct := om.Header().Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := om.Body.String()
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Error("OpenMetrics exposition must end with # EOF")
+	}
+	if !strings.Contains(body, `# {trace_id="`+inboundTraceID+`"}`) {
+		t.Error("latency histogram lost the trace exemplar")
+	}
+	if !strings.Contains(body, "parchmint_build_info{") ||
+		!strings.Contains(body, "parchmint_process_start_time_seconds ") ||
+		!strings.Contains(body, "parchmint_go_goroutines ") {
+		t.Errorf("build info / start time / runtime series missing:\n%s", body)
+	}
+
+	// Accept negotiation selects the same rendering.
+	acc := doHdr(t, h, "GET", "/metrics", "", map[string]string{
+		"Accept": "application/openmetrics-text; version=1.0.0",
+	})
+	if !strings.HasSuffix(acc.Body.String(), "# EOF\n") {
+		t.Error("Accept-negotiated scrape is not OpenMetrics")
+	}
+
+	// The plain Prometheus exposition carries no exemplar annotations and
+	// no EOF marker, so existing scrapers see exactly the old format.
+	plain := do(t, h, "GET", "/metrics", "")
+	if strings.Contains(plain.Body.String(), "# {") || strings.Contains(plain.Body.String(), "# EOF") {
+		t.Error("plain exposition leaked OpenMetrics syntax")
+	}
+	if !strings.Contains(plain.Body.String(), "parchmint_build_info{") {
+		t.Error("build info missing from plain exposition")
+	}
+}
+
+// The job journal's submit record carries the submitting request's
+// traceparent, so a job replayed on a later boot still correlates with
+// the boot that accepted it.
+func TestJobJournalCarriesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := job.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s := New(Config{Workers: 1, BaseSeed: BaseSeedDefault, Journal: j})
+	defer s.Close()
+	h := s.Handler()
+	w := doHdr(t, h, "POST", "/v1/jobs", `{"op":"stats","bench":"aquaflex_3b"}`, map[string]string{
+		"traceparent": inboundTraceparent,
+	})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", w.Code, w.Body)
+	}
+	doc := decodeJobDoc(t, w.Body.Bytes())
+	waitJob(t, h, doc.ID)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"trace":"00-`+inboundTraceID)) {
+		t.Errorf("journal submit record lost the traceparent:\n%s", data)
+	}
+}
