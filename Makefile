@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-serve bench-smoke artifacts serve-smoke cache-smoke jobs-smoke trace-smoke obs-smoke hammer hammer-full check
+.PHONY: all build test test-short race fuzz-smoke vet bench bench-pnr bench-serve bench-smoke artifacts serve-smoke cache-smoke jobs-smoke trace-smoke obs-smoke cluster-smoke hammer hammer-full check
 
 all: build
 
@@ -216,4 +216,16 @@ obs-smoke: build
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "obs-smoke: ok"
 
-check: build vet test race hammer fuzz-smoke bench-smoke serve-smoke cache-smoke jobs-smoke trace-smoke obs-smoke
+# Three-node consistent-hash cluster over real HTTP with a race-enabled
+# binary: a request sent to the wrong shard is forwarded to the owner
+# (X-Parchmint-Shard / X-Parchmint-Forwarded) and answers byte-identical
+# to the owner's own response, the repeat answers from the owner's cache
+# through the relay, a job submitted through the wrong shard routes to
+# the owner, and after SIGKILLing the owner a replacement booted from
+# its journal with the same -self serves the job's bytes as a durable
+# hit. See scripts/cluster_smoke.sh for the full scenario. Skips quietly
+# when curl is unavailable.
+cluster-smoke: build
+	@GO="$(GO)" ./scripts/cluster_smoke.sh
+
+check: build vet test race hammer fuzz-smoke bench-smoke serve-smoke cache-smoke jobs-smoke trace-smoke obs-smoke cluster-smoke

@@ -16,6 +16,7 @@
 //	                [-trace-events N] [-replicas N] [-route-workers N]
 //	                [-journal PATH] [-job-timeout D] [-max-jobs N]
 //	                [-flight-requests N] [-trace-sample P]
+//	                [-peers URL,URL,... -self URL] [-peer-health D]
 //
 // Endpoints:
 //
@@ -48,6 +49,14 @@
 // With -journal, job submissions append to a JSONL transition log that is
 // replayed on boot: completed jobs answer from their journaled bytes
 // (a durable cache hit) and interrupted jobs re-run deterministically.
+//
+// With -peers/-self, the node joins a consistent-hash cluster: every
+// request is sharded by its content address, requests landing on a
+// non-owner take one forwarding hop to the owner (X-Parchmint-Shard names
+// it, X-Parchmint-Forwarded marks the hop), cache misses probe the
+// owner's cache before computing, and job submissions route to the key's
+// owner so its journal is a complete handoff unit. Determinism makes all
+// of it transparent: response bytes are identical wherever they compute.
 package main
 
 import (
@@ -60,10 +69,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/job"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -107,9 +118,28 @@ func main() {
 	journalPath := flag.String("journal", "", "append job transitions to this JSONL file and replay it on boot (empty = in-memory jobs only)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution timeout (0 = unbounded)")
 	maxJobs := flag.Int("max-jobs", 0, "max retained jobs before oldest terminal ones are evicted (0 = default)")
+	peersFlag := flag.String("peers", "", "comma-separated full cluster membership as absolute URLs, including this node (empty = single-node)")
+	selfFlag := flag.String("self", "", "this node's own peer URL, exactly as it appears in -peers")
+	peerHealth := flag.Duration("peer-health", 0, "peer health probe interval (0 = default 2s)")
 	flag.Parse()
 	if *logFormat != "text" && *logFormat != "json" {
 		cli.Fatalf("parchmint-serve: -log-format must be text or json, got %q", *logFormat)
+	}
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	if (len(peers) > 0) != (*selfFlag != "") {
+		cli.Fatalf("parchmint-serve: -peers and -self must be set together")
+	}
+	if len(peers) > 0 {
+		if err := cluster.ValidateMembership(*selfFlag, peers); err != nil {
+			cli.Fatalf("parchmint-serve: %v", err)
+		}
 	}
 
 	var journal *job.Journal
@@ -120,27 +150,30 @@ func main() {
 			cli.Fatalf("parchmint-serve: %v", err)
 		}
 		defer journal.Close()
-		if n := journal.Dropped(); n > 0 {
-			fmt.Fprintf(os.Stderr, "parchmint-serve: journal %s: skipped %d unparseable line(s)\n", *journalPath, n)
+		for _, d := range journal.DroppedLines() {
+			fmt.Fprintf(os.Stderr, "parchmint-serve: journal %s: skipped unparseable line %d: %s\n", *journalPath, d.Line, d.Reason)
 		}
 	}
 
 	s := serve.New(serve.Config{
-		Workers:        *workers,
-		BaseSeed:       *seed,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
-		CacheBytes:     *cacheBytes,
-		QueueDepth:     *queueDepth,
-		Logger:         obs.NewLogger(*logFormat, os.Stderr),
-		TraceEvents:    *traceEvents,
-		Replicas:       *replicas,
-		RouteWorkers:   *routeWorkers,
-		Journal:        journal,
-		JobTimeout:     *jobTimeout,
-		MaxJobs:        *maxJobs,
-		FlightRequests: flagOrDisabled(*flightRequests),
-		TraceSample:    flagOrNever(*traceSample),
+		Workers:            *workers,
+		BaseSeed:           *seed,
+		MaxBodyBytes:       *maxBody,
+		RequestTimeout:     *timeout,
+		CacheBytes:         *cacheBytes,
+		QueueDepth:         *queueDepth,
+		Logger:             obs.NewLogger(*logFormat, os.Stderr),
+		TraceEvents:        *traceEvents,
+		Replicas:           *replicas,
+		RouteWorkers:       *routeWorkers,
+		Journal:            journal,
+		JobTimeout:         *jobTimeout,
+		MaxJobs:            *maxJobs,
+		FlightRequests:     flagOrDisabled(*flightRequests),
+		TraceSample:        flagOrNever(*traceSample),
+		Peers:              peers,
+		Self:               *selfFlag,
+		PeerHealthInterval: *peerHealth,
 	})
 	defer s.Close()
 

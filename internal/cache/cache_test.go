@@ -333,3 +333,67 @@ func TestLookupCountsHitsOnly(t *testing.T) {
 		t.Fatalf("Lookup hit counted wrong: %+v", st)
 	}
 }
+
+// TestKeyEmptyParts: empty parts are real parts — the length frame makes
+// Key(), Key(""), and Key("","") all distinct addresses, so an absent
+// component can never collide with a present-but-empty one.
+func TestKeyEmptyParts(t *testing.T) {
+	keys := []string{
+		Key(),
+		Key([]byte{}),
+		Key([]byte{}, []byte{}),
+		Key([]byte("a"), []byte{}),
+		Key([]byte{}, []byte("a")),
+		Key([]byte("a")),
+	}
+	seen := map[string]int{}
+	for i, k := range keys {
+		if len(k) != 64 {
+			t.Errorf("key %d has length %d, want 64", i, len(k))
+		}
+		if j, dup := seen[k]; dup {
+			t.Errorf("key %d collides with key %d: %s", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestKeyDelimiterInParts: a part containing bytes that look exactly like
+// the length frame (8 little-endian length bytes) must not be confusable
+// with the frame itself. The classic attack on naive concatenation:
+// part1+frame(part2) as a single part versus the two-part split.
+func TestKeyDelimiterInParts(t *testing.T) {
+	part := []byte("payload")
+	// frame is what AppendPart would prepend for "x": 8 LE length bytes.
+	frame := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	embedded := append(append(append([]byte{}, part...), frame...), 'x')
+	split := Key(part, []byte("x"))
+	joined := Key(embedded)
+	if split == joined {
+		t.Errorf("Key(part, \"x\") == Key(part+frame(\"x\")); framing is forgeable")
+	}
+	// The same property through the incremental construction path.
+	var buf []byte
+	buf = AppendPart(buf, part)
+	buf = AppendPart(buf, []byte("x"))
+	if KeyFrom(buf) != split {
+		t.Error("KeyFrom(AppendPart...) disagrees with Key over the same parts")
+	}
+	var buf2 []byte
+	buf2 = AppendPart(buf2, embedded)
+	if KeyFrom(buf2) != joined {
+		t.Error("KeyFrom over the embedded part disagrees with Key")
+	}
+}
+
+// TestAppendPartStringMatchesAppendPart pins the two frame builders to
+// identical bytes, including for the empty string.
+func TestAppendPartStringMatchesAppendPart(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", string([]byte{0, 1, 2, 255})} {
+		a := AppendPart(nil, []byte(s))
+		b := AppendPartString(nil, s)
+		if !bytes.Equal(a, b) {
+			t.Errorf("AppendPart(%q) = %x, AppendPartString = %x", s, a, b)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// peerState is one remote peer's live view: an atomic health bit flipped
+// by the background checker and by passive observation (a failed forward
+// marks the peer down immediately; any success marks it up).
+type peerState struct {
+	name    string
+	healthy atomic.Bool
+	// failures counts consecutive health-check failures, for logging the
+	// first transition rather than every probe.
+	failures atomic.Int64
+}
+
+// backoff computes the jittered exponential delay before retry attempt n
+// (0-based): base·2^n, each with ±50% uniform jitter, capped at max. The
+// jitter is deliberately non-deterministic — it desynchronizes retry
+// storms across replicas and never influences response bytes.
+func backoff(rng *rand.Rand, base, max time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// retryable classifies transport-level failures worth retrying: the
+// request never produced a response (connection refused, reset, timeout
+// of the attempt) and the caller's deadline still has room. A response
+// with any status code is never retried here — the peer spoke, and its
+// answer (including 5xx) is the caller's to interpret.
+func retryable(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// client is the zero-dependency peer HTTP client: stdlib transport,
+// bounded retries with jittered exponential backoff, and deadline-aware
+// hedging for idempotent probes.
+type client struct {
+	http        *http.Client
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	hedgeDelay  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newClient(transport http.RoundTripper, retries int, hedgeDelay time.Duration) *client {
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	return &client{
+		http:        &http.Client{Transport: transport},
+		retries:     retries,
+		backoffBase: 25 * time.Millisecond,
+		backoffMax:  500 * time.Millisecond,
+		hedgeDelay:  hedgeDelay,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (c *client) jitter(attempt int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return backoff(c.rng, c.backoffBase, c.backoffMax, attempt)
+}
+
+// do issues one request built by build, retrying transport failures up to
+// the retry budget with jittered backoff. build is called per attempt so
+// each retry gets a fresh body; onRetry (may be nil) observes each retry
+// for metrics. The caller owns the returned response body.
+func (c *client) do(ctx context.Context, build func() (*http.Request, error), onRetry func()) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req.WithContext(ctx))
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= c.retries || !retryable(ctx, err) {
+			return nil, lastErr
+		}
+		if onRetry != nil {
+			onRetry()
+		}
+		select {
+		case <-time.After(c.jitter(attempt)):
+		case <-ctx.Done():
+			return nil, lastErr
+		}
+	}
+}
+
+// hedged races two copies of an idempotent GET: the first attempt starts
+// immediately, and if it has not answered within the hedge delay a second
+// identical attempt launches; the first response wins and the loser is
+// canceled. Hedging is deadline-aware — when the context's remaining
+// budget is too small to make a second attempt useful (less than twice
+// the hedge delay), the request degrades to a single attempt — and kicks
+// in only for the tail, so the steady-state cost is one request.
+func (c *client) hedged(ctx context.Context, url string, onRetry, onHedge func()) (*http.Response, error) {
+	build := func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	}
+	hedge := c.hedgeDelay
+	if hedge <= 0 {
+		return c.do(ctx, build, onRetry)
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < 2*hedge {
+		return c.do(ctx, build, onRetry)
+	}
+
+	results := make(chan outcome, 2)
+	attemptCtx, cancelAll := context.WithCancel(ctx)
+	launch := func() {
+		resp, err := c.do(attemptCtx, build, onRetry)
+		results <- outcome{resp, err}
+	}
+	go launch()
+	launched := 1
+	timer := time.NewTimer(hedge)
+	defer timer.Stop()
+
+	var firstErr error
+	for received := 0; received < launched; {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				if onHedge != nil {
+					onHedge()
+				}
+				go launch()
+				launched = 2
+			}
+		case out := <-results:
+			received++
+			if out.err == nil {
+				// Winner takes the response; the straggler (if any) is
+				// canceled and its body reaped by the drain goroutine.
+				cancelAll()
+				go drainLosers(results, launched-received)
+				return out.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		case <-ctx.Done():
+			cancelAll()
+			go drainLosers(results, launched-received)
+			return nil, ctx.Err()
+		}
+	}
+	cancelAll()
+	return nil, firstErr
+}
+
+// outcome is one hedge attempt's result.
+type outcome struct {
+	resp *http.Response
+	err  error
+}
+
+// drainLosers closes the responses of hedge attempts that lost the race,
+// so their connections return to the transport pool.
+func drainLosers(results chan outcome, n int) {
+	for i := 0; i < n; i++ {
+		out := <-results
+		if out.resp != nil {
+			io.Copy(io.Discard, out.resp.Body)
+			out.resp.Body.Close()
+		}
+	}
+}
+
+// discardBody drains and closes a response body so the underlying
+// connection is reusable.
+func discardBody(resp *http.Response) {
+	if resp == nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// readAllLimited reads a peer response body under a hard cap, failing
+// loudly rather than buffering without bound if a peer misbehaves.
+func readAllLimited(r io.Reader, limit int64) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) > limit {
+		return nil, fmt.Errorf("cluster: peer response exceeds %d bytes", limit)
+	}
+	return b, nil
+}

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config assembles a cluster view for one node.
+type Config struct {
+	// Self is this node's own peer address (scheme://host:port), exactly
+	// as it appears in Peers.
+	Self string
+	// Peers is the full cluster membership, including Self. Order does
+	// not matter: the ring sorts it, so every node agrees on ownership.
+	Peers []string
+	// VirtualNodes tunes the ring; <=0 selects DefaultVirtualNodes.
+	VirtualNodes int
+	// HealthInterval is the per-peer health probe period; <=0 means 2s.
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one peer cache probe; <=0 means 2s.
+	ProbeTimeout time.Duration
+	// HedgeDelay is how long a cache probe waits before racing a second
+	// attempt; <=0 means 30ms. Negative-like disabling is spelled by
+	// setting it larger than ProbeTimeout.
+	HedgeDelay time.Duration
+	// Retries bounds transport-level retry attempts beyond the first;
+	// <0 means 0, default 2 when zero value is used via New.
+	Retries int
+	// MaxProbeBytes caps a peer cache probe body; <=0 means 64 MiB.
+	MaxProbeBytes int64
+	// Transport overrides the HTTP transport (tests); nil selects
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// Registry, when non-nil, receives the parchmint_peer_* metric
+	// families.
+	Registry *obs.Registry
+	// Logger, when non-nil, records peer health transitions.
+	Logger *slog.Logger
+}
+
+func (c Config) healthInterval() time.Duration {
+	if c.HealthInterval <= 0 {
+		return 2 * time.Second
+	}
+	return c.HealthInterval
+}
+
+func (c Config) probeTimeout() time.Duration {
+	if c.ProbeTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.ProbeTimeout
+}
+
+func (c Config) hedgeDelay() time.Duration {
+	if c.HedgeDelay <= 0 {
+		return 30 * time.Millisecond
+	}
+	return c.HedgeDelay
+}
+
+func (c Config) maxProbeBytes() int64 {
+	if c.MaxProbeBytes <= 0 {
+		return 64 << 20
+	}
+	return c.MaxProbeBytes
+}
+
+// ProbePath is the peer cache probe endpoint: GET ProbePath + "/" + key
+// answers the stored entry bytes (Content-Type preserved) or 404.
+const ProbePath = "/internal/cache"
+
+// Forwarded headers. ForwardedHeader on a request marks it as having
+// already taken its one allowed hop (the loop guard); on a response it
+// names the node that relayed it. ShardHeader names the key's owner on
+// every sharded response.
+const (
+	ForwardedHeader = "X-Parchmint-Forwarded"
+	ShardHeader     = "X-Parchmint-Shard"
+)
+
+// Cluster is one node's view of the peer set: the shared ring, per-peer
+// health, and the peer client. All methods are safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	self   string
+	client *client
+	peers  map[string]*peerState
+	// others is the stable iteration order for fan-outs: sorted
+	// membership minus self.
+	others []string
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	once    sync.Once
+
+	mForward *obs.Counter // {peer, outcome}
+	mProbe   *obs.Counter // {peer, outcome}
+	mRetry   *obs.Counter // {peer}
+	mHedge   *obs.Counter // {peer}
+	mHealth  *obs.Gauge   // {peer}
+}
+
+// ValidateMembership checks a (self, peers) pair the way New will: the
+// membership must be non-empty, self must appear in it, and every peer
+// must parse as an absolute URL. Exported so the CLI can reject a bad
+// -peers/-self combination with a clean error before constructing the
+// server.
+func ValidateMembership(self string, peers []string) error {
+	ring, err := NewRing(peers, 1)
+	if err != nil {
+		return err
+	}
+	if !ring.Contains(self) {
+		return fmt.Errorf("cluster: -self %q is not in the peer list %v", self, ring.Peers())
+	}
+	for _, p := range ring.Peers() {
+		u, err := url.Parse(p)
+		if err != nil || !u.IsAbs() || u.Host == "" {
+			return fmt.Errorf("cluster: peer %q is not an absolute URL (want scheme://host:port)", p)
+		}
+	}
+	return nil
+}
+
+// New validates the membership, builds the ring, and starts the health
+// loop. Self must appear in Peers and every peer must parse as an
+// absolute URL.
+func New(cfg Config) (*Cluster, error) {
+	if err := ValidateMembership(cfg.Self, cfg.Peers); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Peers, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	retries := cfg.Retries
+	if retries < 0 {
+		retries = 0
+	} else if retries == 0 {
+		retries = 2
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		ring:   ring,
+		self:   cfg.Self,
+		client: newClient(cfg.Transport, retries, cfg.hedgeDelay()),
+		peers:  make(map[string]*peerState, len(ring.Peers())),
+		stop:   make(chan struct{}),
+	}
+	for _, p := range ring.Peers() {
+		st := &peerState{name: p}
+		// Peers start healthy: the first forward either works or marks
+		// them down passively, which beats refusing to route until the
+		// first health probe lands.
+		st.healthy.Store(true)
+		c.peers[p] = st
+		if p != c.self {
+			c.others = append(c.others, p)
+		}
+	}
+	if reg := cfg.Registry; reg != nil {
+		c.mForward = reg.Counter("parchmint_peer_forward_total",
+			"Requests forwarded to the owning shard, by peer and outcome (ok, error).", "peer", "outcome")
+		c.mProbe = reg.Counter("parchmint_peer_probe_total",
+			"Peer cache probes, by peer and outcome (hit, miss, error).", "peer", "outcome")
+		c.mRetry = reg.Counter("parchmint_peer_retries_total",
+			"Transport-level retries against peers.", "peer")
+		c.mHedge = reg.Counter("parchmint_peer_hedges_total",
+			"Cache probes that launched a hedged second attempt.", "peer")
+		c.mHealth = reg.Gauge("parchmint_peer_healthy",
+			"Peer health as seen by this node (1 healthy, 0 down).", "peer")
+		for _, p := range c.others {
+			c.mHealth.Set(1, p)
+		}
+	}
+	for _, p := range c.others {
+		c.stopped.Add(1)
+		go c.healthLoop(c.peers[p])
+	}
+	return c, nil
+}
+
+// Close stops the health loop. In-flight forwards and probes are not
+// interrupted; their contexts bound them.
+func (c *Cluster) Close() {
+	c.once.Do(func() { close(c.stop) })
+	c.stopped.Wait()
+}
+
+// Self returns this node's peer address.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the sorted full membership.
+func (c *Cluster) Peers() []string { return c.ring.Peers() }
+
+// Others returns the sorted membership excluding self.
+func (c *Cluster) Others() []string { return c.others }
+
+// Owner returns the raw ring owner of key, ignoring health. Every node
+// computes the same answer for the same membership.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Route returns the node that should serve key right now: the ring owner
+// when it is healthy (or is self), else the first healthy successor
+// clockwise — the deterministic failover rule, so nodes sharing a health
+// view agree on the stand-in owner.
+func (c *Cluster) Route(key string) string {
+	return c.ring.OwnerAvoiding(key, func(peer string) bool {
+		return peer != c.self && !c.Healthy(peer)
+	})
+}
+
+// Healthy reports this node's current view of peer. Self is always
+// healthy.
+func (c *Cluster) Healthy(peer string) bool {
+	if peer == c.self {
+		return true
+	}
+	st, ok := c.peers[peer]
+	return ok && st.healthy.Load()
+}
+
+// MarkDown records a peer as unhealthy, exactly as a failed probe or
+// forward would. Routing skips it until the health checker revives it.
+// Useful for tests and for operators draining a node.
+func (c *Cluster) MarkDown(peer string) {
+	if st, ok := c.peers[peer]; ok {
+		c.markHealth(st, false)
+	}
+}
+
+// markHealth records a health observation (active probe or passive
+// forward outcome), updating the gauge and logging transitions.
+func (c *Cluster) markHealth(st *peerState, up bool) {
+	was := st.healthy.Swap(up)
+	if c.mHealth != nil {
+		v := 0.0
+		if up {
+			v = 1
+		}
+		c.mHealth.Set(v, st.name)
+	}
+	if was != up && c.cfg.Logger != nil {
+		if up {
+			c.cfg.Logger.Info("peer up", "peer", st.name)
+		} else {
+			c.cfg.Logger.Warn("peer down", "peer", st.name)
+		}
+	}
+}
+
+// healthLoop probes one peer's /healthz on the configured interval.
+func (c *Cluster) healthLoop(st *peerState) {
+	defer c.stopped.Done()
+	tick := time.NewTicker(c.cfg.healthInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.probeTimeout())
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.name+"/healthz", nil)
+			if err != nil {
+				cancel()
+				continue
+			}
+			resp, err := c.client.http.Do(req)
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			discardBody(resp)
+			cancel()
+			if ok {
+				st.failures.Store(0)
+			} else {
+				st.failures.Add(1)
+			}
+			c.markHealth(st, ok)
+		}
+	}
+}
+
+// ProbeEntry is a peer cache probe result: the owner's stored bytes and
+// content type, exactly as the owner would have served them.
+type ProbeEntry struct {
+	ContentType string
+	Body        []byte
+}
+
+// ProbeOwner asks the node that owns key whether its cache already holds
+// the entry. It returns (entry, true) only on a definite hit; misses,
+// probe errors, owning the key ourselves, and an unhealthy owner all
+// report false, in which case the caller computes locally. The probe is
+// hedged: a second attempt races the first after the hedge delay, so one
+// slow owner cannot stall the request for the full probe timeout.
+func (c *Cluster) ProbeOwner(ctx context.Context, key string) (ProbeEntry, bool) {
+	owner := c.Route(key)
+	if owner == c.self {
+		return ProbeEntry{}, false
+	}
+	st := c.peers[owner]
+	ctx, span := obs.Start(ctx, "cluster.probe")
+	span.SetAttr("peer", owner)
+	defer span.End()
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.probeTimeout())
+	defer cancel()
+	resp, err := c.client.hedged(pctx, owner+ProbePath+"/"+key,
+		func() { c.retryObserved(owner) }, func() { c.hedgeObserved(owner) })
+	if err != nil {
+		span.SetAttr("outcome", "error")
+		c.probeOutcome(owner, "error")
+		c.markHealth(st, false)
+		return ProbeEntry{}, false
+	}
+	defer resp.Body.Close()
+	c.markHealth(st, true)
+	if resp.StatusCode != http.StatusOK {
+		discardBody(resp)
+		span.SetAttr("outcome", "miss")
+		c.probeOutcome(owner, "miss")
+		return ProbeEntry{}, false
+	}
+	body, err := readAllLimited(resp.Body, c.cfg.maxProbeBytes())
+	if err != nil {
+		span.SetAttr("outcome", "error")
+		c.probeOutcome(owner, "error")
+		return ProbeEntry{}, false
+	}
+	span.SetAttr("outcome", "hit")
+	c.probeOutcome(owner, "hit")
+	return ProbeEntry{ContentType: resp.Header.Get("Content-Type"), Body: body}, true
+}
+
+func (c *Cluster) probeOutcome(peer, outcome string) {
+	if c.mProbe != nil {
+		c.mProbe.Inc(peer, outcome)
+	}
+}
+
+func (c *Cluster) retryObserved(peer string) {
+	if c.mRetry != nil {
+		c.mRetry.Inc(peer)
+	}
+}
+
+func (c *Cluster) hedgeObserved(peer string) {
+	if c.mHedge != nil {
+		c.mHedge.Inc(peer)
+	}
+}
+
+// Forward relays one request body to peer at path (with rawQuery), marking
+// the hop with the forwarded header and propagating the caller's trace
+// context. The caller owns the returned response (and must close its
+// body). A transport-level failure marks the peer down and returns the
+// error so the caller can fall back to serving locally.
+func (c *Cluster) Forward(ctx context.Context, peer, method, path, rawQuery, contentType string, body []byte) (*http.Response, error) {
+	st := c.peers[peer]
+	ctx, span := obs.Start(ctx, "cluster.forward")
+	span.SetAttr("peer", peer)
+	span.SetAttr("path", path)
+	defer span.End()
+	u := peer + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	tp := obs.Traceparent(ctx)
+	build := func() (*http.Request, error) {
+		var req *http.Request
+		var err error
+		if body != nil {
+			req, err = http.NewRequest(method, u, bytes.NewReader(body))
+		} else {
+			req, err = http.NewRequest(method, u, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		req.Header.Set(ForwardedHeader, c.self)
+		if tp != "" {
+			req.Header.Set("Traceparent", tp)
+		}
+		return req, nil
+	}
+	resp, err := c.client.do(ctx, build, func() { c.retryObserved(peer) })
+	if err != nil {
+		span.SetAttr("outcome", "error")
+		if c.mForward != nil {
+			c.mForward.Inc(peer, "error")
+		}
+		if st != nil {
+			c.markHealth(st, false)
+		}
+		return nil, err
+	}
+	span.SetAttr("outcome", "ok")
+	span.SetAttr("status", resp.StatusCode)
+	if c.mForward != nil {
+		c.mForward.Inc(peer, "ok")
+	}
+	if st != nil {
+		c.markHealth(st, true)
+	}
+	return resp, nil
+}

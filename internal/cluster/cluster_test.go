@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBackoffBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base, max := 25*time.Millisecond, 500*time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := backoff(rng, base, max, attempt)
+			lo := base << attempt / 2
+			if base<<attempt > max || base<<attempt <= 0 {
+				lo = max / 2
+			}
+			if d < lo || d > 3*max/2 {
+				t.Fatalf("backoff(attempt=%d) = %v outside [%v, %v]", attempt, d, lo, 3*max/2)
+			}
+		}
+	}
+}
+
+// twoNode builds a two-peer cluster whose "other" peer is the given test
+// server, with self as a syntactically valid but unserved address.
+func twoNode(t *testing.T, peer string, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Self = "http://127.0.0.1:1"
+	cfg.Peers = []string{cfg.Self, peer}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = time.Hour // keep the active checker quiet
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestProbeOwnerHitMissAndSelf(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		switch r.URL.Path {
+		case ProbePath + "/deadbeef":
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"cached":true}` + "\n"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts.URL, Config{})
+
+	// Force ownership by the remote peer: probe a key it owns. Keys hash
+	// arbitrarily, so find one owned by the peer.
+	hitKey, missKey := "", ""
+	for i := 0; hitKey == "" || missKey == ""; i++ {
+		k := testKeys(i + 1)[i]
+		if c.Owner(k) == ts.URL {
+			if hitKey == "" {
+				hitKey = k
+			} else {
+				missKey = k
+			}
+		}
+	}
+
+	// The peer only answers /deadbeef, so a hit needs the exact path: use
+	// a rewriting probe — instead, check the miss path first.
+	if _, ok := c.ProbeOwner(context.Background(), missKey); ok {
+		t.Error("probe of uncached key reported a hit")
+	}
+
+	// Self-owned keys never probe.
+	selfKey := ""
+	for i := 0; selfKey == ""; i++ {
+		k := testKeys(i + 1)[i]
+		if c.Owner(k) == c.Self() {
+			selfKey = k
+		}
+	}
+	before := calls.Load()
+	if _, ok := c.ProbeOwner(context.Background(), selfKey); ok {
+		t.Error("probe of self-owned key reported a hit")
+	}
+	if calls.Load() != before {
+		t.Error("probing a self-owned key contacted the peer")
+	}
+}
+
+func TestProbeOwnerReturnsEntry(t *testing.T) {
+	body := `{"cached":true}` + "\n"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts.URL, Config{})
+	key := ""
+	for i := 0; key == ""; i++ {
+		k := testKeys(i + 1)[i]
+		if c.Owner(k) == ts.URL {
+			key = k
+		}
+	}
+	ent, ok := c.ProbeOwner(context.Background(), key)
+	if !ok {
+		t.Fatal("probe of cached key missed")
+	}
+	if string(ent.Body) != body || ent.ContentType != "application/json" {
+		t.Errorf("probe entry = (%q, %q), want (%q, application/json)", ent.Body, ent.ContentType, body)
+	}
+}
+
+func TestProbeOwnerErrorMarksPeerDown(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	peerURL := ts.URL
+	ts.Close() // connection refused from here on
+	c := twoNode(t, peerURL, Config{Retries: -1, ProbeTimeout: 500 * time.Millisecond})
+	key := ""
+	for i := 0; key == ""; i++ {
+		k := testKeys(i + 1)[i]
+		if c.Owner(k) == peerURL {
+			key = k
+		}
+	}
+	if !c.Healthy(peerURL) {
+		t.Fatal("peer should start healthy")
+	}
+	if _, ok := c.ProbeOwner(context.Background(), key); ok {
+		t.Error("probe against dead peer reported a hit")
+	}
+	if c.Healthy(peerURL) {
+		t.Error("failed probe did not mark the peer down")
+	}
+	// With the only other peer down, routing falls back to self.
+	if got := c.Route(key); got != c.Self() {
+		t.Errorf("Route with dead owner = %s, want self %s", got, c.Self())
+	}
+	// And a probe now short-circuits: self-owned after failover.
+	if _, ok := c.ProbeOwner(context.Background(), key); ok {
+		t.Error("probe after failover-to-self reported a hit")
+	}
+}
+
+func TestForwardPropagatesHopHeaders(t *testing.T) {
+	var gotForwarded, gotTrace, gotCT string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotForwarded = r.Header.Get(ForwardedHeader)
+		gotTrace = r.Header.Get("Traceparent")
+		gotCT = r.Header.Get("Content-Type")
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts.URL, Config{})
+	tp := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	ctx := obs.WithTraceparent(context.Background(), tp)
+	resp, err := c.Forward(ctx, ts.URL, http.MethodPost, "/v1/pnr", "pretty=1", "application/json", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Errorf("status = %d, want 418", resp.StatusCode)
+	}
+	if gotForwarded != c.Self() {
+		t.Errorf("forwarded header = %q, want self %q", gotForwarded, c.Self())
+	}
+	if gotTrace != tp {
+		t.Errorf("traceparent = %q, want %q (propagated across the hop)", gotTrace, tp)
+	}
+	if gotCT != "application/json" {
+		t.Errorf("content type = %q", gotCT)
+	}
+}
+
+func TestForwardRetriesTransportFailures(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Kill the first connection without a response.
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts.URL, Config{Retries: 2})
+	resp, err := c.Forward(context.Background(), ts.URL, http.MethodGet, "/healthz", "", "", nil)
+	if err != nil {
+		t.Fatalf("forward with one torn connection failed: %v (hits=%d)", err, hits.Load())
+	}
+	resp.Body.Close()
+	if hits.Load() < 2 {
+		t.Errorf("hits = %d, want >= 2 (a retry)", hits.Load())
+	}
+	if !c.Healthy(ts.URL) {
+		t.Error("successful retried forward left the peer marked down")
+	}
+}
+
+func TestHedgedSecondAttemptWins(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first attempt stalls until the test ends
+		}
+		w.Write([]byte("fast"))
+	}))
+	defer ts.Close()
+	defer close(release)
+	cl := newClient(nil, 0, 10*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var hedges atomic.Int64
+	resp, err := cl.hedged(ctx, ts.URL, nil, func() { hedges.Add(1) })
+	if err != nil {
+		t.Fatalf("hedged: %v", err)
+	}
+	defer resp.Body.Close()
+	if hedges.Load() != 1 {
+		t.Errorf("hedges = %d, want 1", hedges.Load())
+	}
+	if calls.Load() < 2 {
+		t.Errorf("calls = %d, want 2 (hedge launched)", calls.Load())
+	}
+}
+
+func TestHedgeSkippedNearDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	cl := newClient(nil, 0, time.Hour) // hedge delay far past any deadline
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	hedged := false
+	resp, err := cl.hedged(ctx, ts.URL, nil, func() { hedged = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hedged {
+		t.Error("hedge launched though the deadline ruled it out")
+	}
+}
+
+func TestHealthLoopRecoversPeer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts.URL, Config{HealthInterval: 10 * time.Millisecond})
+	// Passively mark the peer down, then let the active checker revive it.
+	c.markHealth(c.peers[ts.URL], false)
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Healthy(ts.URL) {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never marked the live peer back up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,148 @@
+// Package cluster is the multi-node front door: a consistent-hash ring
+// that shards every request by its content address (cache.Key), a
+// zero-dependency peer HTTP client with health checks, bounded retries,
+// and hedged cache probes, and the routing decisions the serving layer
+// consults before computing anything locally.
+//
+// The whole package leans on the repository's determinism contract: a
+// result is a pure function of its cache key, so *where* it is computed
+// or stored is unobservable. Sharding by key concentrates each key's
+// cache entries, singleflight coalescing, and journal records on one
+// owner; peering between replicas is correct for free because a peer's
+// bytes are indistinguishable from locally recomputed ones.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-peer virtual node count. 128 points per
+// peer keeps the largest/smallest arc ratio within a few percent for
+// small clusters while the ring stays a few KiB.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a peer set. Every peer
+// contributes VirtualNodes points; a key is owned by the peer whose
+// point is first at or clockwise of the key's hash. Construction sorts
+// the peer list, so rings built from the same membership in any order
+// assign identically — replicas agree on ownership without coordination.
+// Membership change moves only the keys whose owning arc changed: adding
+// a node steals ≤ K/n keys (its share) and removing one reassigns only
+// the keys it owned.
+type Ring struct {
+	peers  []string // sorted, deduplicated membership
+	points []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the 64-bit circle and the
+// index (into peers) of the peer that owns it.
+type point struct {
+	hash uint64
+	peer int32
+}
+
+// ringHash maps a byte string onto the 64-bit circle. SHA-256 (truncated)
+// rather than a fast non-cryptographic hash: ring points are computed
+// once per membership and key hashes once per request, and the uniformity
+// matters more than the nanoseconds — cache keys are themselves hex
+// SHA-256, but virtual-node labels are short structured strings that
+// cheap hashes spread poorly.
+func ringHash(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over peers with vnodes virtual nodes per peer
+// (<=0 selects DefaultVirtualNodes). Peers are deduplicated and sorted,
+// so any permutation of the same membership yields an identical ring.
+// An empty membership is rejected.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	dedup := sorted[:0]
+	for i, p := range sorted {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer name")
+		}
+		if i > 0 && p == sorted[i-1] {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	if len(dedup) == 0 {
+		return nil, fmt.Errorf("cluster: ring requires at least one peer")
+	}
+	r := &Ring{peers: dedup, points: make([]point, 0, len(dedup)*vnodes)}
+	var label []byte
+	for pi, p := range dedup {
+		for v := 0; v < vnodes; v++ {
+			// The label framing (name length prefix) keeps adversarially
+			// similar names — "node1"+"#10" vs "node1#1"+"0" — distinct.
+			label = label[:0]
+			label = binary.LittleEndian.AppendUint64(label, uint64(len(p)))
+			label = append(label, p...)
+			label = binary.LittleEndian.AppendUint64(label, uint64(v))
+			r.points = append(r.points, point{hash: ringHash(label), peer: int32(pi)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by peer index so the
+		// ordering — and therefore ownership — stays deterministic.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Peers returns the sorted membership. The slice is owned by the ring.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Contains reports whether peer is part of the membership.
+func (r *Ring) Contains(peer string) bool {
+	i := sort.SearchStrings(r.peers, peer)
+	return i < len(r.peers) && r.peers[i] == peer
+}
+
+// Owner returns the peer that owns key: the peer of the first ring point
+// at or clockwise of the key's hash, wrapping at the top of the circle.
+func (r *Ring) Owner(key string) string {
+	return r.peers[r.ownerIndex(ringHash([]byte(key)))]
+}
+
+func (r *Ring) ownerIndex(h uint64) int32 {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// OwnerAvoiding returns the first peer at or clockwise of the key's hash
+// for which avoid returns false — the deterministic successor rule used
+// for failover: when a key's owner is unhealthy, every replica that
+// shares the same health view hands the key to the same survivor. When
+// every peer is avoided, the raw owner is returned.
+func (r *Ring) OwnerAvoiding(key string, avoid func(peer string) bool) string {
+	h := ringHash([]byte(key))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	tried := make(map[int32]bool, len(r.peers))
+	for i := 0; i < len(r.points) && len(tried) < len(r.peers); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.peer] {
+			continue
+		}
+		tried[p.peer] = true
+		if peer := r.peers[p.peer]; !avoid(peer) {
+			return peer
+		}
+	}
+	return r.peers[r.ownerIndex(h)]
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys derives n deterministic hex-ish keys shaped like cache keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingOrderIndependentAssignment(t *testing.T) {
+	peers := []string{
+		"http://127.0.0.1:9001",
+		"http://127.0.0.1:9002",
+		"http://127.0.0.1:9003",
+		"http://127.0.0.1:9004",
+	}
+	base, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(500)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := NewRing(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("permutation %d: Owner(%s) = %s, want %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingDeduplicatesAndRejectsBadMembership(t *testing.T) {
+	r, err := NewRing([]string{"b", "a", "b", "a"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Peers() = %v, want [a b]", got)
+	}
+	if _, err := NewRing(nil, 4); err == nil {
+		t.Error("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{"a", ""}, 4); err == nil {
+		t.Error("NewRing with empty peer name succeeded, want error")
+	}
+}
+
+// TestRingRemovalMovesOnlyOrphanedKeys is the consistent-hashing
+// contract: removing a node reassigns only the keys it owned — every
+// other key keeps its owner.
+func TestRingRemovalMovesOnlyOrphanedKeys(t *testing.T) {
+	peers := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}
+	before, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(peers[:4], 0) // node-e removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(2000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != "node-e" && was != is {
+			t.Fatalf("key %s moved %s -> %s though its owner stayed in the ring", k, was, is)
+		}
+		if was == "node-e" && is == "node-e" {
+			t.Fatalf("key %s still assigned to removed node", k)
+		}
+	}
+}
+
+// TestRingAdditionStealsBoundedShare: a joining node takes roughly K/n
+// keys (its fair share) and every moved key moves *to* it — no key
+// shuffles between surviving nodes.
+func TestRingAdditionStealsBoundedShare(t *testing.T) {
+	peers := []string{"node-a", "node-b", "node-c", "node-d"}
+	before, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(peers, "node-e"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(2000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		if is != "node-e" {
+			t.Fatalf("key %s moved %s -> %s, not to the joining node", k, was, is)
+		}
+		moved++
+	}
+	// Fair share is K/n = 400; virtual nodes keep the imbalance modest.
+	// 2x fair share is a loose ceiling that still catches a broken ring
+	// (naive mod-hashing would move ~80% of keys).
+	if fair := len(keys) / 5; moved > 2*fair {
+		t.Errorf("adding one node moved %d of %d keys, want <= %d (2x fair share)", moved, len(keys), 2*fair)
+	}
+	if moved == 0 {
+		t.Error("adding a node moved no keys; ring is not redistributing")
+	}
+}
+
+// TestRingDistribution checks virtual nodes spread keys across peers
+// without a grossly starved or overloaded member.
+func TestRingDistribution(t *testing.T) {
+	peers := []string{"node-a", "node-b", "node-c"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / len(peers)
+	for _, p := range peers {
+		if c := counts[p]; c < fair/3 || c > 3*fair {
+			t.Errorf("peer %s owns %d of %d keys (fair %d); distribution is pathological", p, c, len(keys), fair)
+		}
+	}
+}
+
+func TestOwnerAvoidingDeterministicFailover(t *testing.T) {
+	peers := []string{"node-a", "node-b", "node-c"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		owner := r.Owner(k)
+		// Nothing avoided: same as Owner.
+		if got := r.OwnerAvoiding(k, func(string) bool { return false }); got != owner {
+			t.Fatalf("OwnerAvoiding(no avoid) = %s, want %s", got, owner)
+		}
+		// Avoiding the owner hands the key to a different peer, stably.
+		avoid := func(p string) bool { return p == owner }
+		stand := r.OwnerAvoiding(k, avoid)
+		if stand == owner {
+			t.Fatalf("OwnerAvoiding still chose the avoided owner %s", owner)
+		}
+		if again := r.OwnerAvoiding(k, avoid); again != stand {
+			t.Fatalf("failover not deterministic: %s then %s", stand, again)
+		}
+		// Avoiding everyone falls back to the raw owner.
+		if got := r.OwnerAvoiding(k, func(string) bool { return true }); got != owner {
+			t.Fatalf("OwnerAvoiding(all avoided) = %s, want raw owner %s", got, owner)
+		}
+	}
+}
+
+func TestValidateMembership(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2"}
+	if err := ValidateMembership("http://a:1", peers); err != nil {
+		t.Errorf("valid membership rejected: %v", err)
+	}
+	if err := ValidateMembership("http://c:3", peers); err == nil {
+		t.Error("self outside membership accepted")
+	}
+	if err := ValidateMembership("a", []string{"a", "b"}); err == nil {
+		t.Error("relative peer URLs accepted")
+	}
+	if err := ValidateMembership("", nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+}

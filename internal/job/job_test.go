@@ -357,3 +357,37 @@ func TestHooksFire(t *testing.T) {
 			submitted.Load(), started.Load(), completed.Load())
 	}
 }
+
+// TestJournalReportsMidFileCorruptionWithLineNumbers: dropped lines are
+// not only counted but located, so an operator can distinguish the
+// expected torn tail from corruption that silently narrows a handoff
+// replay.
+func TestJournalReportsMidFileCorruptionWithLineNumbers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	good1 := `{"e":"submit","id":"job-x-000001","op":"stats","envelope":{}}`
+	corrupt := `{"e":"sub...CORRUPT`
+	missing := `{"time":"2026-01-01T00:00:00Z"}`
+	good2 := `{"e":"cancel","id":"job-x-000001"}`
+	content := good1 + "\n" + corrupt + "\n" + good2 + "\n" + missing + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", j.Dropped())
+	}
+	dl := j.DroppedLines()
+	if dl[0].Line != 2 || dl[1].Line != 4 {
+		t.Errorf("dropped line numbers = %d, %d; want 2, 4", dl[0].Line, dl[1].Line)
+	}
+	if dl[0].Reason == "" || dl[1].Reason == "" {
+		t.Error("dropped lines carry no reason")
+	}
+	if len(j.records()) != 2 {
+		t.Errorf("replayable records = %d, want 2 (good lines on both sides of the corruption)", len(j.records()))
+	}
+}

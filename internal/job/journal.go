@@ -72,9 +72,20 @@ type Journal struct {
 	path string
 	// recs holds the records read at open time, for the store's replay.
 	recs []record
-	// dropped counts unparseable lines skipped during open (a torn tail
-	// write after kill -9, or manual editing).
-	dropped int
+	// dropped details the unparseable lines skipped during open — the
+	// expected torn tail write after kill -9, but also mid-file corruption
+	// that would silently narrow a handoff replay if left invisible.
+	dropped []DroppedLine
+}
+
+// DroppedLine describes one journal line skipped as unparseable during
+// open: its 1-based line number and why it was rejected.
+type DroppedLine struct {
+	// Line is the 1-based line number in the journal file.
+	Line int
+	// Reason says what was wrong: a JSON parse error, or a record missing
+	// its required fields.
+	Reason string
 }
 
 // OpenJournal opens (creating if needed) the journal at path, reads every
@@ -89,14 +100,18 @@ func OpenJournal(path string) (*Journal, error) {
 	j := &Journal{f: f, path: path}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
-	for sc.Scan() {
+	for lineno := 1; sc.Scan(); lineno++ {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
 		var r record
-		if err := json.Unmarshal(line, &r); err != nil || r.E == "" || r.ID == "" {
-			j.dropped++
+		if err := json.Unmarshal(line, &r); err != nil {
+			j.dropped = append(j.dropped, DroppedLine{Line: lineno, Reason: err.Error()})
+			continue
+		}
+		if r.E == "" || r.ID == "" {
+			j.dropped = append(j.dropped, DroppedLine{Line: lineno, Reason: "missing e or id field"})
 			continue
 		}
 		j.recs = append(j.recs, r)
@@ -112,7 +127,12 @@ func OpenJournal(path string) (*Journal, error) {
 func (j *Journal) Path() string { return j.path }
 
 // Dropped reports how many unparseable lines open skipped.
-func (j *Journal) Dropped() int { return j.dropped }
+func (j *Journal) Dropped() int { return len(j.dropped) }
+
+// DroppedLines details each skipped line (number and reason), so callers
+// can distinguish the expected torn tail from mid-file corruption. The
+// slice is owned by the journal.
+func (j *Journal) DroppedLines() []DroppedLine { return j.dropped }
 
 // records hands the store the replay set; the slice is owned by the
 // journal and read once during store construction.

@@ -58,6 +58,27 @@ func retryAfterHint(estimate time.Duration) time.Duration {
 	return time.Duration((estimate + time.Second - 1) / time.Second * time.Second)
 }
 
+// retryAfterMS is the single source both renderings of the retry hint
+// derive from: the stored duration in milliseconds, floored to one second
+// so no surface ever tells a client to retry immediately. The Retry-After
+// header is retryAfterSeconds — the ceiling of this value in seconds —
+// which pins header == ceil(retry_after_ms/1000) by construction; before
+// this derivation existed, the header truncated (900ms rendered as
+// "Retry-After: 0" while the body said 900) and the two agreed only when
+// constructors happened to pre-round.
+func (e *OverloadedError) retryAfterMS() int64 {
+	if ms := e.RetryAfter.Milliseconds(); ms > 0 {
+		return ms
+	}
+	return 1000
+}
+
+// retryAfterSeconds renders the hint for the Retry-After header: whole
+// seconds, rounded up, never below 1.
+func (e *OverloadedError) retryAfterSeconds() int {
+	return int((e.retryAfterMS() + 999) / 1000)
+}
+
 // coded is implemented by the typed pipeline errors; Code() is the stable
 // machine-readable identifier surfaced in error response bodies.
 type coded interface{ Code() string }
@@ -153,7 +174,7 @@ func newErrorBody(ctx context.Context, err error) errorBody {
 	}
 	var over *OverloadedError
 	if errors.As(err, &over) {
-		body.RetryAfterMS = over.RetryAfter.Milliseconds()
+		body.RetryAfterMS = over.retryAfterMS()
 	}
 	return body
 }
@@ -166,7 +187,7 @@ func newErrorBody(ctx context.Context, err error) errorBody {
 func writeError(ctx context.Context, w http.ResponseWriter, r *http.Request, err error) {
 	var over *OverloadedError
 	if errors.As(err, &over) {
-		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(over.retryAfterSeconds()))
 	}
 	_ = writeJSON(w, r, httpStatus(err), newErrorBody(ctx, err))
 }

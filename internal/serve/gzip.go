@@ -2,6 +2,8 @@ package serve
 
 import (
 	"compress/gzip"
+	"context"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -82,3 +84,32 @@ func (g *gzipWriter) Flush() {
 // to http.NewResponseController would let a flush bypass the compressor
 // and interleave raw bytes into the gzip stream.
 var _ http.Flusher = (*gzipWriter)(nil)
+
+// runHandler invokes the endpoint handler with the pooled gzip writer's
+// cleanup pinned to a defer, so the writer returns to the pool exactly
+// once on every exit path. The normal path flushes the stream's trailer
+// with Close (a failure means the client is gone, which the status
+// already reflects); a panicking handler instead gets its mid-stream
+// compressor state discarded with Reset before the writer is pooled, and
+// the panic continues to net/http's connection recovery. Without the
+// reset-on-panic, a later request could Get a writer still holding
+// buffered state and a dangling output reference.
+func runHandler(ctx context.Context, h apiHandler, hw http.ResponseWriter, r *http.Request, gzw *gzipWriter) {
+	if gzw != nil {
+		defer func() {
+			p := recover()
+			if p != nil {
+				gzw.gz.Reset(io.Discard)
+			} else {
+				_ = gzw.gz.Close()
+			}
+			gzipPool.Put(gzw.gz)
+			if p != nil {
+				panic(p)
+			}
+		}()
+	}
+	if err := h(hw, r); err != nil {
+		writeError(ctx, hw, r, err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mint"
 	"repro/internal/place"
@@ -139,6 +140,10 @@ func jsonEntry(v any) (cache.Entry, error) {
 // serveOp adapts one pipeline operation into an apiHandler: decode the
 // envelope, validate it against the shared operation table, run the
 // operation through the result cache, and replay the materialized entry.
+// In cluster mode the request is first sharded by its content address:
+// a request landing on a non-owner takes one forwarding hop to the key's
+// owner (where its cache entries, coalescing, and journal records
+// concentrate), with local execution as the fallback when the hop fails.
 func (s *Server) serveOp(name string) apiHandler {
 	op := mustOperation(name)
 	return func(w http.ResponseWriter, r *http.Request) error {
@@ -149,7 +154,19 @@ func (s *Server) serveOp(name string) apiHandler {
 		if err := op.validate(req); err != nil {
 			return err
 		}
-		ent, outcome, err := s.runCached(r.Context(), op, req)
+		var key string
+		if s.cluster != nil {
+			key = s.cacheKey(op.Name, req)
+			owner := s.cluster.Route(key)
+			w.Header()[cluster.ShardHeader] = []string{owner}
+			if s.forwardable(r, owner) {
+				if env, eerr := appendRequestJSON(nil, req); eerr == nil &&
+					s.forwardTo(w, r, owner, "application/json", env) {
+					return nil
+				}
+			}
+		}
+		ent, outcome, err := s.runCachedKey(r.Context(), op, req, key)
 		if err != nil {
 			return err
 		}
@@ -193,14 +210,33 @@ func outcomeHeaderValue(outcome string) []string {
 // a hit bypasses Do (no compute closure) and records through a pre-bound
 // metric cell.
 func (s *Server) runCached(ctx context.Context, op *Operation, req *request) (cache.Entry, string, error) {
+	return s.runCachedKey(ctx, op, req, "")
+}
+
+// runCachedKey is runCached with an optionally precomputed key (the
+// sharding path derives it before routing; "" derives it here). In
+// cluster mode a local miss probes the key's owner before computing:
+// the owner's bytes are byte-identical to a local recomputation by the
+// determinism contract, so an adopted entry is reported as a hit.
+func (s *Server) runCachedKey(ctx context.Context, op *Operation, req *request, key string) (cache.Entry, string, error) {
 	if s.cache == nil {
 		ent, err := op.run(s, ctx, req)
 		return ent, "", err
 	}
-	key := s.cacheKey(op.Name, req)
+	if key == "" {
+		key = s.cacheKey(op.Name, req)
+	}
 	if ent, ok := s.cache.Lookup(key); ok {
 		s.mCacheCells[op.Name][cache.Hit].Inc()
 		return ent, cache.Hit.String(), nil
+	}
+	if s.cluster != nil {
+		if pe, ok := s.cluster.ProbeOwner(ctx, key); ok {
+			ent := cache.Entry{ContentType: pe.ContentType, Body: pe.Body}
+			s.cache.Put(key, ent)
+			s.mCacheCells[op.Name][cache.Hit].Inc()
+			return ent, cache.Hit.String(), nil
+		}
 	}
 	ent, outcome, err := s.cache.Do(ctx, key, func() (cache.Entry, error) {
 		return op.run(s, ctx, req)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/job"
 	"repro/internal/obs"
@@ -154,7 +155,21 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return fmt.Errorf("serve: encoding job envelope: %w", err)
 	}
-	snap, err := s.jobs.Submit(op.Name, envelope, s.cacheKey(op.Name, &jreq.request), obs.Traceparent(r.Context()))
+	key := s.cacheKey(op.Name, &jreq.request)
+	if s.cluster != nil {
+		// Jobs route to the key's owner so the journal record, the cache
+		// entry, and any coalescing all land on one node — which is what
+		// makes a dead owner's journal a complete handoff unit. A failed
+		// hop falls back to running the job here; determinism makes the
+		// result identical either way.
+		owner := s.cluster.Route(key)
+		w.Header()[cluster.ShardHeader] = []string{owner}
+		if s.forwardable(r, owner) &&
+			s.forwardTo(w, r, owner, "application/json", jobSubmitBody(op.Name, envelope)) {
+			return nil
+		}
+	}
+	snap, err := s.jobs.Submit(op.Name, envelope, key, obs.Traceparent(r.Context()))
 	if errors.Is(err, job.ErrTooManyJobs) {
 		return &OverloadedError{RetryAfter: time.Second, cause: err}
 	}
@@ -220,10 +235,16 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, r, http.StatusOK, jobListResponse{Items: items, Total: len(items)})
 }
 
-// handleJobGet serves one job's current document.
+// handleJobGet serves one job's current document. Job IDs are node-local,
+// so in cluster mode an unknown ID is resolved against the peers before
+// answering 404 — a client may poll a different node than the one whose
+// store holds the job.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) error {
 	snap, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
+		if errors.Is(err, job.ErrNotFound) && s.peerJobRelay(w, r) {
+			return nil
+		}
 		return err
 	}
 	return writeJSON(w, r, http.StatusOK, jobDocument(snap))
@@ -238,6 +259,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
 	ent, outcome, err := s.jobs.Result(id)
 	if err != nil {
+		if errors.Is(err, job.ErrNotFound) && s.peerJobRelay(w, r) {
+			return nil
+		}
 		if errors.Is(err, job.ErrNotFinished) {
 			if snap, gerr := s.jobs.Get(id); gerr == nil && snap.Status == job.StatusFailed {
 				status := snap.ErrStatus
@@ -268,6 +292,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) error {
 	snap, err := s.jobs.Cancel(r.PathValue("id"))
 	if err != nil {
+		if errors.Is(err, job.ErrNotFound) && s.peerJobRelay(w, r) {
+			return nil
+		}
 		return err
 	}
 	return writeJSON(w, r, http.StatusOK, jobDocument(snap))

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/job"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -91,6 +92,22 @@ type Config struct {
 	// 0 selects obs.DefaultTraceSample, negative means never. Errors, shed
 	// requests, and the slowest-p99 tail are always kept regardless.
 	TraceSample float64
+	// Peers is the full cluster membership (absolute URLs, including
+	// Self). Empty keeps the server single-node: the ring is never
+	// consulted and responses are byte-identical to the peerless build.
+	Peers []string
+	// Self is this node's own peer address, exactly as it appears in
+	// Peers. Required when Peers is non-empty.
+	Self string
+	// PeerHealthInterval is the per-peer health probe period; 0 selects
+	// the cluster default (2s). Tests shorten it to observe failover.
+	PeerHealthInterval time.Duration
+	// PeerHedgeDelay is how long a peer cache probe waits before racing a
+	// second attempt; 0 selects the cluster default (30ms).
+	PeerHedgeDelay time.Duration
+	// PeerTransport overrides the peer client's HTTP transport (tests);
+	// nil selects http.DefaultTransport.
+	PeerTransport http.RoundTripper
 }
 
 func (c Config) maxBody() int64 {
@@ -151,6 +168,7 @@ type Server struct {
 	start     time.Time
 	ids       *obs.IDSource
 	jobs      *job.Store
+	cluster   *cluster.Cluster // nil when running single-node
 
 	// Pre-resolved endpoint instruments.
 	mRequests   *obs.Counter   // {endpoint, status}
@@ -174,6 +192,10 @@ type Server struct {
 	mJobsCanceled  *obs.Counter
 	mJobsFailed    *obs.Counter
 	mJobDur        *obs.Histogram // {status}
+
+	// mJournalDropped surfaces unparseable journal lines skipped at boot,
+	// so mid-file corruption is visible before a handoff replays from it.
+	mJournalDropped *obs.Counter
 }
 
 // New builds a server; the zero Config selects all defaults.
@@ -274,6 +296,30 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.flight.Stats().Records) })
 	// Runtime health series (parchmint_go_*), sampled at scrape time.
 	obs.RegisterRuntimeMetrics(s.reg)
+	s.mJournalDropped = s.reg.Counter("parchmint_journal_dropped_lines_total",
+		"Journal lines skipped as unparseable during boot replay.")
+	if cfg.Journal != nil {
+		s.mJournalDropped.Add(float64(cfg.Journal.Dropped()))
+	}
+	if len(cfg.Peers) > 0 {
+		// The cluster registers the parchmint_peer_* families and starts
+		// its health loops here; membership errors are configuration bugs
+		// the CLI pre-validates (cluster.ValidateMembership), so reaching
+		// one through the library API is a programmer error.
+		cl, err := cluster.New(cluster.Config{
+			Self:           cfg.Self,
+			Peers:          cfg.Peers,
+			HealthInterval: cfg.PeerHealthInterval,
+			HedgeDelay:     cfg.PeerHedgeDelay,
+			Transport:      cfg.PeerTransport,
+			Registry:       s.reg,
+			Logger:         cfg.Logger,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("serve: invalid cluster config: %v", err))
+		}
+		s.cluster = cl
+	}
 	s.mCacheCells = make(map[string]*[3]*obs.CounterCell, len(operations))
 	for _, op := range operations {
 		cells := new([3]*obs.CounterCell)
@@ -329,10 +375,14 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close cancels every in-flight job and waits for the job runners to
-// drain. The HTTP listener and the journal belong to the caller.
+// Close cancels every in-flight job, waits for the job runners to drain,
+// and stops the cluster health loops. The HTTP listener and the journal
+// belong to the caller.
 func (s *Server) Close() {
 	s.jobs.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 }
 
 // Handler returns the service's routing table. Every pipeline endpoint is
@@ -369,6 +419,15 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/trace", s.wrapWith("debug-trace", s.handleTrace, wrapOpts{noBodyLimit: true, noTimeout: true}))
 	mux.Handle("GET /debug/requests", s.wrapWith("debug-requests", s.handleFlightList, wrapOpts{noBodyLimit: true, noTimeout: true}))
 	mux.Handle("GET /debug/requests/{id}", s.wrapWith("debug-requests-get", s.handleFlightGet, wrapOpts{noBodyLimit: true, noTimeout: true}))
+	if s.cluster != nil {
+		// Peer-facing routes exist only in cluster mode, so a single-node
+		// server's surface (and responses) stay byte-identical to the
+		// peerless build. The cache probe skips compression: probe bodies
+		// are adopted verbatim into the requester's cache, and the exact
+		// stored bytes are the point.
+		mux.Handle("GET /internal/cache/{key}", s.wrapWith("peer-cache", s.handlePeerCache, wrapOpts{noBodyLimit: true, noCompress: true}))
+		mux.Handle("POST /internal/shard", s.wrap("shard", s.handleShard))
+	}
 	return mux
 }
 
@@ -540,15 +599,7 @@ func (s *Server) wrapWith(endpoint string, h apiHandler, o wrapOpts) http.Handle
 			hw = gzw
 		}
 		r2 := r.WithContext(ctx)
-		if err := h(hw, r2); err != nil {
-			writeError(ctx, hw, r2, err)
-		}
-		if gzw != nil {
-			// Close flushes the stream's trailer; a failure here means
-			// the client is gone, which the status already reflects.
-			_ = gzw.gz.Close()
-			gzipPool.Put(gzw.gz)
-		}
+		runHandler(ctx, h, hw, r2, gzw)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}

@@ -1,0 +1,38 @@
+// Command freeport prints n free loopback TCP ports, one per line.
+//
+// The cluster smoke test needs it because -peers is the full membership:
+// every node must know every peer's address before any node boots, so
+// the usual "listen on :0 and write a -port-file" trick cannot work.
+// All n listeners are held open while the ports are gathered, then
+// closed together, so the same port is never printed twice.
+//
+// The usual caveat applies: a printed port is only reserved until this
+// process exits, so a racing process could grab it first. For a smoke
+// test on a quiet CI loopback that is fine; retry the script if you are
+// spectacularly unlucky.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	n := flag.Int("n", 1, "number of distinct free ports to print")
+	flag.Parse()
+	lns := make([]net.Listener, 0, *n)
+	for i := 0; i < *n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeport:", err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+		ln.Close()
+	}
+}
